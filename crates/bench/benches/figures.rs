@@ -1,0 +1,96 @@
+//! Benchmarks of the figure-regeneration *analysis* stage: with the
+//! dataset cached, how fast every table/figure of the paper can be
+//! recomputed. (The figure binaries in `src/bin/` do the same work; this
+//! harness times the shared analysis kernels on a synthetic dataset so
+//! `cargo bench` needs no dataset cache.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tputpred_bench::{a_priori, cov_per_trace, fb_config, hw_lso, rmsre_per_trace};
+use tputpred_core::fb::FbPredictor;
+use tputpred_core::metrics::{evaluate, relative_error_floored};
+use tputpred_testbed::{catalog_2004, Dataset, EpochRecord, PathData, Preset, TraceData};
+
+/// A synthetic dataset with the quick preset's shape (35 paths × 2
+/// traces × 40 epochs) and plausible values — no simulation needed.
+fn synthetic_dataset() -> Dataset {
+    let preset = Preset::quick();
+    let catalog = catalog_2004(preset.paths, preset.seed);
+    let paths = catalog
+        .into_iter()
+        .enumerate()
+        .map(|(pi, config)| {
+            let traces = (0..preset.traces_per_path)
+                .map(|ti| TraceData {
+                    records: (0..preset.epochs_per_trace)
+                        .map(|ei| {
+                            let phase = (pi * 31 + ti * 17 + ei) as f64;
+                            let r = 2e6 + 1.5e6 * (phase * 0.7).sin().abs()
+                                + if ei % 13 == 0 { 6e6 } else { 0.0 };
+                            EpochRecord {
+                                a_hat: 5e6 + 2e6 * (phase * 0.3).cos(),
+                                t_hat: 0.04 + 0.01 * (phase * 0.2).sin().abs(),
+                                p_hat: if pi % 3 == 0 { 0.01 } else { 0.0 },
+                                t_tilde: 0.05,
+                                p_tilde: 0.02,
+                                r_large: r,
+                                r_small: Some(r / 4.0),
+                                r_prefix_quarter: r * 0.9,
+                                r_prefix_half: r * 0.95,
+                                flow_loss_events: 3,
+                                flow_retx_rate: 0.01,
+                                flow_rtt: 0.05,
+                                true_avail_bw: 5e6,
+                            }
+                        })
+                        .collect(),
+                })
+                .collect();
+            PathData { config, traces }
+        })
+        .collect();
+    Dataset { preset, paths }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let ds = synthetic_dataset();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.bench_function("fig02_fb_errors_full_dataset", |b| {
+        let fb = FbPredictor::new(fb_config(&ds.preset));
+        b.iter(|| {
+            let errors: Vec<f64> = ds
+                .epochs()
+                .map(|(_, _, rec)| {
+                    relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large)
+                })
+                .collect();
+            black_box(errors.len())
+        })
+    });
+    group.bench_function("fig16_rmsre_per_trace_hw_lso", |b| {
+        b.iter(|| black_box(rmsre_per_trace(&ds, || hw_lso())))
+    });
+    group.bench_function("fig20_cov_per_trace", |b| {
+        b.iter(|| black_box(cov_per_trace(&ds)))
+    });
+    group.bench_function("fig23_downsampled_rmsre", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for p in &ds.paths {
+                for t in &p.traces {
+                    let series = tputpred_core::metrics::downsample(&t.throughput_series(), 8);
+                    let mut pred = hw_lso();
+                    if let Some(r) = evaluate(&mut pred, &series).rmsre() {
+                        total += r;
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

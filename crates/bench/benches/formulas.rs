@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the TCP throughput formulas: an FB predictor in a
+//! route-selection loop evaluates these per candidate path per decision,
+//! so they must be cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tputpred_core::fb::{FbConfig, FbPredictor, PathEstimates};
+use tputpred_core::formulas::{mathis, pftk, pftk_full, pftk_revised, slow_start_segments, PftkParams};
+
+fn params(p: f64) -> PftkParams {
+    PftkParams {
+        mss: 1448,
+        rtt: 0.08,
+        rto: 1.0,
+        b: 2.0,
+        p,
+        max_window: 1 << 20,
+    }
+}
+
+fn bench_formulas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formulas");
+    group.bench_function("mathis", |b| {
+        b.iter(|| mathis(black_box(1448), black_box(0.08), black_box(2.0), black_box(0.01)))
+    });
+    group.bench_function("pftk_eq2", |b| {
+        let p = params(0.01);
+        b.iter(|| pftk(black_box(&p)))
+    });
+    group.bench_function("pftk_full", |b| {
+        let p = params(0.01);
+        b.iter(|| pftk_full(black_box(&p)))
+    });
+    group.bench_function("pftk_revised", |b| {
+        let p = params(0.01);
+        b.iter(|| pftk_revised(black_box(&p)))
+    });
+    group.bench_function("cardwell_slow_start", |b| {
+        b.iter(|| slow_start_segments(black_box(100_000), black_box(0.01)))
+    });
+    group.bench_function("fb_predict_eq3", |b| {
+        let fb = FbPredictor::new(FbConfig::default());
+        let est = PathEstimates {
+            rtt: 0.08,
+            loss_rate: 0.01,
+            avail_bw: 20e6,
+        };
+        b.iter(|| fb.predict(black_box(&est)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulas);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the HB predictors: per-sample update+predict
+//! cost, including the LSO wrapper's detection scan (the only
+//! super-constant part), and a full trace evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tputpred_core::hb::{Ewma, HoltWinters, MovingAverage, Predictor};
+use tputpred_core::lso::{Lso, LsoConfig};
+use tputpred_core::metrics::{evaluate, segmented_cov};
+
+/// A deterministic pseudo-throughput series with shifts and spikes.
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let base = if (i / 40) % 2 == 0 { 10e6 } else { 18e6 };
+            let noise = ((i * 2654435761) % 1000) as f64 / 1000.0;
+            let spike = if i % 37 == 0 { 3.0 } else { 1.0 };
+            base * (0.9 + 0.2 * noise) * spike
+        })
+        .collect()
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let xs = series(150);
+    let mut group = c.benchmark_group("predictors");
+    group.bench_function("ma10_update_predict", |b| {
+        let mut p = MovingAverage::new(10);
+        let mut i = 0;
+        b.iter(|| {
+            p.update(black_box(xs[i % xs.len()]));
+            i += 1;
+            black_box(p.predict())
+        })
+    });
+    group.bench_function("ewma_update_predict", |b| {
+        let mut p = Ewma::new(0.8);
+        let mut i = 0;
+        b.iter(|| {
+            p.update(black_box(xs[i % xs.len()]));
+            i += 1;
+            black_box(p.predict())
+        })
+    });
+    group.bench_function("hw_update_predict", |b| {
+        let mut p = HoltWinters::new(0.8, 0.2);
+        let mut i = 0;
+        b.iter(|| {
+            p.update(black_box(xs[i % xs.len()]));
+            i += 1;
+            black_box(p.predict())
+        })
+    });
+    group.bench_function("hw_lso_update_predict", |b| {
+        let mut p = Lso::new(HoltWinters::new(0.8, 0.2));
+        let mut i = 0;
+        b.iter(|| {
+            p.update(black_box(xs[i % xs.len()]));
+            i += 1;
+            black_box(p.predict())
+        })
+    });
+    group.bench_function("evaluate_150_epoch_trace_hw_lso", |b| {
+        b.iter(|| {
+            let mut p = Lso::new(HoltWinters::new(0.8, 0.2));
+            black_box(evaluate(&mut p, black_box(&xs)).rmsre())
+        })
+    });
+    group.bench_function("segmented_cov_150_epochs", |b| {
+        b.iter(|| black_box(segmented_cov(black_box(&xs), LsoConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Simulator throughput benchmarks: how much simulated traffic one CPU
+//! second buys. The dataset generator's cost is (events/sec)⁻¹ × the
+//! campaign's event count, so this is the number that decides whether
+//! the `paper` preset is an overnight run or a coffee break.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tputpred_netsim::link::LinkConfig;
+use tputpred_netsim::sources::{PoissonSource, Sink, SourceConfig};
+use tputpred_netsim::{RateSchedule, Route, Simulator, Time};
+use tputpred_tcp::{connect, TcpConfig};
+
+/// One second of a 10 Mbps dumbbell with a saturating TCP flow.
+fn tcp_second() -> u64 {
+    let mut sim = Simulator::new(1);
+    let fwd = sim.add_link(LinkConfig::new(10e6, Time::from_millis(20), 40));
+    let rev = sim.add_link(LinkConfig::new(1e9, Time::from_millis(20), 1000));
+    let (_, _, stats) = connect(
+        &mut sim,
+        TcpConfig::default(),
+        Route::direct(fwd),
+        Route::direct(rev),
+        Time::ZERO,
+        Time::from_secs(1),
+    );
+    sim.run_until(Time::from_secs(1));
+    black_box(stats.borrow().bytes_delivered);
+    sim.events_processed()
+}
+
+/// One second of 10 Mbps Poisson cross traffic alone.
+fn poisson_second() -> u64 {
+    let mut sim = Simulator::new(2);
+    let fwd = sim.add_link(LinkConfig::new(20e6, Time::from_millis(20), 100));
+    let (sink, rx) = Sink::new();
+    let sink_id = sim.add_endpoint(Box::new(sink));
+    let (src, _) = PoissonSource::new(SourceConfig {
+        route: Route::direct(fwd),
+        dst: sink_id,
+        packet_size: 1000,
+        base_rate_bps: 10e6,
+        schedule: RateSchedule::constant(1.0),
+        stop: Time::from_secs(1),
+    });
+    let id = sim.add_endpoint(Box::new(src));
+    sim.schedule_timer(id, 0, Time::ZERO);
+    sim.run_until(Time::from_secs(1));
+    black_box(rx.borrow().packets);
+    sim.events_processed()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("tcp_dumbbell_1s_sim_time", |b| b.iter(tcp_second));
+    group.bench_function("poisson_cross_1s_sim_time", |b| b.iter(poisson_second));
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! Shared analysis: FB prediction over epoch records, the HB predictor
+//! zoo, per-trace evaluation, dataset caching.
+
+use crate::cli::Args;
+use tputpred_core::fb::{FbConfig, FbModel, FbPredictor, PathEstimates};
+use tputpred_core::hb::{Ewma, HoltWinters, MovingAverage, Predictor};
+use tputpred_core::lso::{Lso, LsoConfig};
+use tputpred_core::metrics::{self, relative_error_floored};
+use tputpred_testbed::{generate, Dataset, EpochRecord, Preset};
+
+/// A heap predictor — everything in the zoo is `Send` so evaluation can
+/// parallelize if needed.
+pub type BoxedPredictor = Box<dyn Predictor + Send>;
+
+/// Loads the cached dataset for `args`, generating (and caching) it on
+/// first use. Generation parallelizes across cores; progress goes to
+/// stderr so figure output on stdout stays clean.
+pub fn load_dataset(args: &Args) -> Dataset {
+    let path = args.dataset_path();
+    Dataset::load_or_generate(&path, || {
+        eprintln!(
+            "# generating dataset '{}' ({} paths x {} traces x {} epochs) -> {}",
+            args.preset.name,
+            args.preset.paths,
+            args.preset.traces_per_path,
+            args.preset.epochs_per_trace,
+            path.display()
+        );
+        generate(&args.preset)
+    })
+    .unwrap_or_else(|e| panic!("dataset at {}: {e}", path.display()))
+}
+
+/// The FB configuration matching the preset's large-window transfers.
+pub fn fb_config(preset: &Preset) -> FbConfig {
+    FbConfig {
+        max_window: preset.w_large,
+        ..FbConfig::default()
+    }
+}
+
+/// The FB configuration for the window-limited (20 KB) transfers.
+pub fn fb_config_small(preset: &Preset) -> FbConfig {
+    FbConfig {
+        max_window: preset.w_small,
+        ..FbConfig::default()
+    }
+}
+
+/// FB configuration with an explicit model (Fig. 13 compares
+/// [`FbModel::PftkSimple`] against [`FbModel::PftkRevised`]).
+pub fn fb_config_with_model(preset: &Preset, model: FbModel) -> FbConfig {
+    FbConfig {
+        model,
+        ..fb_config(preset)
+    }
+}
+
+/// A-priori estimates of one epoch — what Eq. 3 is allowed to see.
+pub fn a_priori(rec: &EpochRecord) -> PathEstimates {
+    PathEstimates {
+        rtt: rec.t_hat,
+        loss_rate: rec.p_hat,
+        avail_bw: rec.a_hat,
+    }
+}
+
+/// During-flow estimates (T̃, p̃) of one epoch — the hypothetical inputs
+/// of §4.2.3 / Fig. 6.
+pub fn during_flow(rec: &EpochRecord) -> PathEstimates {
+    PathEstimates {
+        rtt: rec.t_tilde,
+        loss_rate: rec.p_tilde,
+        avail_bw: rec.a_hat,
+    }
+}
+
+/// Was this epoch's path lossy *a priori* (PFTK branch of Eq. 3) rather
+/// than lossless (avail-bw branch)?
+pub fn is_lossy(rec: &EpochRecord) -> bool {
+    rec.p_hat > 0.0
+}
+
+/// Relative FB prediction error `E` (Eq. 4) of one epoch against the
+/// large-window transfer.
+pub fn fb_error(fb: &FbPredictor, rec: &EpochRecord) -> f64 {
+    relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large)
+}
+
+/// The standard predictor zoo of the HB evaluation (§6.1.1):
+/// `(label, constructor)` pairs.
+pub fn hb_zoo() -> Vec<(&'static str, fn() -> BoxedPredictor)> {
+    vec![
+        ("1-MA", || Box::new(MovingAverage::new(1)) as BoxedPredictor),
+        ("5-MA", || Box::new(MovingAverage::new(5)) as BoxedPredictor),
+        ("10-MA", || Box::new(MovingAverage::new(10)) as BoxedPredictor),
+        ("20-MA", || Box::new(MovingAverage::new(20)) as BoxedPredictor),
+        ("0.8-EWMA", || Box::new(Ewma::new(0.8)) as BoxedPredictor),
+        ("0.8-HW", || Box::new(HoltWinters::new(0.8, 0.2)) as BoxedPredictor),
+        ("5-MA-LSO", || {
+            Box::new(Lso::new(MovingAverage::new(5))) as BoxedPredictor
+        }),
+        ("10-MA-LSO", || {
+            Box::new(Lso::new(MovingAverage::new(10))) as BoxedPredictor
+        }),
+        ("20-MA-LSO", || {
+            Box::new(Lso::new(MovingAverage::new(20))) as BoxedPredictor
+        }),
+        ("0.8-HW-LSO", || {
+            Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as BoxedPredictor
+        }),
+    ]
+}
+
+/// The paper's headline HB predictor: Holt-Winters(α = 0.8, β = 0.2)
+/// with LSO.
+pub fn hw_lso() -> BoxedPredictor {
+    Box::new(Lso::new(HoltWinters::new(0.8, 0.2)))
+}
+
+/// One-step-ahead RMSRE of a fresh `make()` predictor over a throughput
+/// series (outlier epochs excluded per §6.1.3). `None` when the series is
+/// too short to score.
+pub fn trace_rmsre(make: fn() -> BoxedPredictor, series: &[f64]) -> Option<f64> {
+    let mut p = make();
+    metrics::evaluate(&mut p, series).rmsre()
+}
+
+/// Per-trace RMSREs of a predictor across the whole dataset, using the
+/// large-window throughput series.
+pub fn rmsre_per_trace(dataset: &Dataset, make: fn() -> BoxedPredictor) -> Vec<f64> {
+    dataset
+        .paths
+        .iter()
+        .flat_map(|p| p.traces.iter())
+        .filter_map(|t| trace_rmsre(make, &t.throughput_series()))
+        .collect()
+}
+
+/// Segment-weighted CoV (§6.1.3) of every trace's throughput series.
+pub fn cov_per_trace(dataset: &Dataset) -> Vec<f64> {
+    dataset
+        .paths
+        .iter()
+        .flat_map(|p| p.traces.iter())
+        .filter_map(|t| metrics::segmented_cov(&t.throughput_series(), LsoConfig::default()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tputpred_testbed::{PathData, TraceData};
+
+    fn record(p_hat: f64, r: f64) -> EpochRecord {
+        EpochRecord {
+            a_hat: 5e6,
+            t_hat: 0.05,
+            p_hat,
+            t_tilde: 0.06,
+            p_tilde: p_hat * 2.0,
+            r_large: r,
+            r_small: Some(r / 4.0),
+            r_prefix_quarter: r,
+            r_prefix_half: r,
+            flow_loss_events: 0,
+            flow_retx_rate: 0.0,
+            flow_rtt: 0.055,
+            true_avail_bw: 5e6,
+        }
+    }
+
+    fn tiny_dataset() -> Dataset {
+        let config = tputpred_testbed::catalog_2004(3, 1).remove(0);
+        Dataset {
+            preset: Preset::tiny(),
+            paths: vec![PathData {
+                config,
+                traces: vec![TraceData {
+                    records: (0..20).map(|i| record(0.0, 4e6 + (i % 3) as f64 * 1e5)).collect(),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn lossless_epoch_uses_availbw_branch() {
+        let rec = record(0.0, 4e6);
+        let fb = FbPredictor::new(fb_config(&Preset::tiny()));
+        // W/T̂ = 8 MiB / 0.05 s ≈ 168 Mbps ≫ Â = 5 Mbps → predict Â.
+        assert_eq!(fb.predict(&a_priori(&rec)), 5e6);
+        assert!(!is_lossy(&rec));
+    }
+
+    #[test]
+    fn lossy_epoch_uses_pftk_branch() {
+        let rec = record(0.02, 1e6);
+        assert!(is_lossy(&rec));
+        let fb = FbPredictor::new(fb_config(&Preset::tiny()));
+        let pred = fb.predict(&a_priori(&rec));
+        assert!(pred < 5e6, "PFTK at 2% loss, 50 ms: {pred}");
+        let e = fb_error(&fb, &rec);
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn during_flow_estimates_swap_in_tilde_values() {
+        let rec = record(0.02, 1e6);
+        let d = during_flow(&rec);
+        assert_eq!(d.rtt, rec.t_tilde);
+        assert_eq!(d.loss_rate, rec.p_tilde);
+    }
+
+    #[test]
+    fn zoo_contains_the_papers_predictors() {
+        let names: Vec<&str> = hb_zoo().iter().map(|(n, _)| *n).collect();
+        for expected in ["1-MA", "10-MA", "0.8-EWMA", "0.8-HW", "0.8-HW-LSO"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        // Constructors produce predictors with matching self-reported
+        // names.
+        for (label, make) in hb_zoo() {
+            assert_eq!(make().name(), label);
+        }
+    }
+
+    #[test]
+    fn rmsre_per_trace_scores_every_trace() {
+        let ds = tiny_dataset();
+        let rmsres = rmsre_per_trace(&ds, || Box::new(MovingAverage::new(10)));
+        assert_eq!(rmsres.len(), 1);
+        assert!(rmsres[0] < 0.1, "nearly constant series: {}", rmsres[0]);
+    }
+
+    #[test]
+    fn cov_per_trace_matches_series_variability() {
+        let ds = tiny_dataset();
+        let covs = cov_per_trace(&ds);
+        assert_eq!(covs.len(), 1);
+        assert!(covs[0] > 0.0 && covs[0] < 0.1);
+    }
+}

@@ -1,0 +1,46 @@
+//! **Ablation (paper §5 / refs \[14, 15\])** — does an ARIMA-class
+//! predictor beat the simple ones?
+//!
+//! The paper skips ARMA/ARIMA because fitting them "requires a large
+//! number of past measurements", citing Vazhkudai et al. and Zhang et
+//! al., who both found fancy linear models no better than moving
+//! averages on throughput series. With [`tputpred_core::hb::ArPredictor`]
+//! implemented, the claim is testable on our dataset: per-trace RMSRE of
+//! AR(p) for several orders, against the paper's simple predictors, with
+//! and without LSO.
+
+use tputpred_bench::{load_dataset, rmsre_per_trace, Args, BoxedPredictor};
+use tputpred_core::hb::{ArPredictor, HoltWinters, MovingAverage};
+use tputpred_core::lso::Lso;
+use tputpred_stats::{quantile, render};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+
+    let variants: Vec<(&str, fn() -> BoxedPredictor)> = vec![
+        ("AR(1)", || Box::new(ArPredictor::new(1, 64)) as _),
+        ("AR(2)", || Box::new(ArPredictor::new(2, 64)) as _),
+        ("AR(4)", || Box::new(ArPredictor::new(4, 64)) as _),
+        ("AR(2)-LSO", || Box::new(Lso::new(ArPredictor::new(2, 64))) as _),
+        ("10-MA", || Box::new(MovingAverage::new(10)) as _),
+        ("10-MA-LSO", || Box::new(Lso::new(MovingAverage::new(10))) as _),
+        ("0.8-HW-LSO", || Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as _),
+    ];
+
+    println!("# abl_ar: AR(p) (Yule-Walker, sliding window) vs the paper's simple predictors");
+    let mut table = render::Table::new(["predictor", "p25", "median", "p75", "p90"]);
+    for (name, make) in variants {
+        let rmsres = rmsre_per_trace(&ds, make);
+        table.row([
+            name.to_string(),
+            render::f(quantile(&rmsres, 0.25).unwrap_or(f64::NAN)),
+            render::f(quantile(&rmsres, 0.5).unwrap_or(f64::NAN)),
+            render::f(quantile(&rmsres, 0.75).unwrap_or(f64::NAN)),
+            render::f(quantile(&rmsres, 0.9).unwrap_or(f64::NAN)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("# expected shape: no AR order beats the LSO-wrapped simple predictors —");
+    println!("# the paper's reason for not bothering with ARIMA (section 5, refs [14, 15]).");
+}

@@ -1,0 +1,111 @@
+//! **Ablation (paper §3.4)** — bottleneck buffer size and the avail-bw
+//! vs TCP-throughput gap.
+//!
+//! "Whether a TCP flow can saturate the avail-bw of a path depends on
+//! the buffer space B at the bottleneck. If B is not sufficiently large,
+//! packet losses can cause significant underutilization and the
+//! resulting TCP throughput can be lower than Â." The paper could not
+//! vary B on real routers; here B is a parameter: sweep the buffer from
+//! a quarter BDP to four BDPs and measure the transfer's fraction of the
+//! spare capacity and the FB (avail-bw branch) error.
+
+use tputpred_bench::Args;
+use tputpred_core::metrics::relative_error_floored;
+use tputpred_netsim::link::LinkConfig;
+use tputpred_netsim::sources::{PoissonSource, Sink, SourceConfig};
+use tputpred_netsim::{RateSchedule, Route, Simulator, Time};
+use tputpred_probes::BulkTransfer;
+use tputpred_stats::{render, Summary};
+use tputpred_tcp::TcpConfig;
+
+fn run_buffer(bdp_mult: f64, epochs: usize) -> (u32, f64, f64, f64, f64) {
+    let capacity = 10e6;
+    let one_way = Time::from_millis(40);
+    let rtt = 0.080;
+    let bdp_pkts = LinkConfig::bdp_packets(capacity, Time::from_millis(80), 1500);
+    let buffer = ((bdp_pkts as f64 * bdp_mult) as u32).max(3);
+    let cross = 3e6;
+    let avail = capacity - cross;
+
+    let mut sim = Simulator::new(44);
+    let fwd = sim.add_link(LinkConfig::new(capacity, one_way, buffer));
+    let rev = sim.add_link(LinkConfig::new(1e9, one_way, 1000));
+    let (sink, _) = Sink::new();
+    let sink_id = sim.add_endpoint(Box::new(sink));
+    let (src, _) = PoissonSource::new(SourceConfig {
+        route: Route::direct(fwd),
+        dst: sink_id,
+        packet_size: 1000,
+        base_rate_bps: cross,
+        schedule: RateSchedule::constant(1.0),
+        stop: Time::MAX,
+    });
+    let id = sim.add_endpoint(Box::new(src));
+    sim.schedule_timer(id, 0, Time::ZERO);
+
+    let mut fraction = Summary::new();
+    let mut flow_rtt = Summary::new();
+    let mut losses = 0u64;
+    let mut errors = Vec::new();
+    let mut t = Time::from_secs(3);
+    for _ in 0..epochs {
+        let stop = t + Time::from_secs(45);
+        let transfer = BulkTransfer::launch(
+            &mut sim,
+            TcpConfig::default(),
+            Route::direct(fwd),
+            Route::direct(rev),
+            t,
+            stop,
+        );
+        sim.run_until(stop + Time::from_secs(2));
+        let r = transfer.throughput().max(1e3);
+        fraction.push(r / avail);
+        {
+            let s = transfer.stats().borrow();
+            flow_rtt.push(s.rtt.mean());
+            losses += s.loss_events();
+        }
+        // The FB lossless branch predicts min(W/T, Â); with W = 1 MB the
+        // avail-bw term binds. Feed it the true avail-bw: the remaining
+        // error is purely the §3.4 buffer effect.
+        let prediction = (8.0 * (1u64 << 20) as f64 / rtt).min(avail);
+        errors.push(relative_error_floored(prediction, r));
+        t = sim.now() + Time::from_secs(2);
+    }
+    let rmsre = tputpred_core::metrics::rmsre(&errors).unwrap_or(f64::NAN);
+    (
+        buffer,
+        fraction.mean(),
+        rmsre,
+        flow_rtt.mean() * 1e3,
+        losses as f64 / epochs as f64,
+    )
+}
+
+fn main() {
+    let _args = Args::parse();
+    println!("# abl_buffer: transfer throughput vs bottleneck buffer (10 Mbps, 80 ms RTT, 30% load)");
+    println!("# FB prediction fed the TRUE avail-bw: residual error is the buffer effect alone");
+    let mut table = render::Table::new([
+        "buffer_bdp", "buffer_pkts", "r_over_avail", "fb_rmsre_true_availbw", "flow_rtt_ms", "loss_ev/epoch",
+    ]);
+    for mult in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let (pkts, frac, rmsre, rtt_ms, losses) = run_buffer(mult, 8);
+        table.row([
+            format!("{mult:.2}"),
+            pkts.to_string(),
+            render::f(frac),
+            render::f(rmsre),
+            format!("{rtt_ms:.0}"),
+            render::f(losses),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("# expected shape: throughput/avail peaks around ~0.5-1 BDP. Below that, droptail");
+    println!("# losses starve the flow (3.4's insufficient-buffering case); far above it,");
+    println!("# bufferbloat inflates the flow's RTT (see flow_rtt_ms) so congestion avoidance");
+    println!("# crawls and slow-start overshoot costs multi-loss windows. Either way, even the");
+    println!("# TRUE avail-bw is an inaccurate FB prediction — the formula's inputs are not");
+    println!("# the problem; the flow/path interaction is.");
+}

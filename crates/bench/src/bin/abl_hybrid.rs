@@ -1,0 +1,98 @@
+//! **Ablation (paper §7, future work)** — the hybrid FB/HB predictor:
+//! "it would be interesting to examine hybrid predictors, which rely on
+//! TCP models as well as on recent history."
+//!
+//! Evaluates three predictors over every trace with the *same* protocol:
+//! one prediction per epoch, scored against the epoch's large-window
+//! transfer, using that epoch's a-priori measurements (FB inputs) and
+//! the previous epochs' throughputs (HB inputs):
+//!
+//! * `fb`     — Eq. 3 alone (no history needed);
+//! * `hb`     — HW-LSO alone (undefined until history exists; those
+//!   epochs are skipped in its score);
+//! * `hybrid` — [`tputpred_core::hybrid::HybridPredictor`]: FB-weighted
+//!   while history is short, HB-dominated after (weight 1/(h+1)).
+//!
+//! Expected shape: the hybrid matches FB on the first epochs of a trace
+//! and converges to HB's accuracy — it is never much worse than the
+//! better of the two, which is the point of hybridising.
+
+use tputpred_bench::{a_priori, fb_config, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_core::hb::HoltWinters;
+use tputpred_core::hybrid::HybridPredictor;
+use tputpred_core::lso::Lso;
+use tputpred_core::metrics::{relative_error_floored, rmsre};
+use tputpred_core::Predictor;
+use tputpred_stats::{quantile, render};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+
+    let mut fb_rmsres = Vec::new();
+    let mut hb_rmsres = Vec::new();
+    let mut hybrid_rmsres = Vec::new();
+    let mut early_fb = Vec::new(); // errors on the first 3 epochs per trace
+    let mut early_hybrid = Vec::new();
+    for p in &ds.paths {
+        for t in &p.traces {
+            let mut hb = Lso::new(HoltWinters::new(0.8, 0.2));
+            let mut hybrid = HybridPredictor::new(fb, HoltWinters::new(0.8, 0.2));
+            let mut fb_errors = Vec::new();
+            let mut hb_errors = Vec::new();
+            let mut hybrid_errors = Vec::new();
+            for (i, rec) in t.records.iter().enumerate() {
+                let est = a_priori(rec);
+                let e_fb = relative_error_floored(fb.predict(&est), rec.r_large);
+                fb_errors.push(e_fb);
+                if let Some(pred) = hb.predict() {
+                    hb_errors.push(relative_error_floored(pred, rec.r_large));
+                }
+                let e_hy =
+                    relative_error_floored(hybrid.predict(&est).max(1.0), rec.r_large);
+                hybrid_errors.push(e_hy);
+                if i < 3 {
+                    early_fb.push(e_fb);
+                    early_hybrid.push(e_hy);
+                }
+                hb.update(rec.r_large);
+                hybrid.observe(rec.r_large);
+            }
+            if let Some(r) = rmsre(&fb_errors) {
+                fb_rmsres.push(r);
+            }
+            if let Some(r) = rmsre(&hb_errors) {
+                hb_rmsres.push(r);
+            }
+            if let Some(r) = rmsre(&hybrid_errors) {
+                hybrid_rmsres.push(r);
+            }
+        }
+    }
+
+    println!("# abl_hybrid: per-trace RMSRE quantiles for FB, HB (HW-LSO), and the hybrid");
+    let mut table = render::Table::new(["predictor", "p25", "median", "p75"]);
+    for (name, rmsres) in [
+        ("fb", &fb_rmsres),
+        ("hb_hw_lso", &hb_rmsres),
+        ("hybrid", &hybrid_rmsres),
+    ] {
+        table.row([
+            name.to_string(),
+            render::f(quantile(rmsres, 0.25).unwrap_or(f64::NAN)),
+            render::f(quantile(rmsres, 0.5).unwrap_or(f64::NAN)),
+            render::f(quantile(rmsres, 0.75).unwrap_or(f64::NAN)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "# cold start (first 3 epochs, where pure HB has little or no history):"
+    );
+    println!(
+        "#   fb median |E| = {:.3}, hybrid median |E| = {:.3}",
+        quantile(&early_fb.iter().map(|e| e.abs()).collect::<Vec<_>>(), 0.5).unwrap(),
+        quantile(&early_hybrid.iter().map(|e| e.abs()).collect::<Vec<_>>(), 0.5).unwrap(),
+    );
+}

@@ -1,0 +1,65 @@
+//! Diagnostic (not a paper figure): decomposes FB error sources against
+//! the simulator's ground truth, guiding testbed calibration.
+//!
+//! * `a_hat / true_avail` — pathload bias;
+//! * `r_large / true_avail` — how close the transfer gets to the spare
+//!   capacity (lossless paths);
+//! * `p_hat` vs the flow's own retransmit rate — probing-vs-TCP sampling.
+
+use tputpred_bench::{is_lossy, load_dataset, Args};
+use tputpred_stats::{quantile, render};
+
+fn q(v: &mut Vec<f64>) -> (f64, f64, f64) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (
+        quantile(v, 0.25).unwrap_or(f64::NAN),
+        quantile(v, 0.5).unwrap_or(f64::NAN),
+        quantile(v, 0.75).unwrap_or(f64::NAN),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+
+    let mut availbw_bias = Vec::new();
+    let mut r_vs_avail_lossless = Vec::new();
+    let mut r_vs_avail_lossy = Vec::new();
+    let mut p_hat_lossy = Vec::new();
+    let mut flow_retx_lossy = Vec::new();
+    let mut t_ratio = Vec::new();
+    for (_, _, rec) in ds.epochs() {
+        if rec.true_avail_bw > 1e3 {
+            availbw_bias.push(rec.a_hat / rec.true_avail_bw);
+            if is_lossy(rec) {
+                r_vs_avail_lossy.push(rec.r_large / rec.true_avail_bw);
+            } else {
+                r_vs_avail_lossless.push(rec.r_large / rec.true_avail_bw);
+            }
+        }
+        if is_lossy(rec) {
+            p_hat_lossy.push(rec.p_hat);
+            flow_retx_lossy.push(rec.flow_retx_rate);
+        }
+        if rec.t_hat > 0.0 && rec.flow_rtt > 0.0 {
+            t_ratio.push(rec.flow_rtt / rec.t_hat);
+        }
+    }
+
+    let mut table = render::Table::new(["quantity", "p25", "median", "p75"]);
+    for (name, v) in [
+        ("a_hat / true_avail", &mut availbw_bias),
+        ("r_large / true_avail (lossless)", &mut r_vs_avail_lossless),
+        ("r_large / true_avail (lossy)", &mut r_vs_avail_lossy),
+        ("p_hat (lossy)", &mut p_hat_lossy),
+        ("flow retx rate (lossy)", &mut flow_retx_lossy),
+        ("flow_rtt / t_hat", &mut t_ratio),
+    ] {
+        if v.is_empty() {
+            continue;
+        }
+        let (a, b, c) = q(v);
+        table.row([name.to_string(), render::f(a), render::f(b), render::f(c)]);
+    }
+    print!("{}", table.render());
+}

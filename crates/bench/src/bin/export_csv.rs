@@ -1,0 +1,54 @@
+//! Exports a dataset as flat CSV for external analysis/plotting: one row
+//! per measurement epoch with the path's static parameters attached.
+//!
+//! ```text
+//! cargo run --release -p tputpred-bench --bin export_csv -- --preset quick > epochs.csv
+//! ```
+
+use tputpred_bench::{fb_config, fb_error, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+
+    println!(
+        "path,trace,epoch,capacity_bps,base_rtt_s,buffer_pkts,utilization,elastic_flows,\
+         a_hat_bps,t_hat_s,p_hat,t_tilde_s,p_tilde,r_large_bps,r_small_bps,\
+         r_prefix_quarter_bps,r_prefix_half_bps,flow_loss_events,flow_retx_rate,\
+         flow_rtt_s,true_avail_bw_bps,fb_error"
+    );
+    for (pi, p) in ds.paths.iter().enumerate() {
+        for (ti, t) in p.traces.iter().enumerate() {
+            for (ei, r) in t.records.iter().enumerate() {
+                println!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    p.config.name,
+                    ti,
+                    ei,
+                    p.config.capacity_bps,
+                    p.config.base_rtt(),
+                    p.config.buffer_packets,
+                    p.config.cross.utilization,
+                    p.config.cross.elastic_flows,
+                    r.a_hat,
+                    r.t_hat,
+                    r.p_hat,
+                    r.t_tilde,
+                    r.p_tilde,
+                    r.r_large,
+                    r.r_small.unwrap_or(f64::NAN),
+                    r.r_prefix_quarter,
+                    r.r_prefix_half,
+                    r.flow_loss_events,
+                    r.flow_retx_rate,
+                    r.flow_rtt,
+                    r.true_avail_bw,
+                    fb_error(&fb, r),
+                );
+                let _ = pi;
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! **Fig. 2** — CDF of the relative prediction error `E` for all FB
+//! predictions, for predictions on lossy paths (PFTK branch of Eq. 3),
+//! and for predictions on lossless paths (avail-bw branch).
+//!
+//! Paper findings this should reproduce: ~40% of predictions
+//! overestimate by more than 2× (E ≥ 1); overestimations ≥ 10× exist;
+//! underestimation is much rarer; lossless-path predictions are markedly
+//! better and almost never underestimate.
+
+use tputpred_bench::{a_priori, fb_config, is_lossy, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_core::metrics::relative_error_floored;
+use tputpred_stats::{render, Cdf};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+
+    let mut all = Vec::new();
+    let mut lossy = Vec::new();
+    let mut lossless = Vec::new();
+    for (_, _, rec) in ds.epochs() {
+        let e = relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large);
+        all.push(e);
+        if is_lossy(rec) {
+            lossy.push(e);
+        } else {
+            lossless.push(e);
+        }
+    }
+
+    println!("# fig02: CDF of relative prediction error E (Eq. 4), FB predictor (Eq. 3)");
+    println!("# x = E, y = fraction of predictions with error <= x");
+    let groups = [("all", &all), ("lossy", &lossy), ("lossless", &lossless)];
+    for (name, errors) in groups {
+        if errors.is_empty() {
+            println!("# series: {name} (empty)");
+            continue;
+        }
+        let cdf = Cdf::from_samples(errors.iter().copied());
+        print!("{}", render::cdf_series(name, &cdf, 60));
+        println!(
+            "# {name}: n={} P(E>=1)={:.3} P(E>=9)={:.3} P(E<=-1)={:.3}",
+            errors.len(),
+            1.0 - cdf.fraction_below(1.0 - 1e-12),
+            1.0 - cdf.fraction_below(9.0 - 1e-12),
+            cdf.fraction_below(-1.0),
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! **Fig. 3** — CDF of the *absolute* RTT and loss-rate increases during
+//! the target flow: `T̃ − T̂` (milliseconds) and `p̃ − p̂`.
+//!
+//! Paper findings: in ~half the epochs the RTT barely moves; a large
+//! fraction sees increases of 5–60 ms; loss rate increases by 0.1–2% in
+//! almost all epochs — the §3.2 "errors due to load increase" mechanism.
+
+use tputpred_bench::{load_dataset, Args};
+use tputpred_stats::{render, Cdf};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+
+    let rtt_inc_ms: Vec<f64> = ds
+        .epochs()
+        .map(|(_, _, r)| (r.t_tilde - r.t_hat) * 1e3)
+        .collect();
+    let loss_inc: Vec<f64> = ds.epochs().map(|(_, _, r)| r.p_tilde - r.p_hat).collect();
+
+    println!("# fig03: CDF of absolute RTT and loss-rate increase during the target flow");
+    let rtt = Cdf::from_samples(rtt_inc_ms.iter().copied());
+    print!("{}", render::cdf_series("rtt_increase_ms", &rtt, 60));
+    println!(
+        "# rtt: median={:.2} ms, P(increase > 5 ms)={:.3}",
+        rtt.quantile(0.5),
+        1.0 - rtt.fraction_below(5.0)
+    );
+    let loss = Cdf::from_samples(loss_inc.iter().copied());
+    print!("{}", render::cdf_series("loss_rate_increase", &loss, 60));
+    println!(
+        "# loss: median={:.5}, P(increase > 0.001)={:.3}",
+        loss.quantile(0.5),
+        1.0 - loss.fraction_below(0.001)
+    );
+}

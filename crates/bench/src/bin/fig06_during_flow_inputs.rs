@@ -1,0 +1,52 @@
+//! **Fig. 6** — CDF of the FB prediction error when the formula is fed
+//! the *during-flow* probe estimates (T̃, p̃) instead of the a-priori
+//! ones (T̂, p̂), over lossy epochs.
+//!
+//! §4.2.3's hypothetical: even knowing the path's state during the flow,
+//! periodic probing samples the path differently than TCP does, so large
+//! errors remain — but the error distribution becomes roughly symmetric
+//! and much tighter than with a-priori inputs.
+
+use tputpred_bench::{a_priori, during_flow, fb_config, is_lossy, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_core::metrics::relative_error_floored;
+use tputpred_stats::{render, Cdf};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+
+    let mut with_a_priori = Vec::new();
+    let mut with_during = Vec::new();
+    for (_, _, rec) in ds.epochs() {
+        if !is_lossy(rec) {
+            continue;
+        }
+        with_a_priori.push(relative_error_floored(
+            fb.predict(&a_priori(rec)),
+            rec.r_large,
+        ));
+        with_during.push(relative_error_floored(
+            fb.predict(&during_flow(rec)),
+            rec.r_large,
+        ));
+    }
+    assert!(!with_during.is_empty(), "no lossy epochs in this dataset");
+
+    println!("# fig06: FB error with during-flow (T~, p~) vs a-priori (T^, p^) inputs (lossy epochs)");
+    for (name, errors) in [
+        ("a_priori_inputs", &with_a_priori),
+        ("during_flow_inputs", &with_during),
+    ] {
+        let cdf = Cdf::from_samples(errors.iter().copied());
+        print!("{}", render::cdf_series(name, &cdf, 60));
+        println!(
+            "# {name}: n={} median={:.3} P(|E|<3)={:.3} P(E>0)={:.3}",
+            errors.len(),
+            cdf.quantile(0.5),
+            cdf.fraction_below(3.0) - cdf.fraction_below(-3.0),
+            1.0 - cdf.fraction_below(0.0),
+        );
+    }
+}

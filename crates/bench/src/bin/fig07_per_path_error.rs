@@ -1,0 +1,43 @@
+//! **Fig. 7** — per-path variation of the FB prediction error: median
+//! and 10th/90th percentiles of `E` for each path.
+//!
+//! Paper findings: most paths mainly overestimate; ~10/35 paths have far
+//! larger errors and wider ranges (up to E = 10 and beyond) — path
+//! predictability itself is path-dependent. (The paper drops its three
+//! worst paths from the plot; we print all and flag the extremes.)
+
+use tputpred_bench::{fb_config, fb_error, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_stats::{quantile, render};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+
+    println!("# fig07: per-path FB error quantiles (E)");
+    let mut table = render::Table::new(["path", "n", "p10", "median", "p90", "extreme"]);
+    for p in &ds.paths {
+        let errors: Vec<f64> = p
+            .traces
+            .iter()
+            .flat_map(|t| t.records.iter())
+            .map(|rec| fb_error(&fb, rec))
+            .collect();
+        if errors.is_empty() {
+            continue;
+        }
+        let p10 = quantile(&errors, 0.1).unwrap();
+        let med = quantile(&errors, 0.5).unwrap();
+        let p90 = quantile(&errors, 0.9).unwrap();
+        table.row([
+            p.config.name.clone(),
+            errors.len().to_string(),
+            render::f(p10),
+            render::f(med),
+            render::f(p90),
+            if p90 > 10.0 { "*".into() } else { String::new() },
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,42 @@
+//! **Fig. 8** — scatter of actual throughput `R` against FB prediction
+//! error `E`.
+//!
+//! Paper finding: the large overestimations concentrate at *small*
+//! throughputs — "42% of the samples with R ≤ 0.5 Mbps have E > 10,
+//! compared to 0.2% for samples with R ≥ 0.5 Mbps". Congested, slow
+//! paths are the hard ones.
+
+use tputpred_bench::{fb_config, fb_error, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_stats::render;
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+
+    let points: Vec<(f64, f64)> = ds
+        .epochs()
+        .map(|(_, _, rec)| (rec.r_large / 1e6, fb_error(&fb, rec)))
+        .collect();
+
+    println!("# fig08: actual throughput (Mbps) vs FB prediction error E");
+    print!("{}", render::series("r_vs_e", &points));
+
+    let slow: Vec<f64> = points.iter().filter(|(r, _)| *r <= 0.5).map(|&(_, e)| e).collect();
+    let fast: Vec<f64> = points.iter().filter(|(r, _)| *r > 0.5).map(|&(_, e)| e).collect();
+    let frac = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().filter(|&&e| e > 10.0).count() as f64 / v.len() as f64
+        }
+    };
+    println!(
+        "# P(E>10 | R<=0.5 Mbps) = {:.3} (n={}), P(E>10 | R>0.5 Mbps) = {:.3} (n={})",
+        frac(&slow),
+        slow.len(),
+        frac(&fast),
+        fast.len()
+    );
+}

@@ -1,0 +1,34 @@
+//! **Fig. 9** — scatter of the a-priori loss rate `p̂` against the FB
+//! prediction error `E`, lossy epochs only.
+//!
+//! Paper finding: *no* correlation — a higher measured loss rate does
+//! not predict a larger FB error (the error comes from how much the
+//! path's state changes, not from how lossy it already was).
+
+use tputpred_bench::{fb_config, fb_error, is_lossy, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_stats::{pearson, render, spearman};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+
+    let points: Vec<(f64, f64)> = ds
+        .epochs()
+        .filter(|(_, _, rec)| is_lossy(rec))
+        .map(|(_, _, rec)| (rec.p_hat, fb_error(&fb, rec)))
+        .collect();
+    assert!(!points.is_empty(), "no lossy epochs in this dataset");
+
+    println!("# fig09: a-priori loss rate p^ vs FB prediction error E (lossy epochs)");
+    print!("{}", render::series("p_hat_vs_e", &points));
+    let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+    println!(
+        "# n={} pearson_r={} spearman_r={}",
+        points.len(),
+        pearson(&xs, &ys).map_or("n/a".into(), render::f),
+        spearman(&xs, &ys).map_or("n/a".into(), render::f),
+    );
+}

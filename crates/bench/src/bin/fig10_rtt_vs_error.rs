@@ -1,0 +1,31 @@
+//! **Fig. 10** — scatter of the a-priori RTT `T̂` against the FB
+//! prediction error `E`.
+//!
+//! Paper finding: no positive correlation — long-RTT paths are not
+//! systematically harder to predict.
+
+use tputpred_bench::{fb_config, fb_error, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_stats::{pearson, render, spearman};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+
+    let points: Vec<(f64, f64)> = ds
+        .epochs()
+        .map(|(_, _, rec)| (rec.t_hat * 1e3, fb_error(&fb, rec)))
+        .collect();
+
+    println!("# fig10: a-priori RTT T^ (ms) vs FB prediction error E");
+    print!("{}", render::series("t_hat_ms_vs_e", &points));
+    let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+    println!(
+        "# n={} pearson_r={} spearman_r={}",
+        points.len(),
+        pearson(&xs, &ys).map_or("n/a".into(), render::f),
+        spearman(&xs, &ys).map_or("n/a".into(), render::f),
+    );
+}

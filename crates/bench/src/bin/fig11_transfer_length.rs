@@ -1,0 +1,55 @@
+//! **Fig. 11** — FB prediction accuracy for transfers of different
+//! lengths, using the second (2006-style) measurement set with longer
+//! transfers: the same prediction is scored against the throughput of
+//! the first quarter, the first half, and the full transfer (the
+//! paper's 30/60/120 s split).
+//!
+//! Paper finding: no noticeable correlation between transfer duration
+//! and prediction error (for flows long enough that slow start is
+//! negligible).
+//!
+//! Defaults to `--preset quick-2006`.
+
+use tputpred_bench::{a_priori, fb_config, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_core::metrics::relative_error_floored;
+use tputpred_stats::{render, Cdf};
+
+fn main() {
+    let mut args = Args::parse_from(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    // This figure is defined on the long-transfer dataset.
+    if args.preset.name == "quick" {
+        args.preset = tputpred_testbed::Preset::quick_2006();
+    }
+    let ds = load_dataset(&args);
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+
+    let mut quarter = Vec::new();
+    let mut half = Vec::new();
+    let mut full = Vec::new();
+    for (_, _, rec) in ds.epochs() {
+        let pred = fb.predict(&a_priori(rec));
+        quarter.push(relative_error_floored(pred, rec.r_prefix_quarter));
+        half.push(relative_error_floored(pred, rec.r_prefix_half));
+        full.push(relative_error_floored(pred, rec.r_large));
+    }
+
+    let secs = ds.preset.transfer.as_secs_f64();
+    println!("# fig11: FB error CDF vs transfer length (prefixes of {secs:.0}-s transfers)");
+    for (name, errors) in [
+        (format!("first_{:.0}s", secs / 4.0), &quarter),
+        (format!("first_{:.0}s", secs / 2.0), &half),
+        (format!("full_{secs:.0}s"), &full),
+    ] {
+        let cdf = Cdf::from_samples(errors.iter().copied());
+        print!("{}", render::cdf_series(&name, &cdf, 60));
+        println!(
+            "# {name}: median={:.3} P(|E|<1)={:.3}",
+            cdf.quantile(0.5),
+            cdf.fraction_below(1.0) - cdf.fraction_below(-1.0)
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! **Fig. 12** — per-path FB RMSRE for congestion-limited (W = 1 MB)
+//! versus window-limited (W = 20 KB) transfers (log-scale Y in the
+//! paper).
+//!
+//! Paper findings: the window-limited transfers are more predictable on
+//! every path, often by a large factor; on most window-limited paths
+//! RMSRE < 1.0, an error level many applications can live with
+//! (§4.2.8's advice: cap the advertised window if you care about
+//! predictability more than peak throughput).
+
+use tputpred_bench::{a_priori, fb_config, fb_config_small, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_core::metrics::{relative_error_floored, rmsre};
+use tputpred_stats::render;
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    let fb_large = FbPredictor::new(fb_config(&ds.preset));
+    let fb_small = FbPredictor::new(fb_config_small(&ds.preset));
+
+    println!("# fig12: per-path FB RMSRE, W=1MB (congestion-limited) vs W=20KB (window-limited)");
+    let mut table = render::Table::new([
+        "path",
+        "rmsre_w1mb",
+        "rmsre_w20kb",
+        "ratio",
+        "window_limited_frac",
+    ]);
+    let mut small_below_one = 0usize;
+    let mut paths_with_small = 0usize;
+    for p in &ds.paths {
+        let mut e_large = Vec::new();
+        let mut e_small = Vec::new();
+        let mut wl = 0usize;
+        let mut n = 0usize;
+        for rec in p.traces.iter().flat_map(|t| t.records.iter()) {
+            e_large.push(relative_error_floored(
+                fb_large.predict(&a_priori(rec)),
+                rec.r_large,
+            ));
+            if let Some(r_small) = rec.r_small {
+                e_small.push(relative_error_floored(
+                    fb_small.predict(&a_priori(rec)),
+                    r_small,
+                ));
+            }
+            if fb_small.is_window_limited(&a_priori(rec)) {
+                wl += 1;
+            }
+            n += 1;
+        }
+        let rl = rmsre(&e_large).unwrap_or(f64::NAN);
+        let rs = rmsre(&e_small);
+        if let Some(rs) = rs {
+            paths_with_small += 1;
+            if rs < 1.0 {
+                small_below_one += 1;
+            }
+        }
+        table.row([
+            p.config.name.clone(),
+            render::f(rl),
+            rs.map_or("n/a".into(), render::f),
+            rs.map_or("n/a".into(), |rs| render::f(rl / rs)),
+            render::f(wl as f64 / n.max(1) as f64),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "# paths with window-limited RMSRE < 1.0: {small_below_one}/{paths_with_small}"
+    );
+}

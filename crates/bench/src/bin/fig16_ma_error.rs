@@ -1,0 +1,39 @@
+//! **Fig. 16** — CDF over traces of the per-trace RMSRE for Moving
+//! Average predictors, with and without LSO.
+//!
+//! Paper findings: `n-MA` for n < 20 all perform similarly (only `1-MA`
+//! is worse); LSO significantly reduces RMSRE and removes the
+//! sensitivity to `n`.
+
+use tputpred_bench::{load_dataset, rmsre_per_trace, Args, BoxedPredictor};
+use tputpred_core::hb::MovingAverage;
+use tputpred_core::lso::Lso;
+use tputpred_stats::{render, Cdf};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+
+    let variants: Vec<(&str, fn() -> BoxedPredictor)> = vec![
+        ("1-MA", || Box::new(MovingAverage::new(1)) as _),
+        ("5-MA", || Box::new(MovingAverage::new(5)) as _),
+        ("10-MA", || Box::new(MovingAverage::new(10)) as _),
+        ("20-MA", || Box::new(MovingAverage::new(20)) as _),
+        ("5-MA-LSO", || Box::new(Lso::new(MovingAverage::new(5))) as _),
+        ("10-MA-LSO", || Box::new(Lso::new(MovingAverage::new(10))) as _),
+        ("20-MA-LSO", || Box::new(Lso::new(MovingAverage::new(20))) as _),
+    ];
+
+    println!("# fig16: CDF over traces of per-trace RMSRE, MA predictors +/- LSO");
+    for (name, make) in variants {
+        let rmsres = rmsre_per_trace(&ds, make);
+        let cdf = Cdf::from_samples(rmsres.iter().copied());
+        print!("{}", render::cdf_series(name, &cdf, 50));
+        println!(
+            "# {name}: n={} median={:.3} P(RMSRE<0.4)={:.3}",
+            rmsres.len(),
+            cdf.quantile(0.5),
+            cdf.fraction_below(0.4)
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! **Fig. 17** — CDF over traces of the per-trace RMSRE for
+//! Holt-Winters (several α) and EWMA, with and without LSO.
+//!
+//! Paper findings: α = 0.8 is near-optimal; EWMA performs like HW; LSO
+//! improves HW significantly; HW-LSO edges out MA-LSO only slightly
+//! (few traces have persistent linear trends).
+
+use tputpred_bench::{load_dataset, rmsre_per_trace, Args, BoxedPredictor};
+use tputpred_core::hb::{Ewma, HoltWinters};
+use tputpred_core::lso::Lso;
+use tputpred_stats::{render, Cdf};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+
+    let variants: Vec<(&str, fn() -> BoxedPredictor)> = vec![
+        ("0.3-HW", || Box::new(HoltWinters::new(0.3, 0.2)) as _),
+        ("0.5-HW", || Box::new(HoltWinters::new(0.5, 0.2)) as _),
+        ("0.8-HW", || Box::new(HoltWinters::new(0.8, 0.2)) as _),
+        ("0.8-EWMA", || Box::new(Ewma::new(0.8)) as _),
+        ("0.3-HW-LSO", || Box::new(Lso::new(HoltWinters::new(0.3, 0.2))) as _),
+        ("0.8-HW-LSO", || Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as _),
+        ("0.8-EWMA-LSO", || Box::new(Lso::new(Ewma::new(0.8))) as _),
+    ];
+
+    println!("# fig17: CDF over traces of per-trace RMSRE, HW/EWMA predictors +/- LSO");
+    for (name, make) in variants {
+        let rmsres = rmsre_per_trace(&ds, make);
+        let cdf = Cdf::from_samples(rmsres.iter().copied());
+        print!("{}", render::cdf_series(name, &cdf, 50));
+        println!(
+            "# {name}: n={} median={:.3} P(RMSRE<0.4)={:.3}",
+            rmsres.len(),
+            cdf.quantile(0.5),
+            cdf.fraction_below(0.4)
+        );
+    }
+}

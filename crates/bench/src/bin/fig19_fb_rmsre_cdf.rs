@@ -1,0 +1,41 @@
+//! **Fig. 19** — CDF over traces of the per-trace *FB* RMSRE, for
+//! comparison against the HB predictors of Figs. 16–17 (§6.1.2).
+//!
+//! Paper findings: HB is dramatically better — HB RMSRE < 0.4 for ~90%
+//! of traces, while the same percentile of FB RMSRE is ~20 and the FB
+//! median is ~2. If a throughput history exists, use it.
+
+use tputpred_bench::{fb_config, fb_error, hw_lso, load_dataset, rmsre_per_trace, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_core::metrics::rmsre;
+use tputpred_stats::{render, Cdf};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+
+    let fb_rmsres: Vec<f64> = ds
+        .paths
+        .iter()
+        .flat_map(|p| p.traces.iter())
+        .filter_map(|t| {
+            let errors: Vec<f64> = t.records.iter().map(|rec| fb_error(&fb, rec)).collect();
+            rmsre(&errors)
+        })
+        .collect();
+    let hb_rmsres = rmsre_per_trace(&ds, || hw_lso());
+
+    println!("# fig19: CDF over traces of per-trace RMSRE — FB vs HB (0.8-HW-LSO)");
+    for (name, rmsres) in [("fb", &fb_rmsres), ("hb_hw_lso", &hb_rmsres)] {
+        let cdf = Cdf::from_samples(rmsres.iter().copied());
+        print!("{}", render::cdf_series(name, &cdf, 50));
+        println!(
+            "# {name}: n={} median={:.3} p90={:.3} P(RMSRE<0.4)={:.3}",
+            rmsres.len(),
+            cdf.quantile(0.5),
+            cdf.quantile(0.9),
+            cdf.fraction_below(0.4)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! **Fig. 20** — scatter of the segment-weighted Coefficient of
+//! Variation of each trace's throughput series against the HW-LSO
+//! per-trace RMSRE (§6.1.3).
+//!
+//! Paper finding: a strong correlation (r = 0.91) — to first order, the
+//! HB prediction error *is* the CoV of the underlying time series, so
+//! path variability determines predictability.
+
+use tputpred_bench::{hw_lso, load_dataset, Args};
+use tputpred_core::lso::LsoConfig;
+use tputpred_core::metrics::{evaluate, segmented_cov};
+use tputpred_stats::{pearson, render, spearman};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+
+    let mut points = Vec::new();
+    for p in &ds.paths {
+        for t in &p.traces {
+            let series = t.throughput_series();
+            let Some(cov) = segmented_cov(&series, LsoConfig::default()) else {
+                continue;
+            };
+            let mut pred = hw_lso();
+            let Some(rmsre) = evaluate(&mut pred, &series).rmsre() else {
+                continue;
+            };
+            points.push((cov, rmsre));
+        }
+    }
+
+    println!("# fig20: per-trace segmented CoV vs 0.8-HW-LSO RMSRE");
+    print!("{}", render::series("cov_vs_rmsre", &points));
+    let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+    // Raw Pearson is fragile to a single catastrophic trace (a sudden
+    // collapse no predictor can foresee); report it alongside the rank
+    // correlation and a Pearson over the non-catastrophic bulk — the
+    // paper likewise excluded its "excessive error" paths from such
+    // summaries (§4.2.4).
+    let trimmed: Vec<(f64, f64)> = points.iter().copied().filter(|&(_, y)| y < 10.0).collect();
+    let txs: Vec<f64> = trimmed.iter().map(|&(x, _)| x).collect();
+    let tys: Vec<f64> = trimmed.iter().map(|&(_, y)| y).collect();
+    println!(
+        "# n={} pearson_r={} spearman_r={} pearson_r_rmsre_below_10={} (n={})",
+        points.len(),
+        pearson(&xs, &ys).map_or("n/a".into(), render::f),
+        spearman(&xs, &ys).map_or("n/a".into(), render::f),
+        pearson(&txs, &tys).map_or("n/a".into(), render::f),
+        trimmed.len(),
+    );
+}

@@ -1,0 +1,47 @@
+//! Generates (or refreshes) the dataset cache for a preset, printing a
+//! compact sanity summary. Run this once before the figure binaries to
+//! pay the simulation cost up front:
+//!
+//! ```text
+//! cargo run --release -p tputpred-bench --bin gen_dataset -- --preset quick
+//! ```
+
+use tputpred_bench::{a_priori, fb_config, is_lossy, load_dataset, Args};
+use tputpred_core::fb::FbPredictor;
+use tputpred_core::metrics::relative_error_floored;
+use tputpred_stats::{render, Cdf};
+
+fn main() {
+    let args = Args::parse();
+    let ds = load_dataset(&args);
+    println!("# dataset: {} ({} epochs)", ds.preset.name, ds.epoch_count());
+
+    let fb = FbPredictor::new(fb_config(&ds.preset));
+    let mut errors = Vec::new();
+    let mut lossy = 0usize;
+    let mut over = 0usize;
+    let mut r_all = Vec::new();
+    for (_, _, rec) in ds.epochs() {
+        let e = relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large);
+        if e > 0.0 {
+            over += 1;
+        }
+        if is_lossy(rec) {
+            lossy += 1;
+        }
+        errors.push(e);
+        r_all.push(rec.r_large);
+    }
+    let n = errors.len();
+    let cdf = Cdf::from_samples(errors.iter().copied());
+    let tput = Cdf::from_samples(r_all);
+    let mut t = render::Table::new(["metric", "value"]);
+    t.row(["epochs", &n.to_string()]);
+    t.row(["lossy fraction", &render::f(lossy as f64 / n as f64)]);
+    t.row(["FB overestimation fraction", &render::f(over as f64 / n as f64)]);
+    t.row(["median |E|", &render::f(Cdf::from_samples(errors.iter().map(|e| e.abs())).quantile(0.5))]);
+    t.row(["P(E >= 1) (off by >= 2x)", &render::f(1.0 - cdf.fraction_below(1.0 - 1e-12))]);
+    t.row(["P(E >= 9) (off by >= 10x)", &render::f(1.0 - cdf.fraction_below(9.0 - 1e-12))]);
+    t.row(["median throughput (Mbps)", &render::mbps(tput.quantile(0.5))]);
+    print!("{}", t.render());
+}

@@ -1,0 +1,105 @@
+//! Minimal command-line handling shared by the figure binaries.
+//!
+//! Hand-rolled (two flags) rather than pulling in a CLI crate:
+//!
+//! * `--preset <paper|quick|tiny|quick-2006>` — experiment scale
+//!   (default `quick`);
+//! * `--data <dir>` — dataset cache directory (default `data/`): the
+//!   first binary to run generates `<dir>/<preset>.json`, later ones
+//!   reuse it.
+
+use std::path::PathBuf;
+use tputpred_testbed::Preset;
+
+/// Parsed figure-binary arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Experiment scale.
+    pub preset: Preset,
+    /// Dataset cache directory.
+    pub data_dir: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            preset: Preset::quick(),
+            data_dir: PathBuf::from("data"),
+        }
+    }
+}
+
+impl Args {
+    /// Parses from an explicit argument list (excluding argv\[0\]).
+    ///
+    /// Returns an error message for unknown flags or bad preset names —
+    /// binaries print it and exit non-zero.
+    pub fn parse_from<I, S>(args: I) -> Result<Args, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut parsed = Args::default();
+        let mut iter = args.into_iter().map(Into::into);
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--preset" => {
+                    let name = iter.next().ok_or("--preset needs a value")?;
+                    parsed.preset = Preset::by_name(&name)
+                        .ok_or_else(|| format!("unknown preset '{name}' (paper|quick|tiny|quick-2006)"))?;
+                }
+                "--data" => {
+                    let dir = iter.next().ok_or("--data needs a value")?;
+                    parsed.data_dir = PathBuf::from(dir);
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Parses the process arguments; prints the error and exits on
+    /// failure.
+    pub fn parse() -> Args {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: <bin> [--preset paper|quick|tiny|quick-2006] [--data DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The cache file this argument set resolves to.
+    pub fn dataset_path(&self) -> PathBuf {
+        self.data_dir.join(format!("{}.json", self.preset.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quick_and_data_dir() {
+        let a = Args::parse_from(Vec::<String>::new()).unwrap();
+        assert_eq!(a.preset.name, "quick");
+        assert_eq!(a.data_dir, PathBuf::from("data"));
+        assert_eq!(a.dataset_path(), PathBuf::from("data/quick.json"));
+    }
+
+    #[test]
+    fn flags_are_parsed() {
+        let a = Args::parse_from(["--preset", "tiny", "--data", "/tmp/x"]).unwrap();
+        assert_eq!(a.preset.name, "tiny");
+        assert_eq!(a.dataset_path(), PathBuf::from("/tmp/x/tiny.json"));
+    }
+
+    #[test]
+    fn bad_preset_is_an_error() {
+        assert!(Args::parse_from(["--preset", "huge"]).is_err());
+        assert!(Args::parse_from(["--preset"]).is_err());
+        assert!(Args::parse_from(["--frobnicate"]).is_err());
+    }
+}

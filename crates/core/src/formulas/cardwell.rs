@@ -1,0 +1,87 @@
+//! The Cardwell–Savage–Anderson slow-start segment model (§4.2.7).
+
+/// Expected number of segments transferred during the *initial slow start*
+/// of a TCP flow of `d` total segments on a path with loss rate `p`
+/// (Cardwell et al., INFOCOM 2000, as quoted in the paper's §4.2.7):
+///
+/// ```text
+/// E[d_ss] = (1 − (1−p)^d)(1−p) / p + 1
+/// ```
+///
+/// The paper uses this to decide whether a transfer is long enough that the
+/// initial slow start contributes negligibly to the average throughput —
+/// the premise behind studying *large* transfers. For `p → 0` the whole
+/// transfer stays in slow start (`E[d_ss] → d·(1−p) + 1 → d + 1` clipped by
+/// the transfer itself); for larger `p` slow start ends after roughly `1/p`
+/// segments.
+///
+/// # Panics
+///
+/// Panics (debug) if `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_core::formulas::slow_start_segments;
+/// // At 1% loss, slow start covers ~100 segments regardless of flow size.
+/// let d_ss = slow_start_segments(100_000, 0.01);
+/// assert!(d_ss > 90.0 && d_ss < 110.0);
+/// ```
+pub fn slow_start_segments(d: u64, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "loss rate {p} outside [0, 1]");
+    if p == 0.0 {
+        // Limit of the formula as p → 0: lim (1-(1-p)^d)(1-p)/p = d.
+        return d as f64 + 1.0;
+    }
+    let q = 1.0 - p;
+    (1.0 - q.powf(d as f64)) * q / p + 1.0
+}
+
+/// Returns `true` when a transfer of `d` segments is "large" in the
+/// paper's sense: the initial slow start covers at most `threshold`
+/// (e.g. 0.1 = 10%) of the transfer, so steady-state models apply.
+pub fn slow_start_negligible(d: u64, p: f64, threshold: f64) -> bool {
+    slow_start_segments(d, p) <= threshold * d as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_flow_never_leaves_slow_start() {
+        assert_eq!(slow_start_segments(1000, 0.0), 1001.0);
+    }
+
+    #[test]
+    fn high_loss_ends_slow_start_after_about_one_over_p() {
+        let d_ss = slow_start_segments(1_000_000, 0.1);
+        // (1-q^d)(1-p)/p + 1 → 0.9/0.1 + 1 = 10 for huge d.
+        assert!((d_ss - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_flow_bounded_by_its_own_length() {
+        // A 10-segment flow can't send more than ~11 segments in slow start.
+        let d_ss = slow_start_segments(10, 0.001);
+        assert!(d_ss <= 11.0);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_loss_rate() {
+        let a = slow_start_segments(100_000, 0.001);
+        let b = slow_start_segments(100_000, 0.01);
+        let c = slow_start_segments(100_000, 0.1);
+        assert!(a > b && b > c);
+    }
+
+    #[test]
+    fn negligibility_threshold_classifies_bulk_transfers() {
+        // A 50-s transfer at ~10 Mbps is ~43k segments; at 1% loss
+        // slow start is ~100 segments ≈ 0.2% — negligible.
+        assert!(slow_start_negligible(43_000, 0.01, 0.1));
+        // A 500-segment (~0.7 MB) transfer on a nearly lossless path is
+        // dominated by slow start.
+        assert!(!slow_start_negligible(500, 0.0001, 0.1));
+    }
+}

@@ -1,0 +1,80 @@
+//! The Mathis "square-root" throughput law (the paper's Eq. 1).
+
+/// Expected throughput (bits/s) of a congestion-limited bulk TCP transfer
+/// under the square-root law:
+///
+/// ```text
+/// E[R] = M / (T · sqrt(2bp/3))
+/// ```
+///
+/// where `M = mss` is the segment size, `T = rtt` the round-trip time,
+/// `b` the segments per ACK, and `p` the loss rate the flow experiences.
+/// The model assumes every loss is recovered with Fast-Retransmit (no
+/// timeouts) and no maximum-window cap, which is why the paper prefers
+/// PFTK (Eq. 2) for prediction; the square-root law is still used in
+/// §4.2.2 to relate RTT/loss-rate increases to relative prediction error.
+///
+/// # Panics
+///
+/// Panics (debug) on non-positive `rtt`, `mss` of zero, or `p` outside
+/// `(0, 1]` — a zero loss rate makes the model degenerate (infinite
+/// throughput); FB prediction handles that case with the avail-bw branch
+/// of Eq. 3 instead.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_core::formulas::mathis;
+/// // 1448-byte segments, 100 ms RTT, delayed ACKs, 1% loss:
+/// let r = mathis(1448, 0.100, 2.0, 0.01);
+/// // M/(T·sqrt(2·2·0.01/3)) = 1448·8/(0.1·0.11547) ≈ 1.0 Mbps
+/// assert!((r / 1e6 - 1.003).abs() < 0.01);
+/// ```
+pub fn mathis(mss: u32, rtt: f64, b: f64, p: f64) -> f64 {
+    debug_assert!(mss > 0, "mathis: zero MSS");
+    debug_assert!(rtt > 0.0, "mathis: non-positive RTT");
+    debug_assert!(b > 0.0, "mathis: non-positive b");
+    debug_assert!(p > 0.0 && p <= 1.0, "mathis: loss rate {p} outside (0, 1]");
+    let m_bits = 8.0 * mss as f64;
+    m_bits / (rtt * (2.0 * b * p / 3.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halving_rtt_doubles_throughput() {
+        let r1 = mathis(1448, 0.2, 2.0, 0.01);
+        let r2 = mathis(1448, 0.1, 2.0, 0.01);
+        assert!((r2 / r1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrupling_loss_halves_throughput() {
+        let r1 = mathis(1448, 0.1, 2.0, 0.01);
+        let r2 = mathis(1448, 0.1, 2.0, 0.04);
+        assert!((r1 / r2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_scales_linearly_with_mss() {
+        let r1 = mathis(724, 0.1, 2.0, 0.01);
+        let r2 = mathis(1448, 0.1, 2.0, 0.01);
+        assert!((r2 / r1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value_from_hand_computation() {
+        // M = 1000 B = 8000 bits, T = 1 s, b = 1, p = 2/3 → sqrt(2·1·(2/3)/3)
+        // = sqrt(4/9) = 2/3 → R = 8000/(2/3) = 12000 bits/s.
+        let r = mathis(1000, 1.0, 1.0, 2.0 / 3.0);
+        assert!((r - 12_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_loss_is_finite() {
+        let r = mathis(1448, 0.1, 2.0, 1.0);
+        assert!(r.is_finite() && r > 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Steady-state TCP throughput models.
+//!
+//! These are the mathematical formulas that the paper's Formula-Based
+//! predictor plugs a-priori path measurements into (§3):
+//!
+//! * [`mathis()`](mathis::mathis) — the "square-root" law of Mathis, Semke, Mahdavi (the
+//!   paper's Eq. 1), accurate when every loss is recovered with
+//!   Fast-Retransmit.
+//! * [`pftk()`](pftk::pftk) — the PFTK approximation of Padhye, Firoiu, Towsley, Kurose
+//!   (the paper's Eq. 2), which adds retransmission timeouts and the
+//!   maximum-window cap.
+//! * [`pftk::pftk_full`] — the full PFTK model (eqs. 29–31 of the PFTK
+//!   paper), from which Eq. 2 is derived.
+//! * [`pftk::pftk_revised`] — a revised variant in the spirit of Chen, Bu,
+//!   Ammar, Towsley ("Comments on modeling TCP Reno performance", paper
+//!   ref. \[26\]); §4.2.9 shows the revision changes FB prediction
+//!   negligibly.
+//! * [`cardwell`] — the slow-start segment-count model of Cardwell, Savage,
+//!   Anderson, used in §4.2.7 to decide whether a transfer is long enough
+//!   that the initial slow start can be neglected.
+//!
+//! # Conventions
+//!
+//! All functions take the segment size `mss` in **bytes**, times in
+//! **seconds**, loss rates as probabilities in `[0, 1]`, and return
+//! throughput in **bits per second**. `b` is the number of segments
+//! acknowledged per ACK (2 with delayed ACKs, the paper's setting).
+
+pub mod cardwell;
+pub mod mathis;
+pub mod pftk;
+
+pub use cardwell::slow_start_segments;
+pub use mathis::mathis;
+pub use pftk::{pftk, pftk_full, pftk_revised, PftkParams};
+
+/// Default maximum segment size in bytes (Ethernet MTU minus IP+TCP
+/// headers), matching the 1500-byte packets of the paper's IPerf transfers.
+pub const DEFAULT_MSS: u32 = 1448;
+
+/// Default number of segments acknowledged by one cumulative ACK
+/// (delayed ACKs acknowledge every other segment).
+pub const DEFAULT_B: f64 = 2.0;
+
+/// The paper's retransmission-timeout estimate used by FB prediction
+/// (§3.1): `T̂₀ = max(1 s, 2·SRTT)` with SRTT set to the a-priori RTT.
+pub fn rto_estimate(srtt: f64) -> f64 {
+    f64::max(1.0, 2.0 * srtt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rto_is_floored_at_one_second() {
+        assert_eq!(rto_estimate(0.010), 1.0);
+        assert_eq!(rto_estimate(0.499), 1.0);
+    }
+
+    #[test]
+    fn rto_is_twice_srtt_for_long_paths() {
+        assert_eq!(rto_estimate(0.6), 1.2);
+        assert_eq!(rto_estimate(2.0), 4.0);
+    }
+}

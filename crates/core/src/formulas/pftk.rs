@@ -1,0 +1,386 @@
+//! The PFTK throughput model (Padhye, Firoiu, Towsley, Kurose, ToN 2000)
+//! and its revised variant.
+//!
+//! Three entry points, all taking a [`PftkParams`]:
+//!
+//! * [`pftk`] — the well-known approximation, the paper's Eq. (2). This is
+//!   what the FB predictor of Eq. (3) uses by default.
+//! * [`pftk_full`] — the full PFTK model (eqs. 29–31 of the PFTK paper)
+//!   from which the approximation is derived: explicit expected window
+//!   `W(p)`, timeout probability `Q̂(p, w)`, and exponential-backoff factor
+//!   `G(p)`, with the separate window-limited regime.
+//! * [`pftk_revised`] — a revised variant in the spirit of Chen, Bu,
+//!   Ammar, Towsley ("Comments on modeling TCP Reno performance", the
+//!   paper's ref. \[26\]): it corrects (a) the count of segments delivered
+//!   in a triple-duplicate period under the model's own "all segments
+//!   after the first loss in a round are lost" assumption, and (b) the
+//!   timeout-probability expression for windows of fewer than three
+//!   segments. §4.2.9 / Fig. 13 of the reproduced paper shows that such
+//!   revisions change FB prediction *negligibly* relative to FB's dominant
+//!   error sources; the `fig13_revised_pftk` binary verifies exactly that
+//!   insensitivity. (DESIGN.md records that \[26\]'s exact equations were
+//!   reconstructed, not transcribed.)
+//!
+//! A note on the paper's Eq. (2) as printed: the Computer Networks text
+//! renders the timeout term as `T₀·min(1, √(3bp/8))·p(1+32p²)`, dropping
+//! the leading factor 3 inside the `min` that the original PFTK
+//! approximation (and the SIGCOMM 2005 version) carries. We implement the
+//! canonical PFTK form with the factor 3.
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the PFTK family of models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PftkParams {
+    /// Maximum segment size in bytes (`M`).
+    pub mss: u32,
+    /// Round-trip time in seconds (`T`).
+    pub rtt: f64,
+    /// Retransmission timeout period in seconds (`T₀`).
+    pub rto: f64,
+    /// Segments acknowledged per ACK (`b`; 2 with delayed ACKs).
+    pub b: f64,
+    /// Loss (congestion) event probability (`p`), in `(0, 1]`.
+    pub p: f64,
+    /// Maximum window in bytes (`W`): the smaller of the sender and
+    /// receiver socket buffers.
+    pub max_window: u32,
+}
+
+impl PftkParams {
+    /// Maximum window expressed in segments, as the model's derivation
+    /// counts windows (at least 1).
+    fn wmax_segments(&self) -> f64 {
+        f64::max(1.0, self.max_window as f64 / self.mss as f64)
+    }
+
+    fn validate(&self) {
+        debug_assert!(self.mss > 0, "pftk: zero MSS");
+        debug_assert!(self.rtt > 0.0, "pftk: non-positive RTT");
+        debug_assert!(self.rto > 0.0, "pftk: non-positive RTO");
+        debug_assert!(self.b > 0.0, "pftk: non-positive b");
+        debug_assert!(
+            self.p > 0.0 && self.p <= 1.0,
+            "pftk: loss rate {} outside (0, 1]",
+            self.p
+        );
+        debug_assert!(self.max_window > 0, "pftk: zero max window");
+    }
+
+    /// Converts a throughput in segments/second to bits/second.
+    fn to_bps(&self, segments_per_sec: f64) -> f64 {
+        segments_per_sec * 8.0 * self.mss as f64
+    }
+}
+
+/// The PFTK approximation — the paper's Eq. (2) — in bits per second:
+///
+/// ```text
+/// E[R] = min( M / (T·√(2bp/3) + T₀·min(1, 3·√(3bp/8))·p·(1+32p²)),  W/T )
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_core::formulas::{pftk, PftkParams};
+/// let params = PftkParams {
+///     mss: 1448, rtt: 0.08, rto: 1.0, b: 2.0, p: 0.0005,
+///     max_window: 1 << 20,
+/// };
+/// let r = pftk(&params);
+/// assert!(r > 0.0 && r.is_finite());
+/// // A tiny window caps the prediction at W/T.
+/// let capped = pftk(&PftkParams { max_window: 20 * 1024, ..params });
+/// assert!((capped - 8.0 * 20.0 * 1024.0 / 0.08).abs() < 1.0);
+/// ```
+pub fn pftk(params: &PftkParams) -> f64 {
+    params.validate();
+    let PftkParams { rtt, rto, b, p, .. } = *params;
+    let congestion_term = rtt * (2.0 * b * p / 3.0).sqrt();
+    let timeout_term =
+        rto * f64::min(1.0, 3.0 * (3.0 * b * p / 8.0).sqrt()) * p * (1.0 + 32.0 * p * p);
+    let m_bits = 8.0 * params.mss as f64;
+    let congestion_limited = m_bits / (congestion_term + timeout_term);
+    let window_limited = 8.0 * params.max_window as f64 / rtt;
+    f64::min(congestion_limited, window_limited)
+}
+
+/// Expected congestion-window size (in segments) at the end of a
+/// triple-duplicate period (PFTK eq. 13):
+///
+/// ```text
+/// W(p) = (2+b)/(3b) + √( 8(1−p)/(3bp) + ((2+b)/(3b))² )
+/// ```
+fn expected_window(p: f64, b: f64) -> f64 {
+    let c = (2.0 + b) / (3.0 * b);
+    c + (8.0 * (1.0 - p) / (3.0 * b * p) + c * c).sqrt()
+}
+
+/// Probability that a loss event in a window of `w` segments is detected
+/// by a retransmission timeout rather than triple duplicate ACKs
+/// (PFTK eq. 24):
+///
+/// ```text
+/// Q̂(p, w) = min(1, (1−(1−p)³)·(1 + (1−p)³·(1−(1−p)^(w−3))) / (1−(1−p)^w))
+/// ```
+fn timeout_probability(p: f64, w: f64) -> f64 {
+    if w <= 3.0 {
+        // Fewer than three segments in flight cannot generate three
+        // duplicate ACKs: every loss is a timeout.
+        return 1.0;
+    }
+    let q = 1.0 - p;
+    let denom = 1.0 - q.powf(w);
+    if denom <= 0.0 {
+        return 1.0;
+    }
+    let numer = (1.0 - q.powi(3)) * (1.0 + q.powi(3) * (1.0 - q.powf(w - 3.0)));
+    f64::min(1.0, numer / denom)
+}
+
+/// Expected duration multiplier of exponential RTO backoff
+/// (PFTK: G(p) = 1 + p + 2p² + 4p³ + 8p⁴ + 16p⁵ + 32p⁶).
+fn backoff_factor(p: f64) -> f64 {
+    1.0 + p + 2.0 * p.powi(2) + 4.0 * p.powi(3) + 8.0 * p.powi(4)
+        + 16.0 * p.powi(5)
+        + 32.0 * p.powi(6)
+}
+
+/// The full PFTK model (PFTK eq. 31), in bits per second.
+///
+/// For `W(p) < Wmax` (congestion-limited regime):
+///
+/// ```text
+///            (1−p)/p + W(p)/2 + Q̂(W(p))
+/// B(p) = ─────────────────────────────────────────────
+///         RTT·(b/2·W(p) + 1) + Q̂(W(p))·G(p)·T₀/(1−p)
+/// ```
+///
+/// and for `W(p) ≥ Wmax` (window-limited regime):
+///
+/// ```text
+///            (1−p)/p + Wmax/2 + Q̂(Wmax)
+/// B(p) = ──────────────────────────────────────────────────────────────
+///         RTT·(b/8·Wmax + (1−p)/(p·Wmax) + 2) + Q̂(Wmax)·G(p)·T₀/(1−p)
+/// ```
+///
+/// The result is additionally capped at `Wmax/RTT`, which the model can
+/// otherwise slightly exceed at very small `p`.
+pub fn pftk_full(params: &PftkParams) -> f64 {
+    params.validate();
+    let PftkParams { rtt, rto, b, p, .. } = *params;
+    let wmax = params.wmax_segments();
+    let w = expected_window(p, b);
+    let rate_segments = if w < wmax {
+        let q = timeout_probability(p, w);
+        let numer = (1.0 - p) / p + w / 2.0 + q;
+        let denom = rtt * (b / 2.0 * w + 1.0) + q * backoff_factor(p) * rto / (1.0 - p).max(f64::EPSILON);
+        numer / denom
+    } else {
+        let q = timeout_probability(p, wmax);
+        let numer = (1.0 - p) / p + wmax / 2.0 + q;
+        let denom = rtt * (b / 8.0 * wmax + (1.0 - p) / (p * wmax) + 2.0)
+            + q * backoff_factor(p) * rto / (1.0 - p).max(f64::EPSILON);
+        numer / denom
+    };
+    params.to_bps(f64::min(rate_segments, wmax / rtt))
+}
+
+/// Revised PFTK model (§4.2.9; in the spirit of the paper's ref. \[26\]).
+///
+/// Two corrections relative to [`pftk_full`]:
+///
+/// 1. **Segments per triple-duplicate period.** Under the model's own
+///    loss-correlation assumption — once a segment is lost, all later
+///    segments in the same round are also lost — the TD period delivers
+///    `α` segments up to and including the first loss plus the `W−1`
+///    segments of the *previous* round still in flight, not the full
+///    window after the loss. The packet balance then yields a corrected
+///    expected window `W'(p)` solving
+///    `(1−p)/p + 1 = (3b/8)·W'² + (1−b/4)·W'` (quadratic in `W'`).
+/// 2. **Timeout probability for tiny windows.** `Q̂` is pinned to 1 for
+///    `w ≤ 3` *before* the ratio is formed, avoiding the >1 intermediate
+///    values of the original expression (the original clamps with
+///    `min(1, ·)` only after the fact).
+///
+/// The regime split and backoff handling are identical to [`pftk_full`].
+pub fn pftk_revised(params: &PftkParams) -> f64 {
+    params.validate();
+    let PftkParams { rtt, rto, b, p, .. } = *params;
+    let wmax = params.wmax_segments();
+    // Corrected packet balance: Y' = (1-p)/p + 1 segments per TD period,
+    // delivered over X = b/2·W + 1 rounds ramping from W/2 to W:
+    // Y' = (3b/8)W² + (1 − b/4)W  →  solve the quadratic for W.
+    let y = (1.0 - p) / p + 1.0;
+    let a2 = 3.0 * b / 8.0;
+    let a1 = 1.0 - b / 4.0;
+    let w = (-a1 + (a1 * a1 + 4.0 * a2 * y).sqrt()) / (2.0 * a2);
+    let w = w.max(1.0);
+    let rate_segments = if w < wmax {
+        let q = timeout_probability(p, w);
+        let numer = y + w / 2.0 + q;
+        let denom = rtt * (b / 2.0 * w + 1.0) + q * backoff_factor(p) * rto / (1.0 - p).max(f64::EPSILON);
+        numer / denom
+    } else {
+        let q = timeout_probability(p, wmax);
+        let numer = y + wmax / 2.0 + q;
+        let denom = rtt * (b / 8.0 * wmax + (1.0 - p) / (p * wmax) + 2.0)
+            + q * backoff_factor(p) * rto / (1.0 - p).max(f64::EPSILON);
+        numer / denom
+    };
+    params.to_bps(f64::min(rate_segments, wmax / rtt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(p: f64) -> PftkParams {
+        PftkParams {
+            mss: 1448,
+            rtt: 0.08,
+            rto: 1.0,
+            b: 2.0,
+            p,
+            max_window: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn approximation_reduces_to_mathis_at_low_loss() {
+        // At very low p the timeout term vanishes and Eq. 2 → Eq. 1.
+        let p = 1e-5;
+        let pk = pftk(&params(p));
+        let ms = crate::formulas::mathis(1448, 0.08, 2.0, p);
+        assert!((pk / ms - 1.0).abs() < 0.01, "pftk {pk} vs mathis {ms}");
+    }
+
+    #[test]
+    fn window_cap_applies() {
+        let mut pr = params(1e-6);
+        pr.max_window = 16 * 1024;
+        let r = pftk(&pr);
+        let cap = 8.0 * 16.0 * 1024.0 / 0.08;
+        assert!((r - cap).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_decreases_with_loss() {
+        let ps = [0.001, 0.005, 0.01, 0.05, 0.1, 0.3];
+        for model in [pftk, pftk_full, pftk_revised] {
+            let rates: Vec<f64> = ps.iter().map(|&p| model(&params(p))).collect();
+            for w in rates.windows(2) {
+                assert!(w[0] > w[1], "monotone in p: {rates:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_decreases_with_rtt() {
+        for model in [pftk, pftk_full, pftk_revised] {
+            let r1 = model(&PftkParams { rtt: 0.02, ..params(0.01) });
+            let r2 = model(&PftkParams { rtt: 0.2, ..params(0.01) });
+            assert!(r1 > r2);
+        }
+    }
+
+    #[test]
+    fn full_model_tracks_approximation_at_moderate_loss() {
+        // PFTK report the approximation is within a small factor of the
+        // full model for p ≲ 0.1.
+        for p in [0.002, 0.01, 0.05] {
+            let a = pftk(&params(p));
+            let f = pftk_full(&params(p));
+            let ratio = a / f;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "p={p}: approx {a:.0} vs full {f:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn revised_model_is_close_to_full_model() {
+        // Fig. 13's premise: the revision is a second-order effect.
+        for p in [0.001, 0.01, 0.05, 0.1] {
+            let f = pftk_full(&params(p));
+            let r = pftk_revised(&params(p));
+            let ratio = r / f;
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "p={p}: full {f:.0} vs revised {r:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_window_matches_asymptotics() {
+        // W(p) ≈ sqrt(8/(3bp)) for small p.
+        let p = 1e-6;
+        let w = expected_window(p, 2.0);
+        let asym = (8.0 / (3.0 * 2.0 * p)).sqrt();
+        assert!((w / asym - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn timeout_probability_bounds() {
+        for p in [0.001, 0.01, 0.1, 0.5, 0.99] {
+            for w in [1.0, 2.0, 3.0, 5.0, 20.0, 1000.0] {
+                let q = timeout_probability(p, w);
+                assert!((0.0..=1.0).contains(&q), "Q({p},{w}) = {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_windows_always_time_out() {
+        assert_eq!(timeout_probability(0.01, 1.0), 1.0);
+        assert_eq!(timeout_probability(0.01, 3.0), 1.0);
+    }
+
+    #[test]
+    fn timeout_probability_decreases_with_window() {
+        let p = 0.02;
+        let qs: Vec<f64> = [4.0, 8.0, 16.0, 64.0]
+            .iter()
+            .map(|&w| timeout_probability(p, w))
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[0] >= w[1], "Q should shrink with w: {qs:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_factor_at_zero_is_one() {
+        assert_eq!(backoff_factor(0.0), 1.0);
+        assert!(backoff_factor(0.5) > 1.0);
+    }
+
+    #[test]
+    fn full_model_window_limited_regime_is_continuous_enough() {
+        // Crossing the W(p) = Wmax boundary should not produce a cliff.
+        let base = params(0.0005);
+        let wseg = expected_window(0.0005, 2.0);
+        let just_above = PftkParams {
+            max_window: ((wseg + 1.0) * 1448.0) as u32,
+            ..base
+        };
+        let just_below = PftkParams {
+            max_window: ((wseg - 1.0) * 1448.0) as u32,
+            ..base
+        };
+        let ra = pftk_full(&just_above);
+        let rb = pftk_full(&just_below);
+        assert!((ra / rb - 1.0).abs() < 0.35, "regime cliff: {ra} vs {rb}");
+    }
+
+    #[test]
+    fn all_models_finite_across_loss_range() {
+        for model in [pftk, pftk_full, pftk_revised] {
+            for p in [1e-6, 1e-4, 1e-2, 0.1, 0.5, 0.9, 1.0] {
+                let r = model(&params(p));
+                assert!(r.is_finite() && r > 0.0, "p={p} gave {r}");
+            }
+        }
+    }
+}

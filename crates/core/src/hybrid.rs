@@ -1,0 +1,163 @@
+//! A hybrid FB/HB predictor — the paper's future-work direction (§7):
+//! "it would be interesting to examine hybrid predictors, which rely on
+//! TCP models as well as on recent history."
+//!
+//! [`HybridPredictor`] implements the natural construction: while the
+//! transfer history on a path is shorter than a warm-up threshold, predict
+//! with the formula (FB needs no history); once history accumulates, blend
+//! the FB prediction in with a weight that decays as HB earns trust. The
+//! paper's finding that HB ≫ FB in accuracy (§6.1.2) implies the blend
+//! should tilt quickly toward HB — the default decay does.
+
+use crate::fb::{FbPredictor, PathEstimates};
+use crate::hb::{Predictor, Update};
+use crate::lso::Lso;
+
+/// Hybrid of an FB predictor and an LSO-wrapped HB predictor.
+///
+/// The blend weight on FB is `1/(h+1)` where `h` is the number of history
+/// samples since the last level shift — FB alone before any transfer,
+/// ~9% FB weight after ten transfers, vanishing thereafter. A level shift
+/// resets `h`, so the formula regains influence exactly when history
+/// stops being trustworthy.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_core::fb::PathEstimates;
+/// use tputpred_core::hb::HoltWinters;
+/// use tputpred_core::hybrid::HybridPredictor;
+///
+/// let mut h = HybridPredictor::new(Default::default(), HoltWinters::new(0.8, 0.2));
+/// let est = PathEstimates { rtt: 0.08, loss_rate: 0.01, avail_bw: 20e6 };
+/// // No history yet: pure FB.
+/// let first = h.predict(&est);
+/// assert!(first > 0.0);
+/// // After a few observed transfers the history dominates.
+/// for _ in 0..20 {
+///     h.observe(9e6);
+/// }
+/// let later = h.predict(&est);
+/// assert!((later - 9e6).abs() / 9e6 < 0.15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridPredictor<P> {
+    fb: FbPredictor,
+    hb: Lso<P>,
+    history_len: usize,
+}
+
+impl<P: Predictor> HybridPredictor<P> {
+    /// Creates a hybrid from an FB configuration and an inner HB predictor
+    /// (which gets LSO-wrapped).
+    pub fn new(fb: FbPredictor, hb_inner: P) -> Self {
+        HybridPredictor {
+            fb,
+            hb: Lso::new(hb_inner),
+            history_len: 0,
+        }
+    }
+
+    /// Records a completed transfer's measured throughput (bits/s).
+    pub fn observe(&mut self, throughput: f64) {
+        match self.hb.update(throughput) {
+            Update::LevelShift { .. } => {
+                // History restarted: trust the formula again.
+                self.history_len = self.hb.detector().window().len();
+            }
+            Update::OutliersDiscarded(_) => {
+                self.history_len = self.hb.detector().window().len();
+            }
+            Update::Accepted => self.history_len += 1,
+        }
+    }
+
+    /// Number of history samples currently backing the HB side.
+    pub fn history_len(&self) -> usize {
+        self.history_len
+    }
+
+    /// Current blend weight on the FB side.
+    pub fn fb_weight(&self) -> f64 {
+        1.0 / (self.history_len as f64 + 1.0)
+    }
+
+    /// Predicts the next transfer's throughput given fresh a-priori path
+    /// estimates.
+    pub fn predict(&self, est: &PathEstimates) -> f64 {
+        let fb_pred = self.fb.predict(est);
+        match self.hb.predict() {
+            None => fb_pred,
+            Some(hb_pred) => {
+                let w = self.fb_weight();
+                w * fb_pred + (1.0 - w) * hb_pred
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::MovingAverage;
+
+    fn est() -> PathEstimates {
+        PathEstimates {
+            rtt: 0.08,
+            loss_rate: 0.01,
+            avail_bw: 20e6,
+        }
+    }
+
+    #[test]
+    fn no_history_means_pure_fb() {
+        let h = HybridPredictor::new(FbPredictor::default(), MovingAverage::new(10));
+        let fb_only = FbPredictor::default().predict(&est());
+        assert_eq!(h.predict(&est()), fb_only);
+        assert_eq!(h.fb_weight(), 1.0);
+    }
+
+    #[test]
+    fn history_shifts_weight_to_hb() {
+        let mut h = HybridPredictor::new(FbPredictor::default(), MovingAverage::new(10));
+        for _ in 0..9 {
+            h.observe(5e6);
+        }
+        assert!((h.fb_weight() - 0.1).abs() < 1e-12);
+        let p = h.predict(&est());
+        let fb_only = FbPredictor::default().predict(&est());
+        // Prediction is much closer to history (5 Mbps) than to FB alone.
+        assert!((p - 5e6).abs() < (p - fb_only).abs());
+    }
+
+    #[test]
+    fn level_shift_restores_fb_influence() {
+        let mut h = HybridPredictor::new(FbPredictor::default(), MovingAverage::new(10));
+        for _ in 0..20 {
+            h.observe(5e6);
+        }
+        let before = h.fb_weight();
+        for _ in 0..3 {
+            h.observe(15e6); // triggers a level shift
+        }
+        let after = h.fb_weight();
+        assert!(after > before, "shift resets history: {after} vs {before}");
+        assert!(h.history_len() <= 4);
+    }
+
+    #[test]
+    fn blend_is_convex_combination() {
+        let mut h = HybridPredictor::new(FbPredictor::default(), MovingAverage::new(10));
+        for _ in 0..4 {
+            h.observe(5e6);
+        }
+        let fb_only = FbPredictor::default().predict(&est());
+        let p = h.predict(&est());
+        let (lo, hi) = if fb_only < 5e6 {
+            (fb_only, 5e6)
+        } else {
+            (5e6, fb_only)
+        };
+        assert!((lo..=hi).contains(&p));
+    }
+}

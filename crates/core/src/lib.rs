@@ -1,0 +1,56 @@
+//! # tputpred-core — TCP throughput prediction
+//!
+//! The paper's primary contribution, as a library: predictors for the
+//! average throughput of a *large* (bulk) TCP transfer on a network path,
+//! computed **before** the transfer starts.
+//!
+//! He, Dovrolis, Ammar, *On the predictability of large transfer TCP
+//! throughput*, SIGCOMM 2005 / Computer Networks 51 (2007) 3959–3977,
+//! classifies predictors into two families, both implemented here:
+//!
+//! * **Formula-Based (FB)** — [`fb::FbPredictor`] implements the paper's
+//!   Eq. (3): plug a-priori measurements (RTT `T̂` and loss rate `p̂` from
+//!   periodic probing, available bandwidth `Â` from pathload-style
+//!   estimation) into a TCP steady-state model. The models themselves live
+//!   in [`formulas`]: the Mathis "square-root" law (Eq. 1), the PFTK
+//!   approximation (Eq. 2), the full PFTK model, and a revised PFTK variant
+//!   (§4.2.9). FB needs no transfer history but, as the paper shows, can be
+//!   off by an order of magnitude when the target flow saturates its path.
+//!
+//! * **History-Based (HB)** — [`hb`] implements time-series forecasting over
+//!   previous transfer throughputs on the same path: Moving Average
+//!   ([`hb::MovingAverage`]), EWMA ([`hb::Ewma`]), and non-seasonal
+//!   Holt-Winters ([`hb::HoltWinters`]), all behind the [`hb::Predictor`]
+//!   trait. The paper's key practical finding — that detecting *level
+//!   shifts* (restart the predictor) and *outliers* (discard the sample)
+//!   matters more than the choice of predictor — is implemented by
+//!   [`lso::Lso`], a wrapper that adds those heuristics (§5.2) to any
+//!   predictor.
+//!
+//! Supporting modules:
+//!
+//! * [`metrics`] — the paper's error metrics: relative prediction error `E`
+//!   (Eq. 4), `RMSRE` (Eq. 5), segment-weighted coefficient of variation
+//!   (§6.1.3), predictor evaluation over a series, and down-sampling
+//!   (§6.1.6).
+//! * [`hybrid`] — an FB/HB hybrid predictor (the paper's future-work §7):
+//!   fall back to the formula while history is short, hand over to HB as
+//!   history accumulates.
+//!
+//! ## Units
+//!
+//! Throughput and bandwidth are **bits per second**, times are **seconds**,
+//! and segment/window sizes are **bytes** throughout the workspace.
+
+pub mod fb;
+pub mod formulas;
+pub mod hb;
+pub mod hybrid;
+pub mod lso;
+pub mod metrics;
+
+pub use fb::{FbConfig, FbPredictor, PathEstimates, SmoothedFbPredictor};
+pub use hb::{Ewma, HoltWinters, MovingAverage, Predictor, Update};
+pub use hybrid::HybridPredictor;
+pub use lso::{Detector, DetectorEvent, Lso, LsoConfig};
+pub use metrics::{relative_error, rmsre, segmented_cov};

@@ -1,0 +1,627 @@
+//! Level-Shift and Outlier (LSO) detection (§5.2).
+//!
+//! The paper's central practical finding for HB prediction: the largest
+//! errors come from two time-series "pathologies" — *level shifts* (a
+//! sudden persistent change in the mean, e.g. after a route change) and
+//! *outliers* (isolated deviant measurements). Handling them matters far
+//! more than the choice of linear predictor (§5.3, §6.1.1):
+//!
+//! * a detected **level shift** restarts the predictor from the shift
+//!   point, discarding all older history;
+//! * a detected **outlier** is discarded from the history (and, per
+//!   §6.1.3, excluded from RMSRE when evaluating).
+//!
+//! [`Detector`] implements the detection heuristics; [`Lso`] wraps any
+//! [`Predictor`] with them (the paper's `MA-LSO`, `HW-LSO`, ...).
+//!
+//! # The detection rules
+//!
+//! With `{X₁, …, Xₙ}` the measurements since the last level shift,
+//! outliers excluded, `Xₖ` starts an increasing (decreasing) level shift
+//! iff (§5.2):
+//!
+//! 1. `{X₁, …, Xₖ₋₁}` are all lower (higher) than `{Xₖ, …, Xₙ}`;
+//! 2. the medians of the two groups differ by a relative difference
+//!    greater than `γ`;
+//! 3. `k + 2 ≤ n` — at least two samples follow `Xₖ`, so an isolated
+//!    outlier is not misread as a shift.
+//!
+//! A measurement `Xₖ` (k < n) is an outlier if it differs from the median
+//! of `{X₁, …, Xₙ}` by a relative difference greater than `ψ`.
+//!
+//! # Reconstruction notes (documented deviations)
+//!
+//! The paper gives the rules declaratively; running them *online* requires
+//! two decisions it leaves open, both chosen here so that the rules
+//! cooperate rather than swallow each other:
+//!
+//! * **Confirmation delay.** A sample can only be classified an outlier
+//!   once two further samples have arrived (mirroring condition 3), since
+//!   until then it may turn out to be the first sample of a level shift.
+//! * **Trailing-run guard.** A deviant sample is exempt from the outlier
+//!   rule only while the same-side deviant run containing it extends to
+//!   the end of the window — such a trailing run may be a level shift in
+//!   progress (the shift rule needs two confirming successors before it
+//!   can fire). A deviant run that is already *interior* — followed by a
+//!   return toward the median — is a spike or dip, and every sample of
+//!   it is discarded. Without this guard the outlier rule would discard
+//!   new-level samples one at a time and a shift could never accumulate
+//!   the successors condition 3 demands; without the interior case,
+//!   multi-epoch dips (a transient burst spanning two measurement
+//!   epochs) would stay in the history and poison the predictors.
+//!
+//! The outlier rule measures deviation relative to the median
+//! (`|X − m| / m`); the shift rule compares the two segment medians with
+//! the symmetric min-denominator form `|m₁ − m₂| / min(m₁, m₂)` — the same
+//! convention as the paper's error metric `E` (Eq. 4), and the natural
+//! reading of "lower … by more than a relative difference γ".
+
+use crate::hb::{Predictor, Update};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the LSO heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LsoConfig {
+    /// Minimum relative difference between segment medians for a level
+    /// shift (the paper's `γ`; 0.3 performed well on its dataset).
+    pub gamma: f64,
+    /// Minimum relative deviation from the window median for an outlier
+    /// (the paper's `ψ`; 0.4 performed well on its dataset).
+    pub psi: f64,
+    /// Maximum number of retained samples since the last level shift.
+    /// Old samples beyond this horizon are dropped; the paper's histories
+    /// are 10–150 samples, well under this cap.
+    pub max_window: usize,
+}
+
+impl Default for LsoConfig {
+    fn default() -> Self {
+        LsoConfig {
+            gamma: 0.3,
+            psi: 0.4,
+            max_window: 256,
+        }
+    }
+}
+
+/// What a [`Detector`] concluded about the sample stream after one push.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorEvent {
+    /// Absolute (0-based) positions, in the full input series, of samples
+    /// confirmed as outliers by this push and removed from the window.
+    pub outliers: Vec<usize>,
+    /// Absolute position at which a level shift was detected to begin.
+    /// All window samples before it were dropped.
+    pub level_shift: Option<usize>,
+}
+
+impl DetectorEvent {
+    /// True when the push changed nothing but appending the sample.
+    pub fn is_plain(&self) -> bool {
+        self.outliers.is_empty() && self.level_shift.is_none()
+    }
+}
+
+/// Symmetric relative difference `|a − b| / min(a, b)`, the convention of
+/// Eq. 4. Degenerates gracefully when the smaller value is ~0.
+fn rel_diff(a: f64, b: f64) -> f64 {
+    let lo = f64::min(a, b);
+    (a - b).abs() / f64::max(lo, f64::EPSILON)
+}
+
+fn median_of(values: &[f64]) -> f64 {
+    tputpred_stats::median(values).expect("median of non-empty window")
+}
+
+/// Online level-shift and outlier detector over a positive-valued series.
+///
+/// Feed samples with [`Detector::push`]; the detector maintains the window
+/// of samples since the last detected level shift with confirmed outliers
+/// removed, available via [`Detector::window`].
+#[derive(Debug, Clone)]
+pub struct Detector {
+    cfg: LsoConfig,
+    /// `(absolute_index, value)` since the last level shift, outliers
+    /// removed.
+    window: Vec<(usize, f64)>,
+    next_index: usize,
+}
+
+impl Detector {
+    /// Creates a detector with the given thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` or `psi` is not positive, or `max_window < 4`
+    /// (the shift rule needs at least 4 samples: one before the shift,
+    /// the shift sample, and two after).
+    pub fn new(cfg: LsoConfig) -> Self {
+        assert!(cfg.gamma > 0.0, "LSO gamma must be positive");
+        assert!(cfg.psi > 0.0, "LSO psi must be positive");
+        assert!(cfg.max_window >= 4, "LSO window must hold at least 4 samples");
+        Detector {
+            cfg,
+            window: Vec::new(),
+            next_index: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LsoConfig {
+        &self.cfg
+    }
+
+    /// The retained `(absolute_index, value)` window: samples since the
+    /// last level shift, confirmed outliers removed, oldest first.
+    pub fn window(&self) -> &[(usize, f64)] {
+        &self.window
+    }
+
+    /// Absolute index the next pushed sample will receive.
+    pub fn next_index(&self) -> usize {
+        self.next_index
+    }
+
+    /// Drops all state (history and index counter).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.next_index = 0;
+    }
+
+    /// Ingests the next sample and reports any detections.
+    pub fn push(&mut self, x: f64) -> DetectorEvent {
+        debug_assert!(!x.is_nan(), "NaN sample");
+        let idx = self.next_index;
+        self.next_index += 1;
+        self.window.push((idx, x));
+        if self.window.len() > self.cfg.max_window {
+            self.window.remove(0);
+        }
+
+        let outliers = self.confirm_outliers();
+        let level_shift = self.detect_level_shift();
+        DetectorEvent {
+            outliers,
+            level_shift,
+        }
+    }
+
+    /// Confirms and removes outliers among samples that have at least two
+    /// successors (confirmation delay), exempting trailing same-side
+    /// deviant runs (potential shifts in progress). Returns their
+    /// absolute indices.
+    fn confirm_outliers(&mut self) -> Vec<usize> {
+        let n = self.window.len();
+        if n < 4 {
+            return Vec::new();
+        }
+        let values: Vec<f64> = self.window.iter().map(|&(_, v)| v).collect();
+        let med = median_of(&values);
+        let deviates = |v: f64| -> Option<f64> {
+            // The paper's outlier rule: |v − median| / median > ψ. (The
+            // shift rule below compares two *medians* and uses the
+            // symmetric min-denominator form instead.)
+            let dev = (v - med).abs() / f64::max(med.abs(), f64::EPSILON);
+            (dev > self.cfg.psi).then(|| (v - med).signum())
+        };
+        let dirs: Vec<Option<f64>> = values.iter().map(|&v| deviates(v)).collect();
+        // A run is trailing when it reaches the newest sample.
+        let run_is_trailing = |j: usize| -> bool {
+            let d = dirs[j];
+            let mut e = j;
+            while e + 1 < n && dirs[e + 1] == d {
+                e += 1;
+            }
+            e == n - 1
+        };
+        let mut removed = Vec::new();
+        // Scan only positions with ≥ 2 successors (j ≤ n−3, 0-indexed).
+        for j in (0..=n.saturating_sub(3)).rev() {
+            if dirs[j].is_some() && !run_is_trailing(j) {
+                removed.push(self.window[j].0);
+                self.window.remove(j);
+            }
+        }
+        removed.reverse();
+        removed
+    }
+
+    /// Scans the cleaned window for the most recent position satisfying
+    /// the three level-shift conditions; if found, drops everything before
+    /// it and returns its absolute index.
+    fn detect_level_shift(&mut self) -> Option<usize> {
+        let n = self.window.len();
+        if n < 4 {
+            return None;
+        }
+        let values: Vec<f64> = self.window.iter().map(|&(_, v)| v).collect();
+        // Paper indices: k ∈ [2, n−2] (1-based) ⇒ s ∈ [1, n−3] (0-based).
+        // Most recent shift first.
+        for s in (1..=n - 3).rev() {
+            let (prefix, suffix) = values.split_at(s);
+            let pre_max = prefix.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let pre_min = prefix.iter().cloned().fold(f64::INFINITY, f64::min);
+            let suf_max = suffix.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let suf_min = suffix.iter().cloned().fold(f64::INFINITY, f64::min);
+            let increasing = pre_max < suf_min;
+            let decreasing = pre_min > suf_max;
+            if !increasing && !decreasing {
+                continue;
+            }
+            let m1 = median_of(prefix);
+            let m2 = median_of(suffix);
+            if rel_diff(m1, m2) > self.cfg.gamma {
+                let start = self.window[s].0;
+                self.window.drain(..s);
+                return Some(start);
+            }
+        }
+        None
+    }
+}
+
+/// An offline scan of a complete series with the LSO detector.
+///
+/// Returns `(level_shift_starts, outlier_positions)` as absolute 0-based
+/// indices. Used by the segmented CoV of §6.1.3 and by tests.
+pub fn scan_series(series: &[f64], cfg: LsoConfig) -> (Vec<usize>, Vec<usize>) {
+    let mut det = Detector::new(cfg);
+    let mut shifts = Vec::new();
+    let mut outliers = Vec::new();
+    for &x in series {
+        let ev = det.push(x);
+        outliers.extend(ev.outliers);
+        if let Some(s) = ev.level_shift {
+            shifts.push(s);
+        }
+    }
+    (shifts, outliers)
+}
+
+/// Wraps any [`Predictor`] with the LSO heuristics: the paper's
+/// `MA-LSO`, `HW-LSO`, etc.
+///
+/// On a detected level shift the inner predictor is restarted and re-fed
+/// the post-shift window; on outlier confirmation the inner predictor is
+/// rebuilt from the cleaned window. Confirmed-outlier positions accumulate
+/// in [`Lso::outlier_indices`] so evaluation can exclude them from RMSRE
+/// (§6.1.3).
+///
+/// Two guards keep "outliers are discarded from the history" true *at
+/// every instant*, not just in retrospect:
+///
+/// * **Quarantine** — samples deviating from the window median by more
+///   than ψ are withheld from the inner predictor: they are either
+///   outliers awaiting their confirmation delay (a spike fed raw would
+///   let trend-tracking predictors like Holt-Winters amplify it into
+///   wild — even negative — forecasts) or a level shift in progress
+///   (which the restart re-feeds in full the moment it is confirmed).
+/// * **Positivity** — throughput forecasts fall back to the cleaned
+///   window's median whenever the inner predictor extrapolates to a
+///   non-positive value.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_core::hb::{MovingAverage, Predictor};
+/// use tputpred_core::lso::Lso;
+///
+/// let mut p = Lso::new(MovingAverage::new(10));
+/// // A level shift from ~10 to ~20:
+/// for x in [10.0, 10.5, 9.5, 10.0, 20.0, 20.5, 19.5, 20.0] {
+///     p.update(x);
+/// }
+/// // Without LSO a 10-MA would still predict ~15; with LSO the predictor
+/// // restarted at the shift and tracks the new level.
+/// assert!(p.predict().unwrap() > 19.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lso<P> {
+    detector: Detector,
+    inner: P,
+    all_outliers: Vec<usize>,
+}
+
+impl<P: Predictor> Lso<P> {
+    /// Wraps `inner` with default thresholds (γ = 0.3, ψ = 0.4).
+    pub fn new(inner: P) -> Self {
+        Self::with_config(inner, LsoConfig::default())
+    }
+
+    /// Wraps `inner` with explicit thresholds.
+    pub fn with_config(inner: P, cfg: LsoConfig) -> Self {
+        Lso {
+            detector: Detector::new(cfg),
+            inner,
+            all_outliers: Vec::new(),
+        }
+    }
+
+    /// Absolute positions of every sample confirmed as an outlier so far.
+    pub fn outlier_indices(&self) -> &[usize] {
+        &self.all_outliers
+    }
+
+    /// The wrapped predictor.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The detection state.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// The window values the inner predictor is allowed to see: the
+    /// current *inliers* — everything within ψ of the window median.
+    /// Deviant samples are either shifts in progress (the restart will
+    /// re-feed them) or outliers awaiting confirmation (they will be
+    /// removed); neither belongs in a forecast yet.
+    fn feed_values(&self) -> Vec<f64> {
+        let values: Vec<f64> = self.detector.window().iter().map(|&(_, v)| v).collect();
+        if values.len() < 4 {
+            return values;
+        }
+        let med = median_of(&values);
+        let psi = self.detector.cfg.psi;
+        values
+            .into_iter()
+            .filter(|v| (v - med).abs() / f64::max(med.abs(), f64::EPSILON) <= psi)
+            .collect()
+    }
+
+    /// Re-derives the inner predictor from the feedable history.
+    fn rebuild_inner(&mut self) {
+        self.inner.reset();
+        for v in self.feed_values() {
+            self.inner.update(v);
+        }
+    }
+}
+
+impl<P: Predictor> Predictor for Lso<P> {
+    fn update(&mut self, x: f64) -> Update {
+        let ev = self.detector.push(x);
+        self.all_outliers.extend_from_slice(&ev.outliers);
+        // The feedable set can change shape on any push (a suspect
+        // appears, clears, or pairs up), so the inner predictor is
+        // re-derived each time. Windows are small (≤ max_window) and the
+        // predictors are O(1) per sample, so this stays cheap.
+        self.rebuild_inner();
+        match ev.level_shift {
+            Some(start) => Update::LevelShift { start },
+            None if !ev.outliers.is_empty() => Update::OutliersDiscarded(ev.outliers),
+            None => Update::Accepted,
+        }
+    }
+
+    fn predict(&self) -> Option<f64> {
+        let window_fallback = || {
+            let w = self.detector.window();
+            if w.is_empty() {
+                None
+            } else {
+                let values: Vec<f64> = w.iter().map(|&(_, v)| v).collect();
+                Some(median_of(&values))
+            }
+        };
+        match self.inner.predict() {
+            // A trend extrapolated below zero is not a throughput;
+            // substitute the robust window location.
+            Some(f) if f <= 0.0 => window_fallback(),
+            Some(f) => Some(f),
+            // Immediately after a restart some predictors (Holt-Winters)
+            // need two samples; bridge the gap so a forecast is always
+            // available once any history exists, as the paper's
+            // evaluation assumes.
+            None => window_fallback(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.detector.reset();
+        self.inner.reset();
+        self.all_outliers.clear();
+    }
+
+    fn name(&self) -> String {
+        format!("{}-LSO", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::{HoltWinters, MovingAverage};
+
+    fn cfg() -> LsoConfig {
+        LsoConfig::default()
+    }
+
+    #[test]
+    fn stationary_noise_triggers_nothing() {
+        let mut det = Detector::new(cfg());
+        // ±10% noise around 10: below both thresholds.
+        let series = [10.0, 10.8, 9.4, 10.2, 9.8, 10.5, 9.6, 10.1, 10.3, 9.9];
+        for x in series {
+            let ev = det.push(x);
+            assert!(ev.is_plain(), "spurious detection on {x}: {ev:?}");
+        }
+        assert_eq!(det.window().len(), series.len());
+    }
+
+    #[test]
+    fn clean_level_shift_is_detected_with_two_confirming_samples() {
+        let mut det = Detector::new(cfg());
+        for x in [10.0; 8] {
+            det.push(x);
+        }
+        assert!(det.push(20.0).is_plain(), "first new-level sample: no call yet");
+        assert!(det.push(20.0).is_plain(), "second new-level sample: k+2>n still");
+        let ev = det.push(20.0);
+        assert_eq!(ev.level_shift, Some(8), "shift begins at the first 20");
+        assert_eq!(det.window().len(), 3);
+    }
+
+    #[test]
+    fn decreasing_level_shift_is_detected_too() {
+        let mut det = Detector::new(cfg());
+        for x in [20.0; 6] {
+            det.push(x);
+        }
+        det.push(10.0);
+        det.push(10.0);
+        let ev = det.push(10.0);
+        assert_eq!(ev.level_shift, Some(6));
+    }
+
+    #[test]
+    fn small_level_change_below_gamma_is_ignored() {
+        // 10 → 12 is a 20% change, below γ = 0.3.
+        let mut det = Detector::new(cfg());
+        for x in [10.0; 6] {
+            det.push(x);
+        }
+        for x in [12.0; 5] {
+            assert_eq!(det.push(x).level_shift, None);
+        }
+    }
+
+    #[test]
+    fn isolated_outlier_is_confirmed_after_two_successors() {
+        let mut det = Detector::new(cfg());
+        for x in [10.0; 8] {
+            det.push(x);
+        }
+        assert!(det.push(30.0).is_plain());
+        assert!(det.push(10.0).is_plain(), "one successor: not confirmable yet");
+        let ev = det.push(10.0);
+        assert_eq!(ev.outliers, vec![8], "the 30 at position 8 is an outlier");
+        assert_eq!(ev.level_shift, None);
+        assert!(det.window().iter().all(|&(_, v)| v == 10.0));
+    }
+
+    #[test]
+    fn outlier_rule_does_not_eat_level_shifts() {
+        // The regression the isolation guard exists for: consecutive
+        // same-side deviations must be left for the shift rule.
+        let series: Vec<f64> = [vec![10.0; 8], vec![20.0; 3]].concat();
+        let (shifts, outliers) = scan_series(&series, cfg());
+        assert_eq!(shifts, vec![8]);
+        assert!(outliers.is_empty(), "no sample of the shift is an outlier");
+    }
+
+    #[test]
+    fn low_outlier_is_detected() {
+        let series: Vec<f64> = [vec![10.0; 8], vec![2.0], vec![10.0; 3]].concat();
+        let (shifts, outliers) = scan_series(&series, cfg());
+        assert!(shifts.is_empty());
+        assert_eq!(outliers, vec![8]);
+    }
+
+    #[test]
+    fn spike_followed_by_shift_is_eventually_cleaned() {
+        let series: Vec<f64> = [vec![10.0; 6], vec![30.0], vec![20.0; 4]].concat();
+        let (shifts, outliers) = scan_series(&series, cfg());
+        assert!(!shifts.is_empty(), "the shift to 20 must be found");
+        // The 30 spike is removed as an outlier either before or after the
+        // shift is declared.
+        assert!(outliers.contains(&6), "the spike is cleaned: {outliers:?}");
+    }
+
+    #[test]
+    fn window_is_capped() {
+        let mut det = Detector::new(LsoConfig {
+            max_window: 8,
+            ..cfg()
+        });
+        for i in 0..100 {
+            det.push(10.0 + (i % 3) as f64 * 0.1);
+        }
+        assert!(det.window().len() <= 8);
+    }
+
+    #[test]
+    fn lso_wrapper_restarts_ma_after_shift() {
+        let mut with = Lso::new(MovingAverage::new(10));
+        let mut without = MovingAverage::new(10);
+        let series: Vec<f64> = [vec![10.0; 10], vec![20.0; 3]].concat();
+        for &x in &series {
+            with.update(x);
+            without.update(x);
+        }
+        let w = with.predict().unwrap();
+        let wo = without.predict().unwrap();
+        assert!(w > 19.0, "LSO restarted onto the new level: {w}");
+        assert!(wo < 15.0, "plain MA still dragged down by old level: {wo}");
+    }
+
+    #[test]
+    fn lso_wrapper_discards_outliers_from_history() {
+        let mut with = Lso::new(MovingAverage::new(10));
+        let series: Vec<f64> = [vec![10.0; 8], vec![100.0], vec![10.0; 3]].concat();
+        for &x in &series {
+            with.update(x);
+        }
+        let f = with.predict().unwrap();
+        assert!((f - 10.0).abs() < 0.5, "outlier excluded from MA: {f}");
+        assert_eq!(with.outlier_indices(), &[8]);
+    }
+
+    #[test]
+    fn lso_bridges_holt_winters_warmup_after_restart() {
+        let mut p = Lso::new(HoltWinters::new(0.8, 0.2));
+        for x in [10.0; 8] {
+            p.update(x);
+        }
+        p.update(20.0);
+        p.update(20.0);
+        p.update(20.0); // shift detected here; HW re-fed 3 samples
+        assert!(p.predict().is_some());
+        assert!(p.predict().unwrap() > 19.0);
+    }
+
+    #[test]
+    fn update_reports_events() {
+        let mut p = Lso::new(MovingAverage::new(5));
+        for x in [10.0; 8] {
+            assert_eq!(p.update(x), Update::Accepted);
+        }
+        p.update(20.0);
+        p.update(20.0);
+        assert_eq!(p.update(20.0), Update::LevelShift { start: 8 });
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut p = Lso::new(MovingAverage::new(5));
+        for x in [vec![10.0; 8], vec![50.0], vec![10.0; 3]].concat() {
+            p.update(x);
+        }
+        assert!(!p.outlier_indices().is_empty());
+        p.reset();
+        assert!(p.outlier_indices().is_empty());
+        assert_eq!(p.predict(), None);
+        assert_eq!(p.detector().next_index(), 0);
+    }
+
+    #[test]
+    fn name_reflects_wrapping() {
+        let p = Lso::new(MovingAverage::new(10));
+        assert_eq!(p.name(), "10-MA-LSO");
+    }
+
+    #[test]
+    fn successive_level_shifts_are_all_caught() {
+        let series: Vec<f64> =
+            [vec![10.0; 6], vec![20.0; 6], vec![5.0; 6]].concat();
+        let (shifts, _) = scan_series(&series, cfg());
+        assert_eq!(shifts, vec![6, 12]);
+    }
+
+    #[test]
+    fn rel_diff_is_symmetric() {
+        assert_eq!(rel_diff(10.0, 20.0), rel_diff(20.0, 10.0));
+        assert!((rel_diff(10.0, 20.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,499 @@
+//! The discrete-event engine: scheduler, endpoint protocol, packet
+//! forwarding.
+//!
+//! One [`Simulator`] owns the links, the endpoints, the event heap, and a
+//! seeded RNG. Endpoints implement [`Endpoint`] and interact with the
+//! world exclusively through a [`Ctx`] handed to their callbacks — they
+//! queue [`Command`]s (send a packet, arm a timer) which the engine
+//! applies after the callback returns. This keeps borrows trivial and the
+//! event order deterministic: events at equal timestamps dispatch in
+//! scheduling order (FIFO tie-break), so a simulation is a pure function
+//! of its seed and construction sequence.
+//!
+//! Packet life cycle:
+//!
+//! 1. an endpoint `ctx.send(...)`s a packet with a [`crate::Route`];
+//! 2. the engine offers it to the route's first link — if the serializer
+//!    is idle transmission starts, if the buffer has room it queues,
+//!    otherwise it is dropped (droptail);
+//! 3. when serialization completes the engine schedules the arrival after
+//!    the link's propagation delay and starts the link's next queued
+//!    packet;
+//! 4. on arrival the packet either enters the next link of its route or is
+//!    delivered to the destination endpoint's
+//!    [`Endpoint::on_packet`].
+
+use crate::link::{Link, LinkConfig, LinkId, Offer};
+use crate::packet::{Packet, Payload, Route};
+use crate::time::Time;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies an endpoint within a [`Simulator`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EndpointId(pub u32);
+
+/// An instruction an endpoint issues through its [`Ctx`].
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Inject a packet into the network.
+    Send(Packet),
+    /// Arm (or re-arm) a timer: [`Endpoint::on_timer`] fires with `token`
+    /// at time `at`. Timers are not cancellable — endpoints version their
+    /// tokens and ignore stale ones, the idiom TCP's retransmission timer
+    /// uses.
+    SetTimer { token: u64, at: Time },
+}
+
+/// The world handle passed to endpoint callbacks.
+pub struct Ctx<'a> {
+    /// Current simulated time.
+    pub now: Time,
+    /// The endpoint being called.
+    pub self_id: EndpointId,
+    rng: &'a mut StdRng,
+    commands: &'a mut Vec<Command>,
+}
+
+impl Ctx<'_> {
+    /// Sends a packet of `size` bytes along `route` to `dst`.
+    pub fn send(&mut self, route: Route, dst: EndpointId, size: u32, payload: Payload) {
+        self.commands.push(Command::Send(Packet {
+            size,
+            src: self.self_id,
+            dst,
+            route,
+            hop_index: 0,
+            payload,
+        }));
+    }
+
+    /// Arms a timer to fire at absolute time `at`.
+    pub fn set_timer(&mut self, token: u64, at: Time) {
+        self.commands.push(Command::SetTimer { token, at });
+    }
+
+    /// Arms a timer to fire `delay` from now.
+    pub fn set_timer_after(&mut self, token: u64, delay: Time) {
+        let at = self.now + delay;
+        self.set_timer(token, at);
+    }
+
+    /// The simulation's deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A protocol endpoint: TCP sender/receiver, probe, traffic source, sink.
+pub trait Endpoint {
+    /// A packet addressed to this endpoint arrived.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet);
+
+    /// A timer armed with `token` fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Timer { endpoint: EndpointId, token: u64 },
+    /// A link finished serializing `packet`.
+    TxDone { link: LinkId, packet: Packet },
+    /// `packet` finished propagating; enter next hop or deliver.
+    Arrival { packet: Packet },
+}
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// Build a one-link world with an echoing endpoint and run it:
+///
+/// ```
+/// use tputpred_netsim::*;
+/// use tputpred_netsim::link::LinkConfig;
+///
+/// struct Sink(u64);
+/// impl Endpoint for Sink {
+///     fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) { self.0 += 1; }
+///     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: u64) {}
+/// }
+/// struct Pulse { link: LinkId, dst: EndpointId }
+/// impl Endpoint for Pulse {
+///     fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+///     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+///         ctx.send(Route::direct(self.link), self.dst, 1500, Payload::Raw);
+///     }
+/// }
+///
+/// let mut sim = Simulator::new(42);
+/// let link = sim.add_link(LinkConfig::new(10e6, Time::from_millis(5), 50));
+/// let sink = sim.add_endpoint(Box::new(Sink(0)));
+/// let pulse = sim.add_endpoint(Box::new(Pulse { link, dst: sink }));
+/// sim.schedule_timer(pulse, 0, Time::ZERO);
+/// sim.run_until(Time::from_secs(1));
+/// assert_eq!(sim.link(link).stats().packets_out, 1);
+/// ```
+pub struct Simulator {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    links: Vec<Link>,
+    endpoints: Vec<Option<Box<dyn Endpoint>>>,
+    rng: StdRng,
+    scratch: Vec<Command>,
+    events_processed: u64,
+}
+
+impl Simulator {
+    /// Creates an empty simulation with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: Time::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            links: Vec::new(),
+            endpoints: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            scratch: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a link; returns its id.
+    pub fn add_link(&mut self, config: LinkConfig) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(config));
+        id
+    }
+
+    /// Adds an endpoint; returns its id.
+    pub fn add_endpoint(&mut self, endpoint: Box<dyn Endpoint>) -> EndpointId {
+        let id = EndpointId(self.endpoints.len() as u32);
+        self.endpoints.push(Some(endpoint));
+        id
+    }
+
+    /// Read access to a link (its config and statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another simulator.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events dispatched so far (engine-throughput benchmarks).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Arms a timer on `endpoint` from outside the simulation (drivers use
+    /// this to bootstrap: endpoints themselves can only arm timers from
+    /// within callbacks).
+    pub fn schedule_timer(&mut self, endpoint: EndpointId, token: u64, at: Time) {
+        debug_assert!(at >= self.now, "timer in the past");
+        self.push(at, EventKind::Timer { endpoint, token });
+    }
+
+    fn push(&mut self, at: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    /// Dispatches a single event. Returns `false` when the heap is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event heap went backwards");
+        self.now = ev.at;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Timer { endpoint, token } => {
+                self.call_endpoint(endpoint, |ep, ctx| ep.on_timer(ctx, token));
+            }
+            EventKind::TxDone { link, packet } => {
+                let l = &mut self.links[link.0 as usize];
+                let next = l.finish_tx(&packet, self.now);
+                let delay = l.delay();
+                if let Some((next_pkt, done)) = next {
+                    self.push(done, EventKind::TxDone { link, packet: next_pkt });
+                }
+                let mut sent = packet;
+                sent.advance_hop();
+                self.push(self.now + delay, EventKind::Arrival { packet: sent });
+            }
+            EventKind::Arrival { packet } => {
+                self.route_packet(packet);
+            }
+        }
+        true
+    }
+
+    /// Runs all events up to and including time `t`, then advances the
+    /// clock to `t`.
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.at > t {
+                break;
+            }
+            self.step();
+        }
+        debug_assert!(self.now <= t);
+        self.now = t;
+    }
+
+    /// Runs until the event heap drains (all traffic quiesces).
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// Offers `packet` to the next link on its route, or delivers it.
+    fn route_packet(&mut self, packet: Packet) {
+        match packet.next_hop() {
+            Some(link_id) => {
+                let link = &mut self.links[link_id.0 as usize];
+                match link.offer(packet, self.now) {
+                    Offer::StartTx => {
+                        let done = link.begin_tx(&packet, self.now);
+                        self.push(done, EventKind::TxDone { link: link_id, packet });
+                    }
+                    Offer::Queued | Offer::Dropped => {}
+                }
+            }
+            None => {
+                let dst = packet.dst;
+                self.call_endpoint(dst, |ep, ctx| ep.on_packet(ctx, packet));
+            }
+        }
+    }
+
+    /// Invokes an endpoint callback with a fresh [`Ctx`], then applies the
+    /// commands it issued.
+    fn call_endpoint<F>(&mut self, id: EndpointId, f: F)
+    where
+        F: FnOnce(&mut dyn Endpoint, &mut Ctx<'_>),
+    {
+        let slot = id.0 as usize;
+        let mut ep = self.endpoints[slot]
+            .take()
+            .unwrap_or_else(|| panic!("endpoint {slot} re-entered or missing"));
+        let mut commands = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                rng: &mut self.rng,
+                commands: &mut commands,
+            };
+            f(ep.as_mut(), &mut ctx);
+        }
+        self.endpoints[slot] = Some(ep);
+        for cmd in commands.drain(..) {
+            match cmd {
+                Command::Send(packet) => self.route_packet(packet),
+                Command::SetTimer { token, at } => {
+                    debug_assert!(at >= self.now, "timer in the past");
+                    self.push(at.max(self.now), EventKind::Timer { endpoint: id, token });
+                }
+            }
+        }
+        self.scratch = commands;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Records arrival times of every packet it receives.
+    struct Recorder {
+        arrivals: Rc<RefCell<Vec<Time>>>,
+    }
+    impl Endpoint for Recorder {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: Packet) {
+            self.arrivals.borrow_mut().push(ctx.now);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: u64) {}
+    }
+
+    /// Sends `count` packets back-to-back when its timer fires.
+    struct Burst {
+        route: Route,
+        dst: EndpointId,
+        count: u32,
+        size: u32,
+    }
+    impl Endpoint for Burst {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            for _ in 0..self.count {
+                ctx.send(self.route, self.dst, self.size, Payload::Raw);
+            }
+        }
+    }
+
+    fn world(
+        rate: f64,
+        delay_ms: u64,
+        buffer: u32,
+        burst: u32,
+        size: u32,
+    ) -> (Simulator, LinkId, Rc<RefCell<Vec<Time>>>) {
+        let mut sim = Simulator::new(7);
+        let link = sim.add_link(LinkConfig::new(rate, Time::from_millis(delay_ms), buffer));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let sink = sim.add_endpoint(Box::new(Recorder {
+            arrivals: Rc::clone(&arrivals),
+        }));
+        let src = sim.add_endpoint(Box::new(Burst {
+            route: Route::direct(link),
+            dst: sink,
+            count: burst,
+            size,
+        }));
+        sim.schedule_timer(src, 0, Time::ZERO);
+        (sim, link, arrivals)
+    }
+
+    #[test]
+    fn single_packet_arrives_after_tx_plus_propagation() {
+        // 1500 B at 12 Mbps = 1 ms tx; +5 ms propagation = 6 ms.
+        let (mut sim, _, arrivals) = world(12e6, 5, 50, 1, 1500);
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(*arrivals.borrow(), vec![Time::from_millis(6)]);
+    }
+
+    #[test]
+    fn back_to_back_packets_are_paced_by_serialization() {
+        let (mut sim, _, arrivals) = world(12e6, 5, 50, 3, 1500);
+        sim.run_until(Time::from_secs(1));
+        let a = arrivals.borrow();
+        assert_eq!(a.len(), 3);
+        // Spaced exactly one serialization time (1 ms) apart.
+        assert_eq!(a[1] - a[0], Time::from_millis(1));
+        assert_eq!(a[2] - a[1], Time::from_millis(1));
+    }
+
+    #[test]
+    fn droptail_loses_overflow_packets() {
+        // Buffer holds two queued packets; burst of 5 → 1 in serializer,
+        // 2 queued, 2 dropped.
+        let (mut sim, link, arrivals) = world(12e6, 5, 2, 5, 1500);
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(arrivals.borrow().len(), 3);
+        assert_eq!(sim.link(link).stats().drops, 2);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Simulator::new(1);
+        sim.run_until(Time::from_secs(10));
+        assert_eq!(sim.now(), Time::from_secs(10));
+    }
+
+    #[test]
+    fn equal_time_events_dispatch_in_scheduling_order() {
+        struct Logger {
+            tag: u64,
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Endpoint for Logger {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.log.borrow_mut().push(self.tag * 100 + token);
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let a = sim.add_endpoint(Box::new(Logger { tag: 1, log: Rc::clone(&log) }));
+        let b = sim.add_endpoint(Box::new(Logger { tag: 2, log: Rc::clone(&log) }));
+        let t = Time::from_millis(5);
+        sim.schedule_timer(b, 1, t);
+        sim.schedule_timer(a, 2, t);
+        sim.schedule_timer(b, 3, t);
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(*log.borrow(), vec![201, 102, 203]);
+    }
+
+    #[test]
+    fn multi_hop_route_traverses_both_links() {
+        let mut sim = Simulator::new(1);
+        let l1 = sim.add_link(LinkConfig::new(12e6, Time::from_millis(5), 50));
+        let l2 = sim.add_link(LinkConfig::new(12e6, Time::from_millis(7), 50));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let sink = sim.add_endpoint(Box::new(Recorder {
+            arrivals: Rc::clone(&arrivals),
+        }));
+        let src = sim.add_endpoint(Box::new(Burst {
+            route: Route::new(&[l1, l2]),
+            dst: sink,
+            count: 1,
+            size: 1500,
+        }));
+        sim.schedule_timer(src, 0, Time::ZERO);
+        sim.run_until(Time::from_secs(1));
+        // 1 ms tx + 5 ms + 1 ms tx + 7 ms = 14 ms.
+        assert_eq!(*arrivals.borrow(), vec![Time::from_millis(14)]);
+        assert_eq!(sim.link(l1).stats().packets_out, 1);
+        assert_eq!(sim.link(l2).stats().packets_out, 1);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed: u64| -> Vec<Time> {
+            let (mut sim, _, arrivals) = world(12e6, 5, 2, 5, 1500);
+            let _ = seed; // world is deterministic regardless; assert replay
+            sim.run_until(Time::from_secs(1));
+            let a = arrivals.borrow().clone();
+            a
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn quiescence_drains_all_events() {
+        let (mut sim, link, arrivals) = world(12e6, 5, 50, 4, 1500);
+        sim.run_to_quiescence();
+        assert_eq!(arrivals.borrow().len(), 4);
+        assert_eq!(sim.link(link).stats().packets_out, 4);
+        assert!(!sim.step(), "heap is empty");
+    }
+}

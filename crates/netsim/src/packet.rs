@@ -1,0 +1,206 @@
+//! Packets and the shared payload vocabulary.
+//!
+//! Packets are *source-routed*: the sender stamps the sequence of links the
+//! packet traverses (a [`Route`]) and the destination endpoint. The engine
+//! follows the route hop by hop; there are no routing tables — the paper's
+//! experiments are per-path, and a path is exactly a route.
+//!
+//! The engine never interprets [`Payload`]; the enum exists so that TCP
+//! endpoints, measurement probes, and cross-traffic sources (which live in
+//! other crates) can coexist in one simulation with one packet type.
+
+use crate::engine::EndpointId;
+use crate::link::LinkId;
+use crate::time::Time;
+
+/// Maximum hops a route may carry. The testbed's paths are 1–2 links;
+/// 4 leaves room for richer topologies (e.g. shared access + bottleneck +
+/// reverse congestion experiments).
+pub const MAX_HOPS: usize = 4;
+
+/// A fixed-capacity sequence of links a packet traverses, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    hops: [LinkId; MAX_HOPS],
+    len: u8,
+}
+
+impl Route {
+    /// A route over the given links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_HOPS`] links are given or the route is
+    /// empty (an empty route would deliver instantaneously, which is never
+    /// what a network experiment means).
+    pub fn new(links: &[LinkId]) -> Self {
+        assert!(!links.is_empty(), "empty route");
+        assert!(links.len() <= MAX_HOPS, "route longer than {MAX_HOPS} hops");
+        let mut hops = [LinkId(0); MAX_HOPS];
+        hops[..links.len()].copy_from_slice(links);
+        Route {
+            hops,
+            len: links.len() as u8,
+        }
+    }
+
+    /// Single-link route.
+    pub fn direct(link: LinkId) -> Self {
+        Route::new(&[link])
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Routes are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `i`-th hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn hop(&self, i: usize) -> LinkId {
+        assert!(i < self.len(), "hop {i} out of range");
+        self.hops[i]
+    }
+}
+
+/// TCP segment metadata carried by data and ACK packets.
+///
+/// Interpreted only by the TCP endpoints in `tputpred-tcp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpMeta {
+    /// First byte sequence number of this segment (data packets).
+    pub seq: u64,
+    /// Bytes of payload in this segment (data packets).
+    pub len: u32,
+    /// Cumulative ACK: next byte expected by the receiver (ACK packets).
+    pub ack: u64,
+    /// True for pure ACKs.
+    pub is_ack: bool,
+    /// True when this segment is a retransmission (Karn's algorithm:
+    /// no RTT sample from retransmitted segments).
+    pub retx: bool,
+    /// Departure timestamp of the *data* this packet acknowledges or
+    /// carries, echoed by the receiver so the sender can sample RTT.
+    pub echo: Time,
+}
+
+/// Probe metadata carried by measurement packets (ping, pathload trains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeMeta {
+    /// Probe sequence number within its stream.
+    pub seq: u64,
+    /// Stream (train) identifier, for pathload-style multi-train probing.
+    pub stream: u32,
+    /// Departure timestamp at the prober.
+    pub sent_at: Time,
+    /// True for the reply direction of an echo probe.
+    pub is_reply: bool,
+}
+
+/// What a packet carries. The engine treats this as opaque freight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// TCP data or ACK.
+    Tcp(TcpMeta),
+    /// Measurement probe.
+    Probe(ProbeMeta),
+    /// Cross-traffic filler with no protocol semantics.
+    Raw,
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Wire size in bytes (headers included) — what queues and link
+    /// serializers account.
+    pub size: u32,
+    /// Sending endpoint.
+    pub src: EndpointId,
+    /// Final destination endpoint.
+    pub dst: EndpointId,
+    /// The links still to traverse.
+    pub route: Route,
+    /// Index of the next hop within `route`.
+    pub hop_index: u8,
+    /// Opaque freight.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// The next link this packet must enter, or `None` if the route is
+    /// exhausted (deliver to `dst`).
+    pub fn next_hop(&self) -> Option<LinkId> {
+        if (self.hop_index as usize) < self.route.len() {
+            Some(self.route.hop(self.hop_index as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Advances past the current hop.
+    pub fn advance_hop(&mut self) {
+        debug_assert!((self.hop_index as usize) < self.route.len());
+        self.hop_index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(route: Route) -> Packet {
+        Packet {
+            size: 1500,
+            src: EndpointId(0),
+            dst: EndpointId(1),
+            route,
+            hop_index: 0,
+            payload: Payload::Raw,
+        }
+    }
+
+    #[test]
+    fn route_iterates_hops_in_order() {
+        let r = Route::new(&[LinkId(3), LinkId(7)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.hop(0), LinkId(3));
+        assert_eq!(r.hop(1), LinkId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty route")]
+    fn empty_route_rejected() {
+        let _ = Route::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than")]
+    fn oversized_route_rejected() {
+        let links = [LinkId(0); MAX_HOPS + 1];
+        let _ = Route::new(&links);
+    }
+
+    #[test]
+    fn packet_walks_its_route() {
+        let mut p = pkt(Route::new(&[LinkId(1), LinkId(2)]));
+        assert_eq!(p.next_hop(), Some(LinkId(1)));
+        p.advance_hop();
+        assert_eq!(p.next_hop(), Some(LinkId(2)));
+        p.advance_hop();
+        assert_eq!(p.next_hop(), None);
+    }
+
+    #[test]
+    fn direct_route_has_one_hop() {
+        let p = pkt(Route::direct(LinkId(9)));
+        assert_eq!(p.route.len(), 1);
+        assert_eq!(p.next_hop(), Some(LinkId(9)));
+    }
+}

@@ -1,0 +1,268 @@
+//! Piecewise-constant load modulation: the time-series pathologies of
+//! §5.2, injected by construction.
+//!
+//! A [`RateSchedule`] multiplies a cross-traffic source's base rate by a
+//! time-varying factor composed of:
+//!
+//! * a **base level** per segment — changing at *level-shift* instants
+//!   (the paper's route/load changes that HB predictors must restart on);
+//! * transient **bursts** — short intervals of extreme load (producing
+//!   the *outlier* throughput measurements the ψ-heuristic discards).
+//!
+//! The schedule is immutable once built; generators sample it at each
+//! packet emission, so the modulation resolution is the packet scale.
+
+use crate::time::Time;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// One constant-level segment of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Segment {
+    /// Segment start (segments are sorted; the first starts at 0).
+    start: Time,
+    /// Rate multiplier during the segment.
+    level: f64,
+}
+
+/// A transient burst on top of the base level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Burst {
+    start: Time,
+    end: Time,
+    /// Multiplier applied *instead of* the base level while active.
+    level: f64,
+}
+
+/// A piecewise-constant rate-multiplier over simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_netsim::{RateSchedule, Time};
+/// let s = RateSchedule::constant(1.0)
+///     .with_shift(Time::from_secs(100), 2.0)
+///     .with_burst(Time::from_secs(50), Time::from_secs(52), 5.0);
+/// assert_eq!(s.multiplier_at(Time::from_secs(10)), 1.0);
+/// assert_eq!(s.multiplier_at(Time::from_secs(51)), 5.0);
+/// assert_eq!(s.multiplier_at(Time::from_secs(200)), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RateSchedule {
+    segments: Vec<Segment>,
+    bursts: Vec<Burst>,
+}
+
+impl RateSchedule {
+    /// A schedule with a single constant level.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative level.
+    pub fn constant(level: f64) -> Self {
+        assert!(level >= 0.0, "negative rate level");
+        RateSchedule {
+            segments: vec![Segment {
+                start: Time::ZERO,
+                level,
+            }],
+            bursts: Vec::new(),
+        }
+    }
+
+    /// Adds a level shift: from `at` onward the base multiplier is
+    /// `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not after the last shift, or `level` is negative.
+    pub fn with_shift(mut self, at: Time, level: f64) -> Self {
+        assert!(level >= 0.0, "negative rate level");
+        let last = self.segments.last().expect("schedule has a base segment");
+        assert!(at > last.start, "shifts must be strictly increasing");
+        self.segments.push(Segment { start: at, level });
+        self
+    }
+
+    /// Adds a transient burst overriding the base level on `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start < end` and `level ≥ 0`.
+    pub fn with_burst(mut self, start: Time, end: Time, level: f64) -> Self {
+        assert!(start < end, "empty burst");
+        assert!(level >= 0.0, "negative burst level");
+        self.bursts.push(Burst { start, end, level });
+        self
+    }
+
+    /// The multiplier in effect at time `t`. Bursts take precedence over
+    /// the base level; overlapping bursts resolve to the latest-added.
+    pub fn multiplier_at(&self, t: Time) -> f64 {
+        for b in self.bursts.iter().rev() {
+            if t >= b.start && t < b.end {
+                return b.level;
+            }
+        }
+        // Segments are sorted by construction; find the last whose start
+        // is ≤ t.
+        let idx = self
+            .segments
+            .partition_point(|s| s.start <= t)
+            .saturating_sub(1);
+        self.segments[idx].level
+    }
+
+    /// Number of level shifts (segments beyond the base one).
+    pub fn shift_count(&self) -> usize {
+        self.segments.len().saturating_sub(1)
+    }
+
+    /// Number of bursts.
+    pub fn burst_count(&self) -> usize {
+        self.bursts.len()
+    }
+
+    /// Times at which the base level shifts.
+    pub fn shift_times(&self) -> impl Iterator<Item = Time> + '_ {
+        self.segments.iter().skip(1).map(|s| s.start)
+    }
+
+    /// Generates a random schedule for a trace of duration `horizon`:
+    ///
+    /// * level shifts arrive as a Poisson process of rate
+    ///   `shifts_per_trace / horizon`, each drawing a new level uniformly
+    ///   in `level_range`;
+    /// * bursts likewise with `bursts_per_trace`, lasting `burst_len`
+    ///   each, at a level uniform in `burst_range`.
+    ///
+    /// Deterministic given the RNG state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        horizon: Time,
+        shifts_per_trace: f64,
+        level_range: (f64, f64),
+        bursts_per_trace: f64,
+        burst_len: Time,
+        burst_range: (f64, f64),
+    ) -> Self {
+        let base = rng.random_range(level_range.0..=level_range.1);
+        let mut schedule = RateSchedule::constant(base);
+        if shifts_per_trace > 0.0 {
+            let mean_gap = horizon.as_secs_f64() / shifts_per_trace;
+            let mut t = crate::random::exponential(rng, mean_gap);
+            while t < horizon.as_secs_f64() {
+                let level = rng.random_range(level_range.0..=level_range.1);
+                schedule = schedule.with_shift(Time::from_secs_f64(t), level);
+                t += crate::random::exponential(rng, mean_gap);
+            }
+        }
+        if bursts_per_trace > 0.0 {
+            let mean_gap = horizon.as_secs_f64() / bursts_per_trace;
+            let mut t = crate::random::exponential(rng, mean_gap);
+            while t < horizon.as_secs_f64() {
+                let level = rng.random_range(burst_range.0..=burst_range.1);
+                let start = Time::from_secs_f64(t);
+                schedule = schedule.with_burst(start, start + burst_len, level);
+                t += burst_len.as_secs_f64() + crate::random::exponential(rng, mean_gap);
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_schedule_is_flat() {
+        let s = RateSchedule::constant(0.5);
+        for secs in [0, 1, 100, 10_000] {
+            assert_eq!(s.multiplier_at(Time::from_secs(secs)), 0.5);
+        }
+        assert_eq!(s.shift_count(), 0);
+    }
+
+    #[test]
+    fn shifts_change_the_base_level() {
+        let s = RateSchedule::constant(1.0)
+            .with_shift(Time::from_secs(10), 2.0)
+            .with_shift(Time::from_secs(20), 0.25);
+        assert_eq!(s.multiplier_at(Time::from_secs(9)), 1.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(10)), 2.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(19)), 2.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(25)), 0.25);
+        assert_eq!(s.shift_count(), 2);
+    }
+
+    #[test]
+    fn bursts_override_and_expire() {
+        let s = RateSchedule::constant(1.0).with_burst(
+            Time::from_secs(5),
+            Time::from_secs(6),
+            9.0,
+        );
+        assert_eq!(s.multiplier_at(Time::from_millis(5500)), 9.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(6)), 1.0, "end-exclusive");
+        assert_eq!(s.multiplier_at(Time::from_secs(4)), 1.0);
+    }
+
+    #[test]
+    fn burst_inside_shifted_region_still_wins() {
+        let s = RateSchedule::constant(1.0)
+            .with_shift(Time::from_secs(10), 3.0)
+            .with_burst(Time::from_secs(15), Time::from_secs(16), 0.0);
+        assert_eq!(s.multiplier_at(Time::from_millis(15_500)), 0.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(17)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_shift_rejected() {
+        let _ = RateSchedule::constant(1.0)
+            .with_shift(Time::from_secs(10), 2.0)
+            .with_shift(Time::from_secs(5), 3.0);
+    }
+
+    #[test]
+    fn random_schedule_is_reproducible_and_in_range() {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            RateSchedule::random(
+                &mut rng,
+                Time::from_secs(3600),
+                3.0,
+                (0.2, 0.9),
+                5.0,
+                Time::from_secs(120),
+                (2.0, 4.0),
+            )
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "same seed, same schedule");
+        for m in (0..3600).step_by(13).map(|s| a.multiplier_at(Time::from_secs(s))) {
+            assert!((0.2..=4.0).contains(&m), "multiplier {m} out of range");
+        }
+    }
+
+    #[test]
+    fn random_schedule_respects_zero_rates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = RateSchedule::random(
+            &mut rng,
+            Time::from_secs(100),
+            0.0,
+            (1.0, 1.0),
+            0.0,
+            Time::from_secs(1),
+            (1.0, 1.0),
+        );
+        assert_eq!(s.shift_count(), 0);
+        assert_eq!(s.burst_count(), 0);
+    }
+}

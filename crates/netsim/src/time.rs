@@ -1,0 +1,181 @@
+//! Simulated time: a nanosecond-resolution monotonic clock.
+//!
+//! Integer nanoseconds (not `f64` seconds) so that event ordering is exact
+//! and simulations replay bit-identically across platforms. A `u64`
+//! nanosecond clock runs for ~584 years of simulated time — the paper's
+//! longest traces are 6 hours.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant (or span) of simulated time, in nanoseconds since the start
+/// of the simulation.
+///
+/// `Time` is used for both instants and durations; the arithmetic provided
+/// is the small set a simulator needs (instant + span, instant − instant).
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_netsim::Time;
+/// let t = Time::from_secs_f64(1.5) + Time::from_millis(500);
+/// assert_eq!(t.as_secs_f64(), 2.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// The far future; useful as an "infinite" deadline.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// From raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// From whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// From whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s.is_finite() && s >= 0.0, "invalid time {s}");
+        Time((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction — spans never go negative.
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Time) -> Option<Time> {
+        self.0.checked_sub(rhs.0).map(Time)
+    }
+
+    /// The serialization time of `bytes` at `rate_bps` bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on a non-positive rate.
+    pub fn tx_time(bytes: u32, rate_bps: f64) -> Time {
+        debug_assert!(rate_bps > 0.0, "non-positive link rate");
+        Time::from_secs_f64(bytes as f64 * 8.0 / rate_bps)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics on underflow — subtracting a later instant from an earlier
+    /// one is always a logic error in a monotonic simulation.
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("simulated time underflow"))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_secs(2), Time::from_millis(2000));
+        assert_eq!(Time::from_millis(3), Time::from_micros(3000));
+        assert_eq!(Time::from_micros(5), Time::from_nanos(5000));
+        assert_eq!(Time::from_secs_f64(1.25), Time::from_millis(1250));
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let a = Time::from_secs(1);
+        let b = Time::from_millis(250);
+        assert_eq!((a + b).as_secs_f64(), 1.25);
+        assert_eq!((a - b).as_millis_f64(), 750.0);
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.checked_sub(b), Some(Time::from_millis(750)));
+        assert_eq!(b.checked_sub(a), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Time::from_secs(1) - Time::from_secs(2);
+    }
+
+    #[test]
+    fn tx_time_matches_hand_computation() {
+        // 1500 bytes at 10 Mbps = 1.2 ms.
+        let t = Time::tx_time(1500, 10e6);
+        assert_eq!(t, Time::from_micros(1200));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut ts = vec![Time::from_secs(3), Time::ZERO, Time::from_millis(1)];
+        ts.sort();
+        assert_eq!(ts[0], Time::ZERO);
+        assert_eq!(ts[2], Time::from_secs(3));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(Time::from_millis(1500).to_string(), "1.500000s");
+    }
+}

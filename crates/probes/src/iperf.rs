@@ -1,0 +1,169 @@
+//! The IPerf-style target flow: a fixed-duration bulk TCP transfer with a
+//! configurable socket buffer, measured by delivered bytes (§4.1).
+
+use tputpred_netsim::{Route, Simulator, Time};
+use tputpred_tcp::{connect, FlowHandle, TcpConfig};
+
+/// A measured bulk transfer — the *target flow* whose throughput the
+/// predictors try to predict.
+///
+/// Thin orchestration over [`tputpred_tcp::connect`]: records the
+/// transfer window `[start, stop)` and computes the achieved average
+/// throughput (and prefix throughputs, for §4.2.7's 30/60/120-s analysis)
+/// from sampled delivered-byte counts.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_netsim::link::LinkConfig;
+/// use tputpred_netsim::{Route, Simulator, Time};
+/// use tputpred_probes::BulkTransfer;
+/// use tputpred_tcp::TcpConfig;
+///
+/// let mut sim = Simulator::new(1);
+/// let fwd = sim.add_link(LinkConfig::new(10e6, Time::from_millis(20), 67));
+/// let rev = sim.add_link(LinkConfig::new(1e9, Time::from_millis(20), 700));
+/// let transfer = BulkTransfer::launch(
+///     &mut sim,
+///     TcpConfig::default(),
+///     Route::direct(fwd),
+///     Route::direct(rev),
+///     Time::ZERO,
+///     Time::from_secs(10),
+/// );
+/// sim.run_until(Time::from_secs(10));
+/// let r = transfer.throughput();
+/// assert!(r > 7e6 && r <= 10e6);
+/// ```
+pub struct BulkTransfer {
+    stats: FlowHandle,
+    start: Time,
+    stop: Time,
+}
+
+impl BulkTransfer {
+    /// Starts a bulk transfer in `sim` over `fwd_route`/`rev_route`,
+    /// transmitting on `[start, stop)`.
+    pub fn launch(
+        sim: &mut Simulator,
+        config: TcpConfig,
+        fwd_route: Route,
+        rev_route: Route,
+        start: Time,
+        stop: Time,
+    ) -> Self {
+        let (_, _, stats) = connect(sim, config, fwd_route, rev_route, start, stop);
+        BulkTransfer { stats, start, stop }
+    }
+
+    /// The flow's statistics handle (RTT samples, loss events, ...).
+    pub fn stats(&self) -> &FlowHandle {
+        &self.stats
+    }
+
+    /// Transfer start time.
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// Transfer stop time.
+    pub fn stop(&self) -> Time {
+        self.stop
+    }
+
+    /// Bytes delivered so far — sample this at chosen instants for prefix
+    /// throughputs.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.stats.borrow().bytes_delivered
+    }
+
+    /// Average throughput over the full transfer window (bits/s). Read
+    /// after running the simulation to (at least) `stop`.
+    pub fn throughput(&self) -> f64 {
+        self.throughput_over(self.stop - self.start)
+    }
+
+    /// Average throughput over the first `prefix` of the transfer, given
+    /// the delivered-byte count sampled at `start + prefix`.
+    ///
+    /// The §4.2.7 protocol: run the simulation to `start + prefix`, call
+    /// [`BulkTransfer::delivered_bytes`], and divide — this method does
+    /// the division for the *current* sample, so only call it when the
+    /// simulation clock sits at `start + prefix`.
+    pub fn throughput_over(&self, prefix: Time) -> f64 {
+        let bytes = self.delivered_bytes();
+        if prefix == Time::ZERO {
+            0.0
+        } else {
+            bytes as f64 * 8.0 / prefix.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tputpred_netsim::link::LinkConfig;
+
+    fn world(seed: u64) -> (Simulator, Route, Route) {
+        let mut sim = Simulator::new(seed);
+        let fwd = sim.add_link(LinkConfig::new(10e6, Time::from_millis(20), 33));
+        let rev = sim.add_link(LinkConfig::new(1e9, Time::from_millis(20), 700));
+        (sim, Route::direct(fwd), Route::direct(rev))
+    }
+
+    #[test]
+    fn full_window_throughput_is_near_capacity() {
+        let (mut sim, fwd, rev) = world(41);
+        let t = BulkTransfer::launch(
+            &mut sim,
+            TcpConfig::default(),
+            fwd,
+            rev,
+            Time::ZERO,
+            Time::from_secs(20),
+        );
+        sim.run_until(Time::from_secs(20));
+        let r = t.throughput();
+        assert!(r > 7e6 && r <= 10e6, "{:.2} Mbps", r / 1e6);
+    }
+
+    #[test]
+    fn prefix_throughput_reflects_slow_start_ramp() {
+        let (mut sim, fwd, rev) = world(42);
+        let t = BulkTransfer::launch(
+            &mut sim,
+            TcpConfig::default(),
+            fwd,
+            rev,
+            Time::ZERO,
+            Time::from_secs(30),
+        );
+        sim.run_until(Time::from_millis(500));
+        let early = t.throughput_over(Time::from_millis(500));
+        sim.run_until(Time::from_secs(30));
+        let full = t.throughput();
+        assert!(
+            early < full,
+            "slow start makes the first 0.5 s slower: {early} vs {full}"
+        );
+    }
+
+    #[test]
+    fn delayed_start_window_is_respected() {
+        let (mut sim, fwd, rev) = world(43);
+        let start = Time::from_secs(5);
+        let t = BulkTransfer::launch(
+            &mut sim,
+            TcpConfig::default(),
+            fwd,
+            rev,
+            start,
+            Time::from_secs(15),
+        );
+        sim.run_until(Time::from_secs(4));
+        assert_eq!(t.delivered_bytes(), 0);
+        sim.run_until(Time::from_secs(15));
+        assert!(t.throughput() > 6e6);
+    }
+}

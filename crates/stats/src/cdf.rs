@@ -1,0 +1,178 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Most of the paper's results are presented as CDFs of the relative
+//! prediction error `E` (Figs. 2, 6, 13, 14), of RTT/loss increases during
+//! the target flow (Figs. 3–5), and of per-trace RMSRE (Figs. 16–19, 23).
+//! [`Cdf`] stores the sorted sample and answers both directions of lookup:
+//! `F(x)` (fraction of samples ≤ x) and the quantile function `F⁻¹(q)`.
+
+use crate::quantile::quantile_sorted;
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a set of `f64` samples.
+///
+/// Construction sorts the sample once; lookups are `O(log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_stats::Cdf;
+/// let cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_below(2.5), 0.5);
+/// assert_eq!(cdf.quantile(1.0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds an empirical CDF from any iterator of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains `NaN`.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(!sorted.is_empty(), "empirical CDF of an empty sample");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF sample"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false`: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted sample, ascending.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `F(x)`: the fraction of samples that are ≤ `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x because the
+        // predicate holds exactly on the prefix of the sorted sample.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `F⁻¹(q)`: the `q`-quantile of the sample (type-7 interpolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_sorted(&self.sorted, q)
+    }
+
+    /// Minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("CDF is never empty")
+    }
+
+    /// Evaluates the CDF on an evenly spaced grid of `points` x-values
+    /// spanning `[min, max]`, returning `(x, F(x))` pairs.
+    ///
+    /// This is how the figure binaries emit a plottable series: the paper's
+    /// CDF figures become a column of `x  F(x)` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn grid(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "CDF grid needs at least 2 points");
+        let (lo, hi) = (self.min(), self.max());
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                // Pin the final grid point to the exact maximum: the
+                // incremental sum can land a hair below it and miss the
+                // top sample.
+                let x = if i == points - 1 { hi } else { lo + step * i as f64 };
+                (x, self.fraction_below(x))
+            })
+            .collect()
+    }
+
+    /// Evaluates the CDF at each of the given x-values.
+    ///
+    /// Useful for comparing two CDFs on a common grid, as the paper does when
+    /// overlaying lossy/lossless predictions (Fig. 2) or original vs revised
+    /// PFTK (Fig. 13).
+    pub fn at(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.fraction_below(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Cdf::from_samples(std::iter::empty());
+    }
+
+    #[test]
+    fn fraction_below_is_step_function() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.fraction_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_below(1.0), 0.25);
+        assert_eq!(cdf.fraction_below(1.5), 0.25);
+        assert_eq!(cdf.fraction_below(4.0), 1.0);
+        assert_eq!(cdf.fraction_below(9.0), 1.0);
+    }
+
+    #[test]
+    fn duplicates_count_multiply() {
+        let cdf = Cdf::from_samples([2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(cdf.fraction_below(2.0), 0.75);
+    }
+
+    #[test]
+    fn min_max_are_sample_extremes() {
+        let cdf = Cdf::from_samples([3.0, -1.0, 2.0]);
+        assert_eq!(cdf.min(), -1.0);
+        assert_eq!(cdf.max(), 3.0);
+    }
+
+    #[test]
+    fn grid_spans_range_and_is_monotone() {
+        let cdf = Cdf::from_samples([0.0, 1.0, 2.0, 5.0, 10.0]);
+        let grid = cdf.grid(11);
+        assert_eq!(grid.len(), 11);
+        assert_eq!(grid[0].0, 0.0);
+        assert_eq!(grid[10].0, 10.0);
+        assert_eq!(grid[10].1, 1.0);
+        for w in grid.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn quantile_round_trips_with_fraction_below() {
+        let cdf = Cdf::from_samples((0..100).map(f64::from));
+        let m = cdf.quantile(0.5);
+        let f = cdf.fraction_below(m);
+        assert!((f - 0.5).abs() <= 0.01, "median lookup near 0.5, got {f}");
+    }
+
+    #[test]
+    fn at_evaluates_requested_points() {
+        let cdf = Cdf::from_samples([1.0, 2.0]);
+        let pts = cdf.at(&[0.0, 1.0, 2.0]);
+        assert_eq!(pts, vec![(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]);
+    }
+}

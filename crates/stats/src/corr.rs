@@ -1,0 +1,135 @@
+//! Correlation coefficients.
+//!
+//! §6.1.3 reports a Pearson correlation coefficient of 0.91 between the
+//! per-trace CoV of the throughput time series and the HW-LSO prediction
+//! RMSRE (Fig. 20); §6.1.4 reports per-path correlations between RMSRE and
+//! loss rate in the 0.72–0.94 range. [`pearson`] reproduces those numbers;
+//! [`spearman`] is provided as a robustness check on the same scatter data
+//! (rank correlation is insensitive to the heavy upper tail of RMSRE).
+
+/// Pearson product-moment correlation coefficient of two equal-length
+/// samples.
+///
+/// Returns `None` when fewer than two points are given or either sample has
+/// zero variance (the coefficient is undefined there).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_stats::pearson;
+/// let xs = [1.0, 2.0, 3.0];
+/// let ys = [2.0, 4.0, 6.0];
+/// assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation: Pearson correlation of the mid-ranks.
+///
+/// Ties receive the average of the ranks they span.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "spearman: length mismatch");
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Mid-ranks of a sample (1-based; ties averaged).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank over the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_has_undefined_correlation() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]), None);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+
+    #[test]
+    fn uncorrelated_symmetric_data_is_near_zero() {
+        // A symmetric cross pattern has exactly zero correlation.
+        let xs = [-1.0, 1.0, -1.0, 1.0];
+        let ys = [-1.0, -1.0, 1.0, 1.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_one_for_any_monotone_map() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_ranks_are_averaged() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = pearson(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Fixed-bin histograms, linear or logarithmic.
+//!
+//! The error distributions of this reproduction span orders of magnitude
+//! (relative errors from 0.01 to 100+), so the log-binned variant is the
+//! natural way to tabulate them; the figure binaries use [`Cdf`]
+//! (crate::Cdf) for the paper's CDF plots and histograms for compact
+//! textual summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Bin-edge layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Binning {
+    /// `bins` equal-width bins covering `[lo, hi)`.
+    Linear { lo: f64, hi: f64, bins: usize },
+    /// `bins` equal-ratio bins covering `[lo, hi)`; requires `0 < lo < hi`.
+    Log { lo: f64, hi: f64, bins: usize },
+}
+
+/// A counting histogram with under/overflow buckets.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_stats::histogram::{Binning, Histogram};
+/// let mut h = Histogram::new(Binning::Log { lo: 0.01, hi: 100.0, bins: 4 });
+/// for x in [0.05, 0.5, 5.0, 50.0, 5000.0] {
+///     h.push(x);
+/// }
+/// assert_eq!(h.counts(), &[1, 1, 1, 1]);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    binning: Binning,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero bins, `lo ≥ hi`, or a non-positive `lo` for log
+    /// binning.
+    pub fn new(binning: Binning) -> Self {
+        let bins = match binning {
+            Binning::Linear { lo, hi, bins } => {
+                assert!(bins > 0, "histogram needs at least one bin");
+                assert!(lo < hi, "empty histogram range");
+                bins
+            }
+            Binning::Log { lo, hi, bins } => {
+                assert!(bins > 0, "histogram needs at least one bin");
+                assert!(lo > 0.0 && lo < hi, "log binning needs 0 < lo < hi");
+                bins
+            }
+        };
+        Histogram {
+            binning,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Index of the bin containing `x`, if inside the range.
+    fn bin_of(&self, x: f64) -> Result<usize, bool> {
+        // Err(false) = underflow, Err(true) = overflow.
+        match self.binning {
+            Binning::Linear { lo, hi, bins } => {
+                if x < lo {
+                    Err(false)
+                } else if x >= hi {
+                    Err(true)
+                } else {
+                    Ok(((x - lo) / (hi - lo) * bins as f64) as usize)
+                }
+            }
+            Binning::Log { lo, hi, bins } => {
+                if x < lo {
+                    Err(false)
+                } else if x >= hi {
+                    Err(true)
+                } else {
+                    let frac = (x / lo).ln() / (hi / lo).ln();
+                    Ok(((frac * bins as f64) as usize).min(bins - 1))
+                }
+            }
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "NaN observation");
+        match self.bin_of(x) {
+            Ok(i) => self.counts[i] += 1,
+            Err(false) => self.underflow += 1,
+            Err(true) => self.overflow += 1,
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `(lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        match self.binning {
+            Binning::Linear { lo, hi, bins } => {
+                assert!(i < bins);
+                let w = (hi - lo) / bins as f64;
+                (lo + w * i as f64, lo + w * (i + 1) as f64)
+            }
+            Binning::Log { lo, hi, bins } => {
+                assert!(i < bins);
+                let r = (hi / lo).powf(1.0 / bins as f64);
+                (lo * r.powi(i as i32), lo * r.powi(i as i32 + 1))
+            }
+        }
+    }
+
+    /// Renders rows of `lo..hi count` for the non-empty bins.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.underflow > 0 {
+            let _ = writeln!(out, "<{:.4}\t{}", self.first_edge(), self.underflow);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                let (lo, hi) = self.bin_edges(i);
+                let _ = writeln!(out, "{lo:.4}..{hi:.4}\t{c}");
+            }
+        }
+        if self.overflow > 0 {
+            let _ = writeln!(out, ">={:.4}\t{}", self.last_edge(), self.overflow);
+        }
+        out
+    }
+
+    fn first_edge(&self) -> f64 {
+        match self.binning {
+            Binning::Linear { lo, .. } | Binning::Log { lo, .. } => lo,
+        }
+    }
+
+    fn last_edge(&self) -> f64 {
+        match self.binning {
+            Binning::Linear { hi, .. } | Binning::Log { hi, .. } => hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning_places_values() {
+        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 10.0, bins: 5 });
+        for x in [0.0, 1.9, 2.0, 9.99] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow_are_counted_separately() {
+        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 1.0, bins: 2 });
+        h.push(-1.0);
+        h.push(1.0);
+        h.push(99.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts(), &[0, 0]);
+    }
+
+    #[test]
+    fn log_bins_are_equal_ratio() {
+        let h = Histogram::new(Binning::Log { lo: 1.0, hi: 16.0, bins: 4 });
+        assert_eq!(h.bin_edges(0), (1.0, 2.0));
+        let (lo3, hi3) = h.bin_edges(3);
+        assert!((lo3 - 8.0).abs() < 1e-9 && (hi3 - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_binning_places_decades() {
+        let mut h = Histogram::new(Binning::Log { lo: 0.01, hi: 100.0, bins: 4 });
+        for x in [0.05, 0.5, 5.0, 50.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn render_lists_nonempty_bins_and_tails() {
+        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 2.0, bins: 2 });
+        h.push(0.5);
+        h.push(5.0);
+        let r = h.render();
+        assert!(r.contains("0.0000..1.0000\t1"));
+        assert!(r.contains(">=2.0000\t1"));
+        assert!(!r.contains("1.0000..2.0000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo")]
+    fn log_binning_rejects_nonpositive_lo() {
+        let _ = Histogram::new(Binning::Log { lo: 0.0, hi: 1.0, bins: 2 });
+    }
+}

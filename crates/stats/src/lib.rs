@@ -1,0 +1,34 @@
+//! Empirical statistics and plain-text rendering used throughout the
+//! reproduction of *On the predictability of large transfer TCP throughput*
+//! (He, Dovrolis, Ammar — SIGCOMM 2005 / Computer Networks 2007).
+//!
+//! The paper's evaluation reports empirical CDFs (Figs. 2–6, 13, 14, 16–18,
+//! 19, 23), per-path quantile summaries (Fig. 7), scatter plots with
+//! correlation coefficients (Figs. 8–10, 20), and bar groups (Figs. 12, 15,
+//! 21, 22). This crate provides exactly those primitives:
+//!
+//! * [`Cdf`] — an empirical cumulative distribution function with quantile
+//!   lookup and fixed-grid evaluation, the backbone of every CDF figure.
+//! * [`quantile()`](quantile::quantile), [`median`] — R-7 style linear-interpolation quantiles.
+//! * [`pearson`] — the correlation coefficient quoted in §6.1.3/§6.1.4.
+//! * [`Summary`] — streaming mean/variance/min/max (Welford's algorithm).
+//! * [`Histogram`] — linear- or log-binned counting histograms for
+//!   compact textual summaries of heavy-tailed error distributions.
+//! * [`render`] — fixed-width text tables and series so every figure binary
+//!   prints the same rows/series the paper plots.
+//!
+//! All routines treat `NaN` as a programming error and say so in their docs;
+//! the simulator never produces `NaN` measurements.
+
+pub mod cdf;
+pub mod corr;
+pub mod histogram;
+pub mod quantile;
+pub mod render;
+pub mod summary;
+
+pub use cdf::Cdf;
+pub use corr::{pearson, spearman};
+pub use histogram::{Binning, Histogram};
+pub use quantile::{median, quantile};
+pub use summary::Summary;

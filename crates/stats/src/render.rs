@@ -1,0 +1,178 @@
+//! Plain-text rendering of figure data.
+//!
+//! The benchmark harness regenerates every figure of the paper as text: a
+//! CDF becomes a two-column series, a scatter plot a two-column point list,
+//! a bar group a table. Keeping rendering in one place guarantees all
+//! figure binaries emit the same machine-greppable format:
+//!
+//! ```text
+//! # fig02: CDF of relative prediction error E
+//! # series: all
+//! -0.95  0.0132
+//! ...
+//! ```
+
+use crate::Cdf;
+use std::fmt::Write as _;
+
+/// Renders a named `(x, y)` series, one point per line, preceded by a
+/// `# series: <name>` comment.
+pub fn series(name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    writeln!(out, "# series: {name}").unwrap();
+    for (x, y) in points {
+        writeln!(out, "{x:.6}\t{y:.6}").unwrap();
+    }
+    out
+}
+
+/// Renders a CDF as a series of `points` grid rows.
+pub fn cdf_series(name: &str, cdf: &Cdf, points: usize) -> String {
+    series(name, &cdf.grid(points))
+}
+
+/// A simple fixed-width text table with a header row.
+///
+/// Every figure that the paper draws as bars (Figs. 12, 15, 21, 22) is
+/// reproduced as one of these tables, one bar group per row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "table row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim trailing padding so rendered width doesn't depend on the
+            // last column's width.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats an `f64` with 4 significant-looking decimals, the convention all
+/// figure tables use for error metrics.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a throughput in Mbps with 3 decimals.
+pub fn mbps(bits_per_sec: f64) -> String {
+    format!("{:.3}", bits_per_sec / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_has_header_and_points() {
+        let s = series("demo", &[(1.0, 0.5), (2.0, 1.0)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "# series: demo");
+        assert!(lines[1].starts_with("1.000000\t"));
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn cdf_series_emits_requested_points() {
+        let cdf = Cdf::from_samples([0.0, 1.0]);
+        let s = cdf_series("c", &cdf, 5);
+        assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    fn table_renders_padded_columns() {
+        let mut t = Table::new(["path", "rmsre"]);
+        t.row(["p01", "0.1234"]);
+        t.row(["p02-long-name", "10.0"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("path"));
+        assert!(lines[2].starts_with("p01 "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn helpers_format_numbers() {
+        assert_eq!(f(1.23456), "1.2346");
+        assert_eq!(mbps(2_500_000.0), "2.500");
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # tputpred-tcp — packet-level TCP Reno on the simulator
+//!
+//! A from-scratch TCP Reno implementation over
+//! [`tputpred_netsim`]'s event engine, faithful to the mechanisms the
+//! PFTK model (and the reproduced paper) reason about:
+//!
+//! * slow start and congestion avoidance (AIMD), with ACK-clocked growth;
+//! * **fast retransmit / fast recovery** on three duplicate ACKs (Reno
+//!   window inflation, full deflation on the recovery ACK);
+//! * **retransmission timeouts** with Jacobson/Karels estimation
+//!   (`RTO = SRTT + 4·RTTVAR`, floored at 1 s as in the paper's
+//!   `T̂₀ = max(1 s, 2·SRTT)` era), exponential backoff, and Karn's rule
+//!   (no RTT samples from retransmitted segments);
+//! * **delayed ACKs** (every second segment, 100 ms cap) — the `b = 2`
+//!   of the throughput formulas;
+//! * a **maximum window** `W` (the socket buffer IPerf caps): 1 MB for the
+//!   paper's congestion-limited transfers, 20 KB for window-limited ones.
+//!
+//! [`TcpSender`]/[`TcpReceiver`] are endpoints
+//! ([`tputpred_netsim::Endpoint`]); a flow is wired up with
+//! [`connect`], which returns a shared [`FlowHandle`] for reading progress
+//! and congestion statistics during/after the run. Senders model bulk
+//! (IPerf-style) transfers: unlimited application data from `start` until
+//! `stop`, which is also how persistent *elastic cross traffic* is
+//! created (with `stop = Time::MAX`).
+
+pub mod flow;
+pub mod receiver;
+pub mod rto;
+pub mod sender;
+
+pub use flow::{connect, connect_sized, FlowHandle, FlowStats, TcpConfig, TcpFlavor};
+pub use receiver::TcpReceiver;
+pub use rto::RtoEstimator;
+pub use sender::TcpSender;

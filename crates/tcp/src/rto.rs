@@ -1,0 +1,164 @@
+//! Jacobson/Karels retransmission-timeout estimation (RFC 2988 flavor).
+
+use tputpred_netsim::Time;
+
+/// Smoothed RTT / RTT-variance estimator producing the retransmission
+/// timeout:
+///
+/// ```text
+/// first sample:  SRTT = R,      RTTVAR = R/2
+/// afterwards:    RTTVAR = (1−β)·RTTVAR + β·|SRTT − R|     (β = 1/4)
+///                SRTT   = (1−α)·SRTT + α·R                (α = 1/8)
+/// RTO = clamp(SRTT + 4·RTTVAR, min_rto, max_rto)
+/// ```
+///
+/// Retransmitted segments never produce samples (Karn's rule — the caller
+/// enforces it); timeouts back off exponentially via [`RtoEstimator::backoff`]
+/// and the backoff clears on the next valid sample.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_tcp::RtoEstimator;
+/// use tputpred_netsim::Time;
+///
+/// let mut rto = RtoEstimator::new(Time::from_secs(1), Time::from_secs(60));
+/// assert_eq!(rto.current(), Time::from_secs(1), "pre-sample default");
+/// rto.sample(Time::from_millis(100));
+/// // SRTT = 100 ms, RTTVAR = 50 ms → raw RTO = 300 ms, floored to 1 s.
+/// assert_eq!(rto.current(), Time::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RtoEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    min_rto: f64,
+    max_rto: f64,
+    backoff: u32,
+}
+
+impl RtoEstimator {
+    const ALPHA: f64 = 0.125;
+    const BETA: f64 = 0.25;
+
+    /// Creates an estimator with the given RTO clamp. Before any sample
+    /// the RTO is `min_rto` — the paper-era conservative default.
+    pub fn new(min_rto: Time, max_rto: Time) -> Self {
+        RtoEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            min_rto: min_rto.as_secs_f64(),
+            max_rto: max_rto.as_secs_f64(),
+            backoff: 0,
+        }
+    }
+
+    /// Feeds one RTT measurement (from a never-retransmitted segment) and
+    /// clears any timeout backoff.
+    pub fn sample(&mut self, rtt: Time) {
+        let r = rtt.as_secs_f64();
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = (1.0 - Self::BETA) * self.rttvar + Self::BETA * (srtt - r).abs();
+                self.srtt = Some((1.0 - Self::ALPHA) * srtt + Self::ALPHA * r);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// The smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<Time> {
+        self.srtt.map(Time::from_secs_f64)
+    }
+
+    /// Current RTO including exponential backoff.
+    pub fn current(&self) -> Time {
+        let base = match self.srtt {
+            None => self.min_rto,
+            Some(srtt) => (srtt + 4.0 * self.rttvar).clamp(self.min_rto, self.max_rto),
+        };
+        let backed = base * f64::from(1u32 << self.backoff.min(6));
+        Time::from_secs_f64(backed.min(self.max_rto))
+    }
+
+    /// Doubles the RTO after a timeout (capped at `max_rto`).
+    pub fn backoff(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RtoEstimator {
+        RtoEstimator::new(Time::from_millis(200), Time::from_secs(60))
+    }
+
+    #[test]
+    fn first_sample_initialises_srtt_and_var() {
+        let mut r = est();
+        r.sample(Time::from_millis(400));
+        assert_eq!(r.srtt(), Some(Time::from_millis(400)));
+        // RTO = 400 + 4·200 = 1200 ms.
+        assert_eq!(r.current(), Time::from_millis(1200));
+    }
+
+    #[test]
+    fn steady_samples_shrink_variance() {
+        let mut r = est();
+        for _ in 0..100 {
+            r.sample(Time::from_millis(400));
+        }
+        // Constant RTT → RTTVAR → 0 → RTO → max(SRTT, min_rto).
+        let rto = r.current().as_millis_f64();
+        assert!((400.0..450.0).contains(&rto), "rto {rto} ms");
+    }
+
+    #[test]
+    fn min_rto_floor_applies() {
+        let mut r = RtoEstimator::new(Time::from_secs(1), Time::from_secs(60));
+        for _ in 0..50 {
+            r.sample(Time::from_millis(10));
+        }
+        assert_eq!(r.current(), Time::from_secs(1));
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut r = est();
+        r.sample(Time::from_millis(400));
+        let base = r.current();
+        r.backoff();
+        assert_eq!(r.current().as_nanos(), base.as_nanos() * 2);
+        r.backoff();
+        assert_eq!(r.current().as_nanos(), base.as_nanos() * 4);
+        r.sample(Time::from_millis(400));
+        assert!(r.current() < base + Time::from_millis(1));
+    }
+
+    #[test]
+    fn max_rto_caps_backoff() {
+        let mut r = est();
+        r.sample(Time::from_secs(2));
+        for _ in 0..20 {
+            r.backoff();
+        }
+        assert!(r.current() <= Time::from_secs(60));
+    }
+
+    #[test]
+    fn variance_responds_to_jitter() {
+        let mut stable = est();
+        let mut jittery = est();
+        for i in 0..50 {
+            stable.sample(Time::from_millis(100));
+            jittery.sample(Time::from_millis(if i % 2 == 0 { 50 } else { 150 }));
+        }
+        assert!(jittery.current() > stable.current());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based invariants of the TCP Reno implementation over random
+//! path parameters: conservation, capacity laws, window laws, and
+//! determinism.
+
+use proptest::prelude::*;
+use tputpred_netsim::link::LinkConfig;
+use tputpred_netsim::{Route, Simulator, Time};
+use tputpred_tcp::{connect, TcpConfig};
+
+struct Outcome {
+    delivered: u64,
+    segments_sent: u64,
+    retransmits: u64,
+    timeouts: u64,
+    fast_retransmits: u64,
+    rtt_min: f64,
+    rtt_count: u64,
+}
+
+fn run_flow(
+    seed: u64,
+    rate_mbps: f64,
+    one_way_ms: u64,
+    buffer: u32,
+    window_kb: u32,
+    secs: u64,
+) -> Outcome {
+    let mut sim = Simulator::new(seed);
+    let fwd = sim.add_link(LinkConfig::new(
+        rate_mbps * 1e6,
+        Time::from_millis(one_way_ms),
+        buffer,
+    ));
+    let rev = sim.add_link(LinkConfig::new(1e9, Time::from_millis(one_way_ms), 1000));
+    let config = TcpConfig {
+        max_window: window_kb * 1024,
+        ..TcpConfig::default()
+    };
+    let (_, _, stats) = connect(
+        &mut sim,
+        config,
+        Route::direct(fwd),
+        Route::direct(rev),
+        Time::ZERO,
+        Time::from_secs(secs),
+    );
+    sim.run_until(Time::from_secs(secs + 30));
+    let s = stats.borrow();
+    Outcome {
+        delivered: s.bytes_delivered,
+        segments_sent: s.segments_sent,
+        retransmits: s.retransmits,
+        timeouts: s.timeouts,
+        fast_retransmits: s.fast_retransmits,
+        rtt_min: s.rtt.min(),
+        rtt_count: s.rtt.count(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn delivery_is_bounded_by_transmissions_and_capacity(
+        seed in 0u64..500,
+        rate in 1.0f64..30.0,
+        one_way in 5u64..80,
+        buffer in 6u32..120,
+        window_kb in 8u32..1024,
+    ) {
+        let secs = 6;
+        let o = run_flow(seed, rate, one_way, buffer, window_kb, secs);
+        // Conservation: goodput never exceeds what was sent.
+        prop_assert!(o.delivered <= o.segments_sent * 1448);
+        prop_assert!(o.retransmits <= o.segments_sent);
+        // Capacity law (with a small drain-tail allowance).
+        let capacity_bytes = rate * 1e6 / 8.0 * (secs as f64 + 1.0);
+        prop_assert!(
+            (o.delivered as f64) <= capacity_bytes,
+            "delivered {} over a {} Mbps link in {}s",
+            o.delivered, rate, secs
+        );
+        // Window law: throughput ≤ W/RTT (RTT at least the propagation).
+        let rtt = 2.0 * one_way as f64 / 1e3;
+        let w_over_t_bytes = window_kb as f64 * 1024.0 / rtt * (secs as f64 + 1.0);
+        prop_assert!(
+            (o.delivered as f64) <= w_over_t_bytes * 1.05,
+            "delivered {} exceeds W/T bound {}",
+            o.delivered, w_over_t_bytes
+        );
+    }
+
+    #[test]
+    fn rtt_samples_respect_propagation_delay(
+        seed in 0u64..500,
+        rate in 2.0f64..30.0,
+        one_way in 5u64..80,
+    ) {
+        let o = run_flow(seed, rate, one_way, 64, 256, 5);
+        if o.rtt_count > 0 {
+            let propagation = 2.0 * one_way as f64 / 1e3;
+            prop_assert!(
+                o.rtt_min >= propagation * 0.999,
+                "sampled {} below propagation {}",
+                o.rtt_min, propagation
+            );
+        }
+    }
+
+    #[test]
+    fn big_buffer_and_window_means_loss_free(
+        seed in 0u64..500,
+        one_way in 5u64..40,
+    ) {
+        // A dedicated 10 Mbps path with a giant buffer and a small window
+        // (window-limited): no losses of any kind.
+        let o = run_flow(seed, 10.0, one_way, 1000, 16, 5);
+        prop_assert_eq!(o.retransmits, 0);
+        prop_assert_eq!(o.timeouts, 0);
+        prop_assert_eq!(o.fast_retransmits, 0);
+        prop_assert!(o.delivered > 0);
+    }
+
+    #[test]
+    fn flows_replay_bit_identically(
+        seed in 0u64..500,
+        rate in 1.0f64..20.0,
+        buffer in 6u32..60,
+    ) {
+        let a = run_flow(seed, rate, 20, buffer, 1024, 4);
+        let b = run_flow(seed, rate, 20, buffer, 1024, 4);
+        prop_assert_eq!(a.delivered, b.delivered);
+        prop_assert_eq!(a.segments_sent, b.segments_sent);
+        prop_assert_eq!(a.retransmits, b.retransmits);
+        prop_assert_eq!(a.timeouts, b.timeouts);
+    }
+}

@@ -1,0 +1,226 @@
+//! The dataset model: what one epoch measures and how datasets persist.
+
+use crate::path::PathConfig;
+use crate::preset::Preset;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path as FsPath;
+
+/// Everything one measurement epoch records (§4.1): the a-priori
+/// estimates that feed FB prediction, the during-flow estimates of
+/// Figs. 3–6, the actual throughput(s), and the target flow's own view
+/// of the path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Avail-bw estimate `Â` from the pathload measurement, bits/s.
+    pub a_hat: f64,
+    /// A-priori RTT `T̂` from the pre-transfer ping window, seconds.
+    pub t_hat: f64,
+    /// A-priori loss rate `p̂` from the pre-transfer ping window.
+    pub p_hat: f64,
+    /// RTT `T̃` from ping probes sent *during* the transfer, seconds.
+    pub t_tilde: f64,
+    /// Loss rate `p̃` from ping probes sent during the transfer.
+    pub p_tilde: f64,
+    /// Actual throughput `R` of the large-window (1 MB) transfer, bits/s.
+    pub r_large: f64,
+    /// Actual throughput of the extra window-limited (20 KB) transfer,
+    /// when the preset runs one.
+    pub r_small: Option<f64>,
+    /// Throughput over the first quarter of the transfer (Fig. 11).
+    pub r_prefix_quarter: f64,
+    /// Throughput over the first half of the transfer (Fig. 11).
+    pub r_prefix_half: f64,
+    /// Loss events (fast retransmits + timeouts) the target flow itself
+    /// saw — the model's "congestion events" (§3.3).
+    pub flow_loss_events: u64,
+    /// The target flow's per-segment retransmission fraction.
+    pub flow_retx_rate: f64,
+    /// Mean RTT the target flow itself sampled, seconds.
+    pub flow_rtt: f64,
+    /// Ground truth: mean spare bottleneck capacity over the pre-transfer
+    /// window (capacity × (1 − utilization)), bits/s. Not available to
+    /// predictors; used for validation only.
+    pub true_avail_bw: f64,
+}
+
+/// One trace: a consecutive sequence of epochs on one path.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceData {
+    /// Epoch records in time order.
+    pub records: Vec<EpochRecord>,
+}
+
+impl TraceData {
+    /// The throughput time series HB predictors forecast (large-window
+    /// transfers, bits/s).
+    pub fn throughput_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.r_large).collect()
+    }
+
+    /// The window-limited throughput series, if the preset measured one.
+    pub fn small_window_series(&self) -> Option<Vec<f64>> {
+        self.records
+            .iter()
+            .map(|r| r.r_small)
+            .collect::<Option<Vec<f64>>>()
+    }
+}
+
+/// All traces of one path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathData {
+    /// The path's configuration (capacity, RTT, cross-traffic profile).
+    pub config: PathConfig,
+    /// The traces, in collection order.
+    pub traces: Vec<TraceData>,
+}
+
+/// A complete synthetic measurement campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The preset that generated this dataset.
+    pub preset: Preset,
+    /// Per-path data, catalog order.
+    pub paths: Vec<PathData>,
+}
+
+impl Dataset {
+    /// Iterates over every epoch record with its `(path, trace)` indices.
+    pub fn epochs(&self) -> impl Iterator<Item = (usize, usize, &EpochRecord)> + '_ {
+        self.paths.iter().enumerate().flat_map(|(pi, p)| {
+            p.traces
+                .iter()
+                .enumerate()
+                .flat_map(move |(ti, t)| t.records.iter().map(move |r| (pi, ti, r)))
+        })
+    }
+
+    /// Total epoch count.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs().count()
+    }
+
+    /// Serializes the dataset as JSON to `path`.
+    pub fn save(&self, path: &FsPath) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        fs::write(path, json)
+    }
+
+    /// Loads a dataset saved by [`Dataset::save`].
+    pub fn load(path: &FsPath) -> io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+
+    /// Loads the dataset at `path` if present, otherwise generates it
+    /// with `generate` and saves it there. The figure binaries all share
+    /// one dataset this way.
+    pub fn load_or_generate<F: FnOnce() -> Dataset>(
+        path: &FsPath,
+        generate: F,
+    ) -> io::Result<Self> {
+        match Self::load(path) {
+            Ok(ds) => Ok(ds),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let ds = generate();
+                ds.save(path)?;
+                Ok(ds)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::catalog_2004;
+
+    fn record(r: f64) -> EpochRecord {
+        EpochRecord {
+            a_hat: 5e6,
+            t_hat: 0.05,
+            p_hat: 0.0,
+            t_tilde: 0.06,
+            p_tilde: 0.01,
+            r_large: r,
+            r_small: Some(r / 4.0),
+            r_prefix_quarter: r * 0.8,
+            r_prefix_half: r * 0.9,
+            flow_loss_events: 2,
+            flow_retx_rate: 0.01,
+            flow_rtt: 0.055,
+            true_avail_bw: 5.5e6,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let config = catalog_2004(3, 1).remove(0);
+        Dataset {
+            preset: Preset::tiny(),
+            paths: vec![PathData {
+                config,
+                traces: vec![
+                    TraceData {
+                        records: vec![record(1e6), record(2e6)],
+                    },
+                    TraceData {
+                        records: vec![record(3e6)],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn epochs_iterates_in_order_with_indices() {
+        let ds = dataset();
+        let idx: Vec<(usize, usize, f64)> =
+            ds.epochs().map(|(p, t, r)| (p, t, r.r_large)).collect();
+        assert_eq!(idx, vec![(0, 0, 1e6), (0, 0, 2e6), (0, 1, 3e6)]);
+        assert_eq!(ds.epoch_count(), 3);
+    }
+
+    #[test]
+    fn throughput_series_extracts_large_window_runs() {
+        let ds = dataset();
+        assert_eq!(ds.paths[0].traces[0].throughput_series(), vec![1e6, 2e6]);
+        assert_eq!(
+            ds.paths[0].traces[0].small_window_series(),
+            Some(vec![0.25e6, 0.5e6])
+        );
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("tputpred-test-data");
+        let file = dir.join("ds.json");
+        let ds = dataset();
+        ds.save(&file).unwrap();
+        let loaded = Dataset::load(&file).unwrap();
+        assert_eq!(ds, loaded);
+        std::fs::remove_file(&file).unwrap();
+    }
+
+    #[test]
+    fn load_or_generate_generates_once() {
+        let dir = std::env::temp_dir().join("tputpred-test-data2");
+        let file = dir.join(format!("ds-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&file);
+        let mut calls = 0;
+        let ds = Dataset::load_or_generate(&file, || {
+            calls += 1;
+            dataset()
+        })
+        .unwrap();
+        assert_eq!(calls, 1);
+        let again = Dataset::load_or_generate(&file, || panic!("cached")).unwrap();
+        assert_eq!(ds, again);
+        std::fs::remove_file(&file).unwrap();
+    }
+}

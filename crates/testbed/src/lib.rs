@@ -1,0 +1,35 @@
+//! # tputpred-testbed — the synthetic RON
+//!
+//! The paper's evaluation ran on the RON Internet testbed: 35 paths
+//! (May 2004) plus 24 paths (March 2006), 7 traces per path, 150
+//! measurement epochs per trace, each epoch following the Fig. 1
+//! timeline: a pathload avail-bw measurement, 60 s of ping probing, and a
+//! 50 s IPerf transfer (with ping continuing during the transfer). This
+//! crate rebuilds that testbed on the simulator:
+//!
+//! * [`path`] — the path catalog: heterogeneous [`path::PathConfig`]s
+//!   (DSL bottlenecks, transatlantic and trans-Pacific RTTs, US
+//!   university paths) with per-path cross-traffic profiles covering the
+//!   paper's diversity: utilization levels, elastic (persistent-TCP) vs
+//!   inelastic (Poisson / Pareto on-off) cross traffic, and stochastic
+//!   level shifts and outlier bursts.
+//! * [`preset`] — experiment scales: [`preset::Preset::paper`] keeps the
+//!   35×7×150 structure and full durations; [`preset::Preset::quick`]
+//!   shrinks traces for minutes-scale regeneration;
+//!   [`preset::Preset::tiny`] is CI-sized. Durations scale together so
+//!   the *shape* of results is preserved.
+//! * [`runner`] — epoch orchestration: per-trace simulation assembly,
+//!   the epoch timeline, and parallel (rayon) dataset generation.
+//! * [`data`] — the dataset model ([`data::EpochRecord`],
+//!   [`data::Dataset`]) with JSON persistence, so every figure binary
+//!   reuses one generated dataset instead of re-simulating.
+
+pub mod data;
+pub mod path;
+pub mod preset;
+pub mod runner;
+
+pub use data::{Dataset, EpochRecord, PathData, TraceData};
+pub use path::{catalog_2004, catalog_2006, CrossProfile, PathConfig};
+pub use preset::Preset;
+pub use runner::{catalog_for, generate, run_trace};

@@ -1,0 +1,221 @@
+//! Experiment scales: the paper-faithful structure at several sizes.
+//!
+//! The paper's full measurement campaign — 36 750 epochs, each ~2–3 min
+//! of wall time — is a lot of simulated traffic. A [`Preset`] keeps the
+//! *structure* (per-epoch timeline of Fig. 1, path diversity, per-trace
+//! time-series shape) while scaling the sizes: `paper` is the faithful
+//! scale, `quick` regenerates every figure in minutes, `tiny` fits CI.
+
+use serde::{Deserialize, Serialize};
+use tputpred_netsim::Time;
+use tputpred_tcp::TcpConfig;
+
+/// Every knob of a dataset-generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preset {
+    /// Catalog label recorded into the dataset.
+    pub name: String,
+    /// Paths in the catalog.
+    pub paths: usize,
+    /// Traces collected per path (the paper: 7).
+    pub traces_per_path: usize,
+    /// Measurement epochs per trace (the paper: 150).
+    pub epochs_per_trace: usize,
+    /// Time slot reserved for the pathload measurement at the start of
+    /// each epoch.
+    pub pathload_slot: Time,
+    /// Ping-only window before the transfer (the paper: 60 s).
+    pub pre_ping: Time,
+    /// Target-transfer duration (the paper: 50 s; 120 s in the 2006 set).
+    pub transfer: Time,
+    /// Idle tail after the transfer(s), letting queues drain.
+    pub epoch_gap: Time,
+    /// Socket buffer of the main (congestion-limited) transfer: 1 MB.
+    pub w_large: u32,
+    /// Socket buffer of the extra window-limited transfer: 20 KB.
+    pub w_small: u32,
+    /// Whether each epoch also runs the W = 20 KB transfer (Figs. 12, 22).
+    pub with_small_window: bool,
+    /// Ping probing interval (the paper: 100 ms).
+    pub ping_interval: Time,
+    /// Catalog seed.
+    pub seed: u64,
+}
+
+impl Preset {
+    /// The paper-faithful scale: 35 paths × 7 traces × 150 epochs with the
+    /// Fig. 1 durations. This is hours of CPU; use [`Preset::quick`] for
+    /// figure regeneration.
+    pub fn paper() -> Self {
+        Preset {
+            name: "paper".into(),
+            paths: 35,
+            traces_per_path: 7,
+            epochs_per_trace: 150,
+            pathload_slot: Time::from_secs(30),
+            pre_ping: Time::from_secs(60),
+            transfer: Time::from_secs(50),
+            epoch_gap: Time::from_secs(10),
+            w_large: 1 << 20,
+            w_small: 20 * 1024,
+            with_small_window: true,
+            ping_interval: Time::from_millis(100),
+            seed: 2004,
+        }
+    }
+
+    /// A minutes-scale run preserving the structure: all 35 paths, 2
+    /// traces each, 40 epochs per trace, with proportionally shortened
+    /// epoch phases.
+    pub fn quick() -> Self {
+        Preset {
+            name: "quick".into(),
+            paths: 35,
+            traces_per_path: 2,
+            epochs_per_trace: 40,
+            pathload_slot: Time::from_secs(12),
+            pre_ping: Time::from_secs(12),
+            transfer: Time::from_secs(10),
+            epoch_gap: Time::from_secs(3),
+            w_large: 1 << 20,
+            w_small: 20 * 1024,
+            with_small_window: true,
+            ping_interval: Time::from_millis(100),
+            seed: 2004,
+        }
+    }
+
+    /// CI-sized: a handful of paths, one short trace each.
+    pub fn tiny() -> Self {
+        Preset {
+            name: "tiny".into(),
+            paths: 4,
+            traces_per_path: 1,
+            epochs_per_trace: 12,
+            pathload_slot: Time::from_secs(8),
+            pre_ping: Time::from_secs(6),
+            transfer: Time::from_secs(6),
+            epoch_gap: Time::from_secs(2),
+            w_large: 1 << 20,
+            w_small: 20 * 1024,
+            with_small_window: true,
+            ping_interval: Time::from_millis(100),
+            seed: 2004,
+        }
+    }
+
+    /// The 2006-set analogue (Fig. 11): fewer, longer transfers so prefix
+    /// throughputs at ¼, ½ and full length can be compared. Scaled like
+    /// [`Preset::quick`].
+    pub fn quick_2006() -> Self {
+        Preset {
+            name: "quick-2006".into(),
+            paths: 24,
+            traces_per_path: 1,
+            epochs_per_trace: 25,
+            pathload_slot: Time::from_secs(12),
+            pre_ping: Time::from_secs(12),
+            transfer: Time::from_secs(24),
+            epoch_gap: Time::from_secs(3),
+            w_large: 1 << 20,
+            w_small: 20 * 1024,
+            with_small_window: false,
+            ping_interval: Time::from_millis(100),
+            seed: 2006,
+        }
+    }
+
+    /// Parses a preset by name (`paper`, `quick`, `tiny`, `quick-2006`) —
+    /// the `--preset` flag of the figure binaries.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "paper" => Some(Self::paper()),
+            "quick" => Some(Self::quick()),
+            "tiny" => Some(Self::tiny()),
+            "quick-2006" => Some(Self::quick_2006()),
+            _ => None,
+        }
+    }
+
+    /// Duration of one epoch on the trace timeline.
+    pub fn epoch_len(&self) -> Time {
+        let mut len = self.pathload_slot + self.pre_ping + self.transfer + self.epoch_gap;
+        if self.with_small_window {
+            len += self.transfer + self.epoch_gap;
+        }
+        len
+    }
+
+    /// Total duration of one trace.
+    pub fn trace_len(&self) -> Time {
+        Time::from_nanos(self.epoch_len().as_nanos() * self.epochs_per_trace as u64)
+    }
+
+    /// TCP configuration of the large-window target flow.
+    pub fn tcp_large(&self) -> TcpConfig {
+        TcpConfig {
+            max_window: self.w_large,
+            ..TcpConfig::default()
+        }
+    }
+
+    /// TCP configuration of the window-limited target flow.
+    pub fn tcp_small(&self) -> TcpConfig {
+        TcpConfig {
+            max_window: self.w_small,
+            ..TcpConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_the_campaign() {
+        let p = Preset::paper();
+        assert_eq!(p.paths * p.traces_per_path * p.epochs_per_trace, 36_750);
+        assert_eq!(p.transfer, Time::from_secs(50));
+        assert_eq!(p.pre_ping, Time::from_secs(60));
+        assert_eq!(p.w_large, 1 << 20);
+        assert_eq!(p.w_small, 20 * 1024);
+    }
+
+    #[test]
+    fn epoch_length_includes_both_transfers_when_enabled() {
+        let p = Preset::tiny();
+        let without = Preset {
+            with_small_window: false,
+            ..p.clone()
+        };
+        assert_eq!(
+            p.epoch_len().as_nanos() - without.epoch_len().as_nanos(),
+            (p.transfer + p.epoch_gap).as_nanos()
+        );
+    }
+
+    #[test]
+    fn trace_length_is_epochs_times_epoch_len() {
+        let p = Preset::quick();
+        assert_eq!(
+            p.trace_len().as_nanos(),
+            p.epoch_len().as_nanos() * p.epochs_per_trace as u64
+        );
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for name in ["paper", "quick", "tiny", "quick-2006"] {
+            assert_eq!(Preset::by_name(name).unwrap().name, name);
+        }
+        assert!(Preset::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn tcp_configs_use_the_preset_windows() {
+        let p = Preset::quick();
+        assert_eq!(p.tcp_large().max_window, 1 << 20);
+        assert_eq!(p.tcp_small().max_window, 20 * 1024);
+    }
+}

@@ -1,0 +1,427 @@
+//! Epoch orchestration and dataset generation.
+//!
+//! One simulated *trace* is one [`Simulator`] running the path's cross
+//! traffic continuously while the epoch timeline of Fig. 1 repeats on
+//! top of it:
+//!
+//! ```text
+//! epoch k: [ pathload slot ][ ping-only window ][ 50 s transfer ]( gap )
+//!          (ping probes run continuously across the whole trace)
+//! ```
+//!
+//! When the preset enables it, a second window-limited (W = 20 KB)
+//! transfer follows the main one (§4.2.8). All per-epoch measurements
+//! land in an [`EpochRecord`].
+
+use crate::data::{Dataset, EpochRecord, PathData, TraceData};
+use crate::path::{catalog_2004, catalog_2006, PathConfig};
+use crate::preset::Preset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use tputpred_netsim::link::LinkConfig;
+use tputpred_netsim::sources::{ParetoOnOffSource, PoissonSource, Reflector, Sink, SourceConfig};
+use tputpred_netsim::{LinkId, RateSchedule, Route, Simulator, Time};
+use tputpred_probes::ping::PingProber;
+use tputpred_probes::{BulkTransfer, Pathload, PathloadConfig};
+use tputpred_tcp::{connect, TcpConfig};
+
+/// Guard subtracted from the end of every ping summary window so that
+/// replies still in flight are not miscounted as losses.
+fn summary_guard(preset: &Preset) -> Time {
+    Time::from_nanos((preset.pre_ping.as_nanos() / 6).min(Time::from_secs(1).as_nanos()))
+}
+
+/// The per-trace world: simulator plus the handles the epoch loop reads.
+struct TraceWorld {
+    sim: Simulator,
+    fwd: LinkId,
+    rev: LinkId,
+    ping: tputpred_probes::PingStatsHandle,
+}
+
+/// Assembles the simulation of one trace: links, cross traffic with the
+/// trace's random load schedule, the probe reflector, and the continuous
+/// ping prober.
+fn build_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceWorld {
+    let seed = path
+        .seed
+        .wrapping_add(trace_idx as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut sim = Simulator::new(seed);
+    let fwd = sim.add_link(LinkConfig::new(
+        path.capacity_bps,
+        path.one_way,
+        path.buffer_packets,
+    ));
+    // Reverse path: fast and deep enough that ACKs and echoes are never
+    // the bottleneck (the paper's paths are asymmetric in load, not
+    // modelled as congested backwards).
+    let rev = sim.add_link(LinkConfig::new(
+        (path.capacity_bps * 10.0).max(100e6),
+        path.one_way,
+        2_000,
+    ));
+    let trace_len = preset.trace_len();
+
+    // Cross traffic: the load schedule (with its level shifts and bursts)
+    // modulates the inelastic sources.
+    let mut sched_rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+    let cross = &path.cross;
+    let schedule = RateSchedule::random(
+        &mut sched_rng,
+        trace_len,
+        cross.shifts_per_trace,
+        cross.level_range,
+        cross.bursts_per_trace,
+        cross.burst_len,
+        cross.burst_range,
+    );
+    let inelastic = cross.utilization * path.capacity_bps;
+    let poisson_rate = inelastic * (1.0 - cross.pareto_fraction);
+    let pareto_rate = inelastic * cross.pareto_fraction;
+    if poisson_rate > 1.0 {
+        let (sink, _) = Sink::new();
+        let sink_id = sim.add_endpoint(Box::new(sink));
+        let (src, _) = PoissonSource::new(SourceConfig {
+            route: Route::direct(fwd),
+            dst: sink_id,
+            packet_size: 1000,
+            base_rate_bps: poisson_rate,
+            schedule: schedule.clone(),
+            stop: trace_len,
+        });
+        let id = sim.add_endpoint(Box::new(src));
+        sim.schedule_timer(id, 0, Time::ZERO);
+    }
+    if pareto_rate > 1.0 {
+        // The bursty load is split across `pareto_sources` independent
+        // on-off sources: same mean load, smoother aggregate as the
+        // degree of statistical multiplexing rises (§6.1.4).
+        let (sink, _) = Sink::new();
+        let sink_id = sim.add_endpoint(Box::new(sink));
+        let n = cross.pareto_sources.max(1);
+        for _ in 0..n {
+            let (src, _) = ParetoOnOffSource::new(
+                SourceConfig {
+                    route: Route::direct(fwd),
+                    dst: sink_id,
+                    packet_size: 1000,
+                    base_rate_bps: pareto_rate / n as f64,
+                    schedule: schedule.clone(),
+                    stop: trace_len,
+                },
+                cross.duty_cycle,
+                1.6, // heavy-tailed on periods
+                cross.mean_on,
+            );
+            let id = sim.add_endpoint(Box::new(src));
+            sim.schedule_timer(id, 0, Time::ZERO);
+        }
+    }
+    // Elastic cross traffic: persistent TCP flows with a moderate socket
+    // buffer, competing for the bottleneck the whole trace.
+    for _ in 0..cross.elastic_flows {
+        let config = TcpConfig {
+            max_window: 256 * 1024,
+            ..TcpConfig::default()
+        };
+        let _ = connect(
+            &mut sim,
+            config,
+            Route::direct(fwd),
+            Route::direct(rev),
+            Time::ZERO,
+            trace_len,
+        );
+    }
+
+    // Ping runs across the whole trace.
+    let (reflector, _) = Reflector::new(Route::direct(rev));
+    let refl_id = sim.add_endpoint(Box::new(reflector));
+    let (prober, ping) = PingProber::new(
+        Route::direct(fwd),
+        refl_id,
+        preset.ping_interval,
+        trace_len,
+    );
+    let prober_id = sim.add_endpoint(Box::new(prober));
+    sim.schedule_timer(prober_id, 0, Time::ZERO);
+
+    TraceWorld {
+        sim,
+        fwd,
+        rev,
+        ping,
+    }
+}
+
+/// Pathload configured relative to the path: the search never needs to
+/// probe beyond ~1.5× the bottleneck capacity (real pathload likewise
+/// stops raising its rate once streams saturate the path).
+fn pathload_config(path: &PathConfig) -> PathloadConfig {
+    PathloadConfig {
+        max_rate: path.capacity_bps * 1.5,
+        ..PathloadConfig::default()
+    }
+}
+
+/// Runs one complete trace and returns its epoch records.
+pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceData {
+    let mut world = build_trace(path, trace_idx, preset);
+    let guard = summary_guard(preset);
+    let mut records = Vec::with_capacity(preset.epochs_per_trace);
+
+    for epoch in 0..preset.epochs_per_trace {
+        let t0 = Time::from_nanos(preset.epoch_len().as_nanos() * epoch as u64);
+
+        // --- Phase 1: pathload avail-bw measurement -------------------
+        let pathload = Pathload::deploy(
+            &mut world.sim,
+            pathload_config(path),
+            Route::direct(world.fwd),
+            t0,
+        );
+        let ping_window_start = t0 + preset.pathload_slot;
+        world.sim.run_until(ping_window_start);
+        let a_hat = pathload
+            .borrow()
+            .best_guess()
+            .unwrap_or(path.capacity_bps);
+
+        // --- Phase 2: ping-only window; record ground-truth spare
+        //     capacity over it ------------------------------------------
+        let busy_before = world.sim.link(world.fwd).stats().busy;
+        let transfer_start = ping_window_start + preset.pre_ping;
+        world.sim.run_until(transfer_start);
+        let busy_after = world.sim.link(world.fwd).stats().busy;
+        let util = (busy_after - busy_before).as_secs_f64() / preset.pre_ping.as_secs_f64();
+        let true_avail_bw = path.capacity_bps * (1.0 - util).max(0.0);
+
+        // --- Phase 3: the target transfer ------------------------------
+        let transfer_end = transfer_start + preset.transfer;
+        let transfer = BulkTransfer::launch(
+            &mut world.sim,
+            preset.tcp_large(),
+            Route::direct(world.fwd),
+            Route::direct(world.rev),
+            transfer_start,
+            transfer_end,
+        );
+        let quarter = Time::from_nanos(preset.transfer.as_nanos() / 4);
+        let half = Time::from_nanos(preset.transfer.as_nanos() / 2);
+        let prefix_floor = 1448.0 * 8.0 / preset.transfer.as_secs_f64();
+        world.sim.run_until(transfer_start + quarter);
+        let r_prefix_quarter = transfer.throughput_over(quarter).max(prefix_floor);
+        world.sim.run_until(transfer_start + half);
+        let r_prefix_half = transfer.throughput_over(half).max(prefix_floor);
+        world.sim.run_until(transfer_end);
+        // Floor at the measurement resolution of one segment per
+        // transfer: a fully starved epoch records a tiny-but-positive
+        // throughput (as a real IPerf run would), keeping relative
+        // errors large but finite.
+        let r_floor = 1448.0 * 8.0 / preset.transfer.as_secs_f64();
+        let r_large = transfer.throughput().max(r_floor);
+        let (flow_loss_events, flow_retx_rate, flow_rtt) = {
+            let s = transfer.stats().borrow();
+            (s.loss_events(), s.retransmit_rate(), s.rtt.mean())
+        };
+
+        // --- Phase 4 (optional): the window-limited transfer -----------
+        let mut r_small = None;
+        let mut cursor = transfer_end + preset.epoch_gap;
+        if preset.with_small_window {
+            world.sim.run_until(cursor);
+            let small_end = cursor + preset.transfer;
+            let small = BulkTransfer::launch(
+                &mut world.sim,
+                preset.tcp_small(),
+                Route::direct(world.fwd),
+                Route::direct(world.rev),
+                cursor,
+                small_end,
+            );
+            world.sim.run_until(small_end);
+            r_small = Some(small.throughput().max(r_floor));
+            cursor = small_end + preset.epoch_gap;
+        }
+        world.sim.run_until(cursor);
+
+        // --- Summarize the ping windows (reply-safe: the epoch gap has
+        //     passed, so all echoes are in) ------------------------------
+        let ping = world.ping.borrow();
+        let pre = ping.summarize(ping_window_start, transfer_start.saturating_sub(guard));
+        let during = ping.summarize(transfer_start, transfer_end.saturating_sub(guard));
+        drop(ping);
+
+        records.push(EpochRecord {
+            a_hat,
+            t_hat: pre.rtt,
+            p_hat: pre.loss_rate,
+            t_tilde: during.rtt,
+            p_tilde: during.loss_rate,
+            r_large,
+            r_small,
+            r_prefix_quarter,
+            r_prefix_half,
+            flow_loss_events,
+            flow_retx_rate,
+            flow_rtt,
+            true_avail_bw,
+        });
+    }
+    TraceData { records }
+}
+
+/// The catalog a preset draws its paths from: the 2006-style catalog for
+/// `*-2006` presets, the 2004-style one otherwise.
+pub fn catalog_for(preset: &Preset) -> Vec<PathConfig> {
+    if preset.name.contains("2006") {
+        catalog_2006(preset.paths, preset.seed)
+    } else {
+        catalog_2004(preset.paths, preset.seed)
+    }
+}
+
+/// Generates a complete dataset for `preset`, running traces in parallel
+/// across CPU cores. Deterministic: the result depends only on the
+/// preset (every trace derives its seed from the path seed and trace
+/// index).
+pub fn generate(preset: &Preset) -> Dataset {
+    let catalog = catalog_for(preset);
+    let jobs: Vec<(usize, usize)> = (0..catalog.len())
+        .flat_map(|p| (0..preset.traces_per_path).map(move |t| (p, t)))
+        .collect();
+    let mut results: Vec<((usize, usize), TraceData)> = jobs
+        .par_iter()
+        .map(|&(p, t)| ((p, t), run_trace(&catalog[p], t, preset)))
+        .collect();
+    results.sort_by_key(|&(key, _)| key);
+    let mut paths: Vec<PathData> = catalog
+        .into_iter()
+        .map(|config| PathData {
+            config,
+            traces: Vec::with_capacity(preset.traces_per_path),
+        })
+        .collect();
+    for ((p, _), trace) in results {
+        paths[p].traces.push(trace);
+    }
+    Dataset {
+        preset: preset.clone(),
+        paths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal preset for unit tests: one quiet-ish path would still
+    /// take seconds in debug mode at full scale, so keep it very short.
+    fn mini_preset() -> Preset {
+        Preset {
+            name: "mini".into(),
+            paths: 3,
+            traces_per_path: 1,
+            epochs_per_trace: 3,
+            pathload_slot: Time::from_secs(6),
+            pre_ping: Time::from_secs(5),
+            transfer: Time::from_secs(4),
+            epoch_gap: Time::from_secs(2),
+            w_large: 1 << 20,
+            w_small: 20 * 1024,
+            with_small_window: true,
+            ping_interval: Time::from_millis(100),
+            seed: 99,
+        }
+    }
+
+    fn quiet_path() -> PathConfig {
+        let mut p = catalog_2004(3, 42).remove(2);
+        p.capacity_bps = 10e6;
+        p.buffer_packets = 40; // ~1 BDP at 48 ms RTT
+        p.cross.utilization = 0.3;
+        p.cross.elastic_flows = 0;
+        p.cross.shifts_per_trace = 0.0;
+        p.cross.bursts_per_trace = 0.0;
+        p
+    }
+
+    #[test]
+    fn trace_produces_one_record_per_epoch_with_sane_values() {
+        let preset = mini_preset();
+        let path = quiet_path();
+        let trace = run_trace(&path, 0, &preset);
+        assert_eq!(trace.records.len(), 3);
+        for r in &trace.records {
+            assert!(r.r_large > 100e3, "transfer made progress: {}", r.r_large);
+            assert!(r.r_large <= path.capacity_bps * 1.01);
+            assert!(r.r_small.unwrap() > 0.0);
+            assert!(r.t_hat >= path.base_rtt() * 0.99, "T̂ ≥ propagation");
+            assert!((0.0..=1.0).contains(&r.p_hat));
+            assert!((0.0..=1.0).contains(&r.p_tilde));
+            assert!(r.a_hat > 0.0 && r.a_hat <= path.capacity_bps * 1.6);
+            assert!(r.true_avail_bw <= path.capacity_bps);
+            assert!(r.r_prefix_quarter > 0.0 && r.r_prefix_half > 0.0);
+        }
+    }
+
+    #[test]
+    fn quiet_path_measures_low_loss_and_good_availbw() {
+        let preset = mini_preset();
+        let path = quiet_path();
+        let trace = run_trace(&path, 0, &preset);
+        for r in &trace.records {
+            assert!(r.p_hat < 0.05, "30%-loaded path: little ping loss, {}", r.p_hat);
+            // Avail-bw should be in the ballpark of the 7 Mbps residual.
+            assert!(
+                r.a_hat > 2e6,
+                "avail-bw on a 30%-loaded 10 Mbps path: {}",
+                r.a_hat
+            );
+            // The flow itself raises loss/queueing relative to a-priori —
+            // the §3.2 mechanism — so p̃ ≥ p̂ typically; just sanity-check
+            // the fields are populated and ordered sensibly.
+            assert!(r.t_tilde >= path.base_rtt() * 0.99);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let preset = mini_preset();
+        let path = quiet_path();
+        let a = run_trace(&path, 0, &preset);
+        let b = run_trace(&path, 0, &preset);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_trace_indices_differ() {
+        let preset = mini_preset();
+        let path = quiet_path();
+        let a = run_trace(&path, 0, &preset);
+        let b = run_trace(&path, 1, &preset);
+        assert_ne!(a, b, "trace seeds must differ");
+    }
+
+    #[test]
+    fn generate_assembles_the_full_grid() {
+        let preset = mini_preset();
+        let ds = generate(&preset);
+        assert_eq!(ds.paths.len(), 3);
+        for p in &ds.paths {
+            assert_eq!(p.traces.len(), 1);
+            assert_eq!(p.traces[0].records.len(), 3);
+        }
+        assert_eq!(ds.epoch_count(), 9);
+    }
+
+    #[test]
+    fn catalog_for_selects_by_preset_name() {
+        assert_eq!(catalog_for(&Preset::quick()).len(), 35);
+        let c2006 = catalog_for(&Preset::quick_2006());
+        assert_eq!(c2006.len(), 24);
+        assert!(c2006.iter().all(|p| !p.name.starts_with("eu")));
+    }
+}

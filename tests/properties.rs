@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) over the core prediction machinery:
+//! invariants that must hold for *any* input, not just the paper's
+//! workloads.
+
+use proptest::prelude::*;
+use tcp_throughput_predictability::core::fb::{FbConfig, FbModel, FbPredictor, PathEstimates};
+use tcp_throughput_predictability::core::formulas::{pftk, pftk_full, pftk_revised, PftkParams};
+use tcp_throughput_predictability::core::hb::{Ewma, HoltWinters, MovingAverage, Predictor};
+use tcp_throughput_predictability::core::lso::{scan_series, Lso, LsoConfig};
+use tcp_throughput_predictability::core::metrics::{
+    downsample, evaluate, relative_error, rmsre, segmented_cov,
+};
+use tcp_throughput_predictability::stats::{Cdf, Summary};
+
+/// Positive throughput-like values (1 kbps – 10 Gbps).
+fn throughput() -> impl Strategy<Value = f64> {
+    1e3..1e10f64
+}
+
+/// A throughput series of 4–60 samples.
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(throughput(), 4..60)
+}
+
+fn pftk_params() -> impl Strategy<Value = PftkParams> {
+    (
+        0.001f64..0.5,   // p
+        0.005f64..0.5,   // rtt
+        (16u32..2048),   // max_window KB
+    )
+        .prop_map(|(p, rtt, w_kb)| PftkParams {
+            mss: 1448,
+            rtt,
+            rto: f64::max(1.0, 2.0 * rtt),
+            b: 2.0,
+            p,
+            max_window: w_kb * 1024,
+        })
+}
+
+proptest! {
+    #[test]
+    fn relative_error_sign_tracks_over_or_under(pred in throughput(), actual in throughput()) {
+        let e = relative_error(pred, actual);
+        prop_assert!(e.is_finite());
+        if pred > actual {
+            prop_assert!(e > 0.0);
+        } else if pred < actual {
+            prop_assert!(e < 0.0);
+        } else {
+            prop_assert_eq!(e, 0.0);
+        }
+        // Symmetry: swapping arguments flips the sign exactly.
+        let swapped = relative_error(actual, pred);
+        prop_assert!((e + swapped).abs() < 1e-9 * (1.0 + e.abs()));
+    }
+
+    #[test]
+    fn rmsre_bounds_the_mean_absolute_error(errors in prop::collection::vec(-100.0..100.0f64, 1..50)) {
+        let r = rmsre(&errors).unwrap();
+        let mean_abs = errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64;
+        let max_abs = errors.iter().fold(0.0f64, |m, e| m.max(e.abs()));
+        // RMS is between the mean and the max of |E| (Cauchy-Schwarz).
+        prop_assert!(r >= mean_abs - 1e-9);
+        prop_assert!(r <= max_abs + 1e-9);
+    }
+
+    #[test]
+    fn all_pftk_variants_are_positive_finite_and_window_capped(params in pftk_params()) {
+        for f in [pftk, pftk_full, pftk_revised] {
+            let r = f(&params);
+            prop_assert!(r.is_finite() && r > 0.0, "rate {r}");
+            let cap = 8.0 * params.max_window as f64 / params.rtt;
+            prop_assert!(r <= cap * (1.0 + 1e-9), "rate {r} above window cap {cap}");
+        }
+    }
+
+    #[test]
+    fn pftk_is_monotone_decreasing_in_loss(params in pftk_params()) {
+        let higher = PftkParams { p: (params.p * 1.5).min(0.9), ..params };
+        // Monotone unless already window-capped at both points.
+        let (a, b) = (pftk(&params), pftk(&higher));
+        prop_assert!(a >= b - 1e-9, "p {} -> {}: {a} < {b}", params.p, higher.p);
+    }
+
+    #[test]
+    fn fb_prediction_is_finite_and_nonnegative(
+        rtt in 0.001f64..2.0,
+        loss in 0.0f64..0.8,
+        avail in 0.0f64..1e9,
+        model_idx in 0usize..4,
+    ) {
+        let model = [FbModel::PftkSimple, FbModel::PftkFull, FbModel::PftkRevised, FbModel::Mathis][model_idx];
+        let fb = FbPredictor::new(FbConfig { model, ..FbConfig::default() });
+        let r = fb.predict(&PathEstimates { rtt, loss_rate: loss, avail_bw: avail });
+        prop_assert!(r.is_finite() && r >= 0.0);
+    }
+
+    #[test]
+    fn predictors_stay_inside_the_observed_hull(xs in series()) {
+        // MA and EWMA forecasts are convex combinations of observations.
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut ma = MovingAverage::new(10);
+        let mut ew = Ewma::new(0.8);
+        for &x in &xs {
+            ma.update(x);
+            ew.update(x);
+            for f in [ma.predict().unwrap(), ew.predict().unwrap()] {
+                prop_assert!(f >= lo - 1e-9 && f <= hi + 1e-9, "{f} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_one_slot_per_sample(xs in series()) {
+        let mut p = Lso::new(HoltWinters::new(0.8, 0.2));
+        let res = evaluate(&mut p, &xs);
+        prop_assert_eq!(res.errors.len(), xs.len());
+        prop_assert_eq!(res.predictions.len(), xs.len());
+        // Every outlier index points into the series.
+        prop_assert!(res.outliers.iter().all(|&i| i < xs.len()));
+        prop_assert!(res.level_shifts.iter().all(|&i| i < xs.len()));
+    }
+
+    #[test]
+    fn lso_detections_are_prefix_stable(xs in series()) {
+        // Feeding a prefix yields a prefix of the detections: online
+        // decisions never depend on the future.
+        let (full_shifts, full_outliers) = scan_series(&xs, LsoConfig::default());
+        let cut = xs.len() / 2;
+        let (pre_shifts, pre_outliers) = scan_series(&xs[..cut], LsoConfig::default());
+        prop_assert!(pre_shifts.iter().all(|s| full_shifts.contains(s)),
+            "prefix shifts {pre_shifts:?} not all in {full_shifts:?}");
+        prop_assert!(pre_outliers.iter().all(|o| full_outliers.contains(o)),
+            "prefix outliers {pre_outliers:?} not all in {full_outliers:?}");
+    }
+
+    #[test]
+    fn segmented_cov_is_finite_and_matches_global_when_nothing_detected(xs in series()) {
+        if let Some(seg) = segmented_cov(&xs, LsoConfig::default()) {
+            prop_assert!(seg.is_finite() && seg >= 0.0);
+            let (shifts, outliers) = scan_series(&xs, LsoConfig::default());
+            if shifts.is_empty() && outliers.is_empty() {
+                // With no detections there is exactly one segment: the
+                // weighted CoV must equal the plain CoV.
+                let global = Summary::from_samples(xs.iter().copied())
+                    .cov()
+                    .unwrap_or(0.0);
+                prop_assert!((seg - global).abs() <= 1e-9 * (1.0 + global),
+                    "one segment: {seg} vs {global}");
+            }
+        }
+    }
+
+    #[test]
+    fn downsampling_preserves_first_sample_and_count(xs in series(), k in 1usize..10) {
+        let d = downsample(&xs, k);
+        prop_assert_eq!(d[0], xs[0]);
+        prop_assert_eq!(d.len(), xs.len().div_ceil(k));
+    }
+
+    #[test]
+    fn cdf_quantile_and_fraction_below_are_consistent(xs in prop::collection::vec(-1e6..1e6f64, 2..100), q in 0.01f64..0.99) {
+        let cdf = Cdf::from_samples(xs.iter().copied());
+        let v = cdf.quantile(q);
+        let frac = cdf.fraction_below(v);
+        // At least q of the mass lies at or below the q-quantile.
+        prop_assert!(frac + 1.0 / xs.len() as f64 >= q - 1e-9, "q={q} v={v} frac={frac}");
+    }
+}
