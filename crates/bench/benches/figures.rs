@@ -25,7 +25,8 @@ fn synthetic_dataset() -> Dataset {
                     records: (0..preset.epochs_per_trace)
                         .map(|ei| {
                             let phase = (pi * 31 + ti * 17 + ei) as f64;
-                            let r = 2e6 + 1.5e6 * (phase * 0.7).sin().abs()
+                            let r = 2e6
+                                + 1.5e6 * (phase * 0.7).sin().abs()
                                 + if ei % 13 == 0 { 6e6 } else { 0.0 };
                             EpochRecord {
                                 a_hat: 5e6 + 2e6 * (phase * 0.3).cos(),
@@ -61,9 +62,7 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| {
             let errors: Vec<f64> = ds
                 .epochs()
-                .map(|(_, _, rec)| {
-                    relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large)
-                })
+                .map(|(_, _, rec)| relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large))
                 .collect();
             black_box(errors.len())
         })

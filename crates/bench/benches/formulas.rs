@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tputpred_core::fb::{FbConfig, FbPredictor, PathEstimates};
-use tputpred_core::formulas::{mathis, pftk, pftk_full, pftk_revised, slow_start_segments, PftkParams};
+use tputpred_core::formulas::{
+    mathis, pftk, pftk_full, pftk_revised, slow_start_segments, PftkParams,
+};
 
 fn params(p: f64) -> PftkParams {
     PftkParams {
@@ -21,7 +23,14 @@ fn params(p: f64) -> PftkParams {
 fn bench_formulas(c: &mut Criterion) {
     let mut group = c.benchmark_group("formulas");
     group.bench_function("mathis", |b| {
-        b.iter(|| mathis(black_box(1448), black_box(0.08), black_box(2.0), black_box(0.01)))
+        b.iter(|| {
+            mathis(
+                black_box(1448),
+                black_box(0.08),
+                black_box(2.0),
+                black_box(0.01),
+            )
+        })
     });
     group.bench_function("pftk_eq2", |b| {
         let p = params(0.01);

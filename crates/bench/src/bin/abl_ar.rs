@@ -9,7 +9,7 @@
 //! AR(p) for several orders, against the paper's simple predictors, with
 //! and without LSO.
 
-use tputpred_bench::{load_dataset, rmsre_per_trace, Args, BoxedPredictor};
+use tputpred_bench::{load_dataset, rmsre_per_trace, Args, PredictorZoo};
 use tputpred_core::hb::{ArPredictor, HoltWinters, MovingAverage};
 use tputpred_core::lso::Lso;
 use tputpred_stats::{quantile, render};
@@ -18,14 +18,20 @@ fn main() {
     let args = Args::parse();
     let ds = load_dataset(&args);
 
-    let variants: Vec<(&str, fn() -> BoxedPredictor)> = vec![
+    let variants: PredictorZoo = vec![
         ("AR(1)", || Box::new(ArPredictor::new(1, 64)) as _),
         ("AR(2)", || Box::new(ArPredictor::new(2, 64)) as _),
         ("AR(4)", || Box::new(ArPredictor::new(4, 64)) as _),
-        ("AR(2)-LSO", || Box::new(Lso::new(ArPredictor::new(2, 64))) as _),
+        ("AR(2)-LSO", || {
+            Box::new(Lso::new(ArPredictor::new(2, 64))) as _
+        }),
         ("10-MA", || Box::new(MovingAverage::new(10)) as _),
-        ("10-MA-LSO", || Box::new(Lso::new(MovingAverage::new(10))) as _),
-        ("0.8-HW-LSO", || Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as _),
+        ("10-MA-LSO", || {
+            Box::new(Lso::new(MovingAverage::new(10))) as _
+        }),
+        ("0.8-HW-LSO", || {
+            Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as _
+        }),
     ];
 
     println!("# abl_ar: AR(p) (Yule-Walker, sliding window) vs the paper's simple predictors");

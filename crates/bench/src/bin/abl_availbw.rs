@@ -48,7 +48,12 @@ fn main() {
     let capacity = 10e6;
     println!("# abl_availbw: pathload vs pathChirp as FB inputs (10 Mbps path, 25 ms one-way)");
     let mut table = render::Table::new([
-        "load", "kind", "true_avail_mbps", "pathload_mbps", "pathchirp_mbps", "bulk_r_mbps",
+        "load",
+        "kind",
+        "true_avail_mbps",
+        "pathload_mbps",
+        "pathchirp_mbps",
+        "bulk_r_mbps",
     ]);
     for (frac, bursty) in [
         (0.0, false),

@@ -85,10 +85,17 @@ fn run_buffer(bdp_mult: f64, epochs: usize) -> (u32, f64, f64, f64, f64) {
 
 fn main() {
     let _args = Args::parse();
-    println!("# abl_buffer: transfer throughput vs bottleneck buffer (10 Mbps, 80 ms RTT, 30% load)");
+    println!(
+        "# abl_buffer: transfer throughput vs bottleneck buffer (10 Mbps, 80 ms RTT, 30% load)"
+    );
     println!("# FB prediction fed the TRUE avail-bw: residual error is the buffer effect alone");
     let mut table = render::Table::new([
-        "buffer_bdp", "buffer_pkts", "r_over_avail", "fb_rmsre_true_availbw", "flow_rtt_ms", "loss_ev/epoch",
+        "buffer_bdp",
+        "buffer_pkts",
+        "r_over_avail",
+        "fb_rmsre_true_availbw",
+        "flow_rtt_ms",
+        "loss_ev/epoch",
     ]);
     for mult in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let (pkts, frac, rmsre, rtt_ms, losses) = run_buffer(mult, 8);

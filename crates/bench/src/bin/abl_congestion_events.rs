@@ -47,7 +47,9 @@ fn main() {
         if !is_lossy(rec) || rec.flow_loss_events == 0 {
             continue;
         }
-        let Some(ev_per_sec_sent) = event_rate(rec) else { continue };
+        let Some(ev_per_sec_sent) = event_rate(rec) else {
+            continue;
+        };
         // events per segment = events / (sent_per_sec × duration)
         let p_event = (ev_per_sec_sent / duration).min(1.0);
         let p_pkt = rec.flow_retx_rate;

@@ -50,8 +50,7 @@ fn main() {
                 if let Some(pred) = hb.predict() {
                     hb_errors.push(relative_error_floored(pred, rec.r_large));
                 }
-                let e_hy =
-                    relative_error_floored(hybrid.predict(&est).max(1.0), rec.r_large);
+                let e_hy = relative_error_floored(hybrid.predict(&est).max(1.0), rec.r_large);
                 hybrid_errors.push(e_hy);
                 if i < 3 {
                     early_fb.push(e_fb);
@@ -87,12 +86,14 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!(
-        "# cold start (first 3 epochs, where pure HB has little or no history):"
-    );
+    println!("# cold start (first 3 epochs, where pure HB has little or no history):");
     println!(
         "#   fb median |E| = {:.3}, hybrid median |E| = {:.3}",
         quantile(&early_fb.iter().map(|e| e.abs()).collect::<Vec<_>>(), 0.5).unwrap(),
-        quantile(&early_hybrid.iter().map(|e| e.abs()).collect::<Vec<_>>(), 0.5).unwrap(),
+        quantile(
+            &early_hybrid.iter().map(|e| e.abs()).collect::<Vec<_>>(),
+            0.5
+        )
+        .unwrap(),
     );
 }

@@ -20,10 +20,10 @@
 //! transfers wins.
 
 use tputpred_bench::Args;
+use tputpred_core::fb::{FbConfig, FbPredictor, PathEstimates};
 use tputpred_core::hb::{HoltWinters, MovingAverage, Predictor};
 use tputpred_core::lso::Lso;
 use tputpred_core::metrics::{relative_error_floored, rmsre};
-use tputpred_core::fb::{FbConfig, FbPredictor, PathEstimates};
 use tputpred_netsim::link::LinkConfig;
 use tputpred_netsim::sources::{PoissonSource, Sink, SourceConfig};
 use tputpred_netsim::{RateSchedule, Route, Simulator, Time};
@@ -46,7 +46,11 @@ fn run_path(spec: &PathSpec, epochs: usize) -> (f64, f64, f64, f64, f64) {
         Time::from_millis(spec.one_way_ms),
         spec.buffer,
     ));
-    let rev = sim.add_link(LinkConfig::new(1e9, Time::from_millis(spec.one_way_ms), 1000));
+    let rev = sim.add_link(LinkConfig::new(
+        1e9,
+        Time::from_millis(spec.one_way_ms),
+        1000,
+    ));
     if spec.cross > 0.0 {
         let (sink, _) = Sink::new();
         let sink_id = sim.add_endpoint(Box::new(sink));
@@ -140,13 +144,36 @@ fn run_path(spec: &PathSpec, epochs: usize) -> (f64, f64, f64, f64, f64) {
 fn main() {
     let _args = Args::parse();
     let specs = [
-        PathSpec { name: "quiet-20M", capacity: 20e6, one_way_ms: 30, buffer: 100, cross: 5e6 },
-        PathSpec { name: "loaded-10M", capacity: 10e6, one_way_ms: 25, buffer: 40, cross: 6e6 },
-        PathSpec { name: "dsl-1.4M", capacity: 1.4e6, one_way_ms: 30, buffer: 14, cross: 0.4e6 },
+        PathSpec {
+            name: "quiet-20M",
+            capacity: 20e6,
+            one_way_ms: 30,
+            buffer: 100,
+            cross: 5e6,
+        },
+        PathSpec {
+            name: "loaded-10M",
+            capacity: 10e6,
+            one_way_ms: 25,
+            buffer: 40,
+            cross: 6e6,
+        },
+        PathSpec {
+            name: "dsl-1.4M",
+            capacity: 1.4e6,
+            one_way_ms: 30,
+            buffer: 14,
+            cross: 0.4e6,
+        },
     ];
     println!("# abl_nws: NWS-style 64KB/32KB probe prediction vs FB and HB, 20 epochs per path");
     let mut table = render::Table::new([
-        "path", "rmsre_nws", "rmsre_fb", "rmsre_hb_hw_lso", "probe/bulk", "nws_underest_frac",
+        "path",
+        "rmsre_nws",
+        "rmsre_fb",
+        "rmsre_hb_hw_lso",
+        "probe/bulk",
+        "nws_underest_frac",
     ]);
     for spec in &specs {
         let (nws, fb, hb, ratio, under) = run_path(spec, 20);
@@ -160,6 +187,8 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("# expected shape: probe/bulk << 1 (slow-start + 32KB window), so NWS underestimates;");
+    println!(
+        "# expected shape: probe/bulk << 1 (slow-start + 32KB window), so NWS underestimates;"
+    );
     println!("# HB over real transfers is the most accurate (paper section 2 + ref [14]).");
 }

@@ -69,14 +69,23 @@ fn run_discipline(red: bool, epochs: usize) -> (f64, f64, f64, f64) {
     let mean = series.iter().sum::<f64>() / series.len() as f64;
     let mut hb = Lso::new(HoltWinters::new(0.8, 0.2));
     let hb_rmsre = evaluate(&mut hb, &series).rmsre().unwrap_or(f64::NAN);
-    (mean, hb_rmsre, rtts.mean() * 1e3, timeouts as f64 / epochs as f64)
+    (
+        mean,
+        hb_rmsre,
+        rtts.mean() * 1e3,
+        timeouts as f64 / epochs as f64,
+    )
 }
 
 fn main() {
     let _args = Args::parse();
     println!("# abl_red: droptail vs RED at a deep-buffered bottleneck (10 Mbps, 150-pkt buffer, 40% bursty load)");
     let mut table = render::Table::new([
-        "aqm", "mean_mbps", "hb_rmsre_hw_lso", "flow_rtt_ms", "timeouts/epoch",
+        "aqm",
+        "mean_mbps",
+        "hb_rmsre_hw_lso",
+        "flow_rtt_ms",
+        "timeouts/epoch",
     ]);
     for (name, red) in [("droptail", false), ("red", true)] {
         let (mean, rmsre, rtt, to) = run_discipline(red, 20);

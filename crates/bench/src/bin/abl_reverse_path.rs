@@ -76,7 +76,10 @@ fn main() {
     let _args = Args::parse();
     println!("# abl_reverse_path: ACK-path congestion (idle 10 Mbps forward, 2 Mbps reverse)");
     let mut table = render::Table::new([
-        "rev_utilization", "mean_mbps", "fb_rmsre_fwd_only", "ack_drops/epoch",
+        "rev_utilization",
+        "mean_mbps",
+        "fb_rmsre_fwd_only",
+        "ack_drops/epoch",
     ]);
     for util in [0.0, 0.3, 0.6, 0.8, 0.95] {
         let (mean, rmsre, drops) = run_reverse_load(util, 8);

@@ -86,7 +86,12 @@ fn main() {
     let _args = Args::parse();
     println!("# abl_tcp_flavor: Reno vs NewReno target flows on the same loaded path");
     let mut table = render::Table::new([
-        "flavor", "buffer_pkts", "mean_mbps", "fb_rmsre", "timeouts/epoch", "fastretx/epoch",
+        "flavor",
+        "buffer_pkts",
+        "mean_mbps",
+        "fb_rmsre",
+        "timeouts/epoch",
+        "fastretx/epoch",
     ]);
     for buffer in [12u32, 30] {
         for (name, flavor) in [("reno", TcpFlavor::Reno), ("newreno", TcpFlavor::NewReno)] {

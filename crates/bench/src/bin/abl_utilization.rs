@@ -37,7 +37,12 @@ fn main() {
     base_path.cross.pareto_sources = 2;
 
     println!("# abl_utilization: prediction error vs bottleneck utilization (10 Mbps path)");
-    let mut table = render::Table::new(["utilization", "hb_rmsre_hw_lso", "fb_rmsre", "mean_tput_mbps"]);
+    let mut table = render::Table::new([
+        "utilization",
+        "hb_rmsre_hw_lso",
+        "fb_rmsre",
+        "mean_tput_mbps",
+    ]);
     let fb = FbPredictor::new(fb_config(&preset));
     for util in [0.1, 0.3, 0.5, 0.7, 0.85, 0.95] {
         let mut path = base_path.clone();
@@ -57,5 +62,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("# expected shape: hb_rmsre grows with utilization (paper's queueing analysis, result 1)");
+    println!(
+        "# expected shape: hb_rmsre grows with utilization (paper's queueing analysis, result 1)"
+    );
 }

@@ -9,7 +9,7 @@
 use tputpred_bench::{is_lossy, load_dataset, Args};
 use tputpred_stats::{quantile, render};
 
-fn q(v: &mut Vec<f64>) -> (f64, f64, f64) {
+fn q(v: &mut [f64]) -> (f64, f64, f64) {
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
     (
         quantile(v, 0.25).unwrap_or(f64::NAN),

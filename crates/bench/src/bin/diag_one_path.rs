@@ -13,7 +13,12 @@ fn main() {
         .filter(|p| p.cross.utilization < 0.5 && p.cross.elastic_flows == 0)
         .take(3)
         .collect();
-    quiet.sort_by(|a, b| a.cross.utilization.partial_cmp(&b.cross.utilization).unwrap());
+    quiet.sort_by(|a, b| {
+        a.cross
+            .utilization
+            .partial_cmp(&b.cross.utilization)
+            .unwrap()
+    });
     for path in quiet {
         println!(
             "# path {} cap={:.1}M rtt={:.0}ms buf={}pkts util={:.2} pareto_frac={:.2} duty={:.2} srcs={} shifts={:.1} bursts={:.1}",
@@ -32,7 +37,15 @@ fn main() {
         preset.epochs_per_trace = 8;
         let trace = run_trace(path, 0, &preset);
         let mut t = render::Table::new([
-            "epoch", "r_mbps", "true_avail", "a_hat", "p_hat", "p_tilde", "loss_ev", "retx", "t_hat_ms",
+            "epoch",
+            "r_mbps",
+            "true_avail",
+            "a_hat",
+            "p_hat",
+            "p_tilde",
+            "loss_ev",
+            "retx",
+            "t_hat_ms",
         ]);
         for (i, r) in trace.records.iter().enumerate() {
             t.row([

@@ -18,7 +18,10 @@ fn main() {
         .filter(|(_, _, r)| is_lossy(r) && r.p_tilde > 0.0)
         .map(|(_, _, r)| (r.p_hat, r.p_tilde))
         .collect();
-    assert!(!records.is_empty(), "no a-priori-lossy epochs in this dataset");
+    assert!(
+        !records.is_empty(),
+        "no a-priori-lossy epochs in this dataset"
+    );
 
     let rel: Vec<f64> = records
         .iter()

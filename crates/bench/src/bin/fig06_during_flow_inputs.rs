@@ -34,7 +34,9 @@ fn main() {
     }
     assert!(!with_during.is_empty(), "no lossy epochs in this dataset");
 
-    println!("# fig06: FB error with during-flow (T~, p~) vs a-priori (T^, p^) inputs (lossy epochs)");
+    println!(
+        "# fig06: FB error with during-flow (T~, p~) vs a-priori (T^, p^) inputs (lossy epochs)"
+    );
     for (name, errors) in [
         ("a_priori_inputs", &with_a_priori),
         ("during_flow_inputs", &with_during),

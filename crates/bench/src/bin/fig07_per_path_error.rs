@@ -36,7 +36,11 @@ fn main() {
             render::f(p10),
             render::f(med),
             render::f(p90),
-            if p90 > 10.0 { "*".into() } else { String::new() },
+            if p90 > 10.0 {
+                "*".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     print!("{}", table.render());

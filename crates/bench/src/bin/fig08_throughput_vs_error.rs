@@ -23,8 +23,16 @@ fn main() {
     println!("# fig08: actual throughput (Mbps) vs FB prediction error E");
     print!("{}", render::series("r_vs_e", &points));
 
-    let slow: Vec<f64> = points.iter().filter(|(r, _)| *r <= 0.5).map(|&(_, e)| e).collect();
-    let fast: Vec<f64> = points.iter().filter(|(r, _)| *r > 0.5).map(|&(_, e)| e).collect();
+    let slow: Vec<f64> = points
+        .iter()
+        .filter(|(r, _)| *r <= 0.5)
+        .map(|&(_, e)| e)
+        .collect();
+    let fast: Vec<f64> = points
+        .iter()
+        .filter(|(r, _)| *r > 0.5)
+        .map(|&(_, e)| e)
+        .collect();
     let frac = |v: &[f64]| {
         if v.is_empty() {
             0.0

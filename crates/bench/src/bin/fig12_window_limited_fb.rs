@@ -67,7 +67,5 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!(
-        "# paths with window-limited RMSRE < 1.0: {small_below_one}/{paths_with_small}"
-    );
+    println!("# paths with window-limited RMSRE < 1.0: {small_below_one}/{paths_with_small}");
 }

@@ -27,9 +27,7 @@ fn main() {
         let errors: Vec<f64> = ds
             .epochs()
             .filter(|(_, _, rec)| is_lossy(rec))
-            .map(|(_, _, rec)| {
-                relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large)
-            })
+            .map(|(_, _, rec)| relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large))
             .collect();
         assert!(!errors.is_empty(), "no lossy epochs in this dataset");
         let cdf = Cdf::from_samples(errors.iter().copied());

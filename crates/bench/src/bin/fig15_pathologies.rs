@@ -11,7 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use tputpred_bench::BoxedPredictor;
+use tputpred_bench::PredictorZoo;
 use tputpred_core::hb::{Ewma, HoltWinters, MovingAverage};
 use tputpred_core::lso::Lso;
 use tputpred_core::metrics::evaluate;
@@ -56,22 +56,30 @@ fn trace_c(rng: &mut StdRng) -> Vec<f64> {
     xs
 }
 
-fn zoo() -> Vec<(&'static str, fn() -> BoxedPredictor)> {
+fn zoo() -> PredictorZoo {
     vec![
         ("1-MA", || Box::new(MovingAverage::new(1)) as _),
         ("5-MA", || Box::new(MovingAverage::new(5)) as _),
         ("10-MA", || Box::new(MovingAverage::new(10)) as _),
         ("20-MA", || Box::new(MovingAverage::new(20)) as _),
-        ("5-MA-LSO", || Box::new(Lso::new(MovingAverage::new(5))) as _),
-        ("10-MA-LSO", || Box::new(Lso::new(MovingAverage::new(10))) as _),
-        ("20-MA-LSO", || Box::new(Lso::new(MovingAverage::new(20))) as _),
+        ("5-MA-LSO", || {
+            Box::new(Lso::new(MovingAverage::new(5))) as _
+        }),
+        ("10-MA-LSO", || {
+            Box::new(Lso::new(MovingAverage::new(10))) as _
+        }),
+        ("20-MA-LSO", || {
+            Box::new(Lso::new(MovingAverage::new(20))) as _
+        }),
         ("0.3-EWMA", || Box::new(Ewma::new(0.3)) as _),
         ("0.5-EWMA", || Box::new(Ewma::new(0.5)) as _),
         ("0.8-EWMA", || Box::new(Ewma::new(0.8)) as _),
         ("0.3-HW", || Box::new(HoltWinters::new(0.3, 0.2)) as _),
         ("0.5-HW", || Box::new(HoltWinters::new(0.5, 0.2)) as _),
         ("0.8-HW", || Box::new(HoltWinters::new(0.8, 0.2)) as _),
-        ("0.8-HW-LSO", || Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as _),
+        ("0.8-HW-LSO", || {
+            Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as _
+        }),
     ]
 }
 

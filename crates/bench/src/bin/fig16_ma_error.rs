@@ -5,7 +5,7 @@
 //! is worse); LSO significantly reduces RMSRE and removes the
 //! sensitivity to `n`.
 
-use tputpred_bench::{load_dataset, rmsre_per_trace, Args, BoxedPredictor};
+use tputpred_bench::{load_dataset, rmsre_per_trace, Args, PredictorZoo};
 use tputpred_core::hb::MovingAverage;
 use tputpred_core::lso::Lso;
 use tputpred_stats::{render, Cdf};
@@ -14,14 +14,20 @@ fn main() {
     let args = Args::parse();
     let ds = load_dataset(&args);
 
-    let variants: Vec<(&str, fn() -> BoxedPredictor)> = vec![
+    let variants: PredictorZoo = vec![
         ("1-MA", || Box::new(MovingAverage::new(1)) as _),
         ("5-MA", || Box::new(MovingAverage::new(5)) as _),
         ("10-MA", || Box::new(MovingAverage::new(10)) as _),
         ("20-MA", || Box::new(MovingAverage::new(20)) as _),
-        ("5-MA-LSO", || Box::new(Lso::new(MovingAverage::new(5))) as _),
-        ("10-MA-LSO", || Box::new(Lso::new(MovingAverage::new(10))) as _),
-        ("20-MA-LSO", || Box::new(Lso::new(MovingAverage::new(20))) as _),
+        ("5-MA-LSO", || {
+            Box::new(Lso::new(MovingAverage::new(5))) as _
+        }),
+        ("10-MA-LSO", || {
+            Box::new(Lso::new(MovingAverage::new(10))) as _
+        }),
+        ("20-MA-LSO", || {
+            Box::new(Lso::new(MovingAverage::new(20))) as _
+        }),
     ];
 
     println!("# fig16: CDF over traces of per-trace RMSRE, MA predictors +/- LSO");

@@ -5,7 +5,7 @@
 //! improves HW significantly; HW-LSO edges out MA-LSO only slightly
 //! (few traces have persistent linear trends).
 
-use tputpred_bench::{load_dataset, rmsre_per_trace, Args, BoxedPredictor};
+use tputpred_bench::{load_dataset, rmsre_per_trace, Args, PredictorZoo};
 use tputpred_core::hb::{Ewma, HoltWinters};
 use tputpred_core::lso::Lso;
 use tputpred_stats::{render, Cdf};
@@ -14,13 +14,17 @@ fn main() {
     let args = Args::parse();
     let ds = load_dataset(&args);
 
-    let variants: Vec<(&str, fn() -> BoxedPredictor)> = vec![
+    let variants: PredictorZoo = vec![
         ("0.3-HW", || Box::new(HoltWinters::new(0.3, 0.2)) as _),
         ("0.5-HW", || Box::new(HoltWinters::new(0.5, 0.2)) as _),
         ("0.8-HW", || Box::new(HoltWinters::new(0.8, 0.2)) as _),
         ("0.8-EWMA", || Box::new(Ewma::new(0.8)) as _),
-        ("0.3-HW-LSO", || Box::new(Lso::new(HoltWinters::new(0.3, 0.2))) as _),
-        ("0.8-HW-LSO", || Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as _),
+        ("0.3-HW-LSO", || {
+            Box::new(Lso::new(HoltWinters::new(0.3, 0.2))) as _
+        }),
+        ("0.8-HW-LSO", || {
+            Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as _
+        }),
         ("0.8-EWMA-LSO", || Box::new(Lso::new(Ewma::new(0.8))) as _),
     ];
 

@@ -10,7 +10,7 @@
 //! Paper finding: paths genuinely differ in predictability; HW-LSO is
 //! almost always the best of the four.
 
-use tputpred_bench::{load_dataset, trace_rmsre, Args, BoxedPredictor};
+use tputpred_bench::{load_dataset, trace_rmsre, Args, PredictorZoo};
 use tputpred_core::hb::{HoltWinters, MovingAverage};
 use tputpred_core::lso::Lso;
 use tputpred_stats::{render, Summary};
@@ -31,16 +31,24 @@ fn main() {
     let args = Args::parse();
     let ds = load_dataset(&args);
 
-    let zoo: Vec<(&str, fn() -> BoxedPredictor)> = vec![
+    let zoo: PredictorZoo = vec![
         ("1-MA", || Box::new(MovingAverage::new(1)) as _),
         ("10-MA", || Box::new(MovingAverage::new(10)) as _),
         ("0.8-HW", || Box::new(HoltWinters::new(0.8, 0.2)) as _),
-        ("0.8-HW-LSO", || Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as _),
+        ("0.8-HW-LSO", || {
+            Box::new(Lso::new(HoltWinters::new(0.8, 0.2))) as _
+        }),
     ];
 
     println!("# fig21: per-path per-trace RMSRE for four predictors, with path class");
     let mut table = render::Table::new([
-        "path", "trace", "1-MA", "10-MA", "0.8-HW", "0.8-HW-LSO", "class",
+        "path",
+        "trace",
+        "1-MA",
+        "10-MA",
+        "0.8-HW",
+        "0.8-HW-LSO",
+        "class",
     ]);
     let mut class_counts = std::collections::BTreeMap::new();
     for p in &ds.paths {
@@ -59,9 +67,7 @@ fn main() {
             let series = t.throughput_series();
             let mut row = vec![p.config.name.clone(), ti.to_string()];
             for (_, make) in &zoo {
-                row.push(
-                    trace_rmsre(*make, &series).map_or("n/a".into(), render::f),
-                );
+                row.push(trace_rmsre(*make, &series).map_or("n/a".into(), render::f));
             }
             row.push(class.to_string());
             table.row(row);

@@ -14,7 +14,11 @@ use tputpred_stats::{render, Cdf};
 fn main() {
     let args = Args::parse();
     let ds = load_dataset(&args);
-    println!("# dataset: {} ({} epochs)", ds.preset.name, ds.epoch_count());
+    println!(
+        "# dataset: {} ({} epochs)",
+        ds.preset.name,
+        ds.epoch_count()
+    );
 
     let fb = FbPredictor::new(fb_config(&ds.preset));
     let mut errors = Vec::new();
@@ -38,10 +42,25 @@ fn main() {
     let mut t = render::Table::new(["metric", "value"]);
     t.row(["epochs", &n.to_string()]);
     t.row(["lossy fraction", &render::f(lossy as f64 / n as f64)]);
-    t.row(["FB overestimation fraction", &render::f(over as f64 / n as f64)]);
-    t.row(["median |E|", &render::f(Cdf::from_samples(errors.iter().map(|e| e.abs())).quantile(0.5))]);
-    t.row(["P(E >= 1) (off by >= 2x)", &render::f(1.0 - cdf.fraction_below(1.0 - 1e-12))]);
-    t.row(["P(E >= 9) (off by >= 10x)", &render::f(1.0 - cdf.fraction_below(9.0 - 1e-12))]);
-    t.row(["median throughput (Mbps)", &render::mbps(tput.quantile(0.5))]);
+    t.row([
+        "FB overestimation fraction",
+        &render::f(over as f64 / n as f64),
+    ]);
+    t.row([
+        "median |E|",
+        &render::f(Cdf::from_samples(errors.iter().map(|e| e.abs())).quantile(0.5)),
+    ]);
+    t.row([
+        "P(E >= 1) (off by >= 2x)",
+        &render::f(1.0 - cdf.fraction_below(1.0 - 1e-12)),
+    ]);
+    t.row([
+        "P(E >= 9) (off by >= 10x)",
+        &render::f(1.0 - cdf.fraction_below(9.0 - 1e-12)),
+    ]);
+    t.row([
+        "median throughput (Mbps)",
+        &render::mbps(tput.quantile(0.5)),
+    ]);
     print!("{}", t.render());
 }

@@ -45,8 +45,9 @@ impl Args {
             match flag.as_str() {
                 "--preset" => {
                     let name = iter.next().ok_or("--preset needs a value")?;
-                    parsed.preset = Preset::by_name(&name)
-                        .ok_or_else(|| format!("unknown preset '{name}' (paper|quick|tiny|quick-2006)"))?;
+                    parsed.preset = Preset::by_name(&name).ok_or_else(|| {
+                        format!("unknown preset '{name}' (paper|quick|tiny|quick-2006)")
+                    })?;
                 }
                 "--data" => {
                     let dir = iter.next().ok_or("--data needs a value")?;

@@ -141,12 +141,9 @@ impl FbPredictor {
                 FbModel::PftkSimple => pftk(&params),
                 FbModel::PftkFull => pftk_full(&params),
                 FbModel::PftkRevised => pftk_revised(&params),
-                FbModel::Mathis => formulas::mathis(
-                    self.config.mss,
-                    est.rtt,
-                    self.config.b,
-                    est.loss_rate,
-                ),
+                FbModel::Mathis => {
+                    formulas::mathis(self.config.mss, est.rtt, self.config.b, est.loss_rate)
+                }
             };
             f64::min(model_rate, window_limit)
         } else {
@@ -236,7 +233,7 @@ mod tests {
     #[test]
     fn lossless_branch_takes_min_of_window_and_availbw() {
         let fb = FbPredictor::default(); // W = 1 MB
-        // W/T = 8·2²⁰/0.1 ≈ 83.9 Mbps; avail-bw 10 Mbps wins.
+                                         // W/T = 8·2²⁰/0.1 ≈ 83.9 Mbps; avail-bw 10 Mbps wins.
         let r = fb.predict(&est(0.1, 0.0, 10e6));
         assert_eq!(r, 10e6);
         // Tiny window: W/T wins.

@@ -29,6 +29,7 @@
 /// ```
 pub fn slow_start_segments(d: u64, p: f64) -> f64 {
     debug_assert!((0.0..=1.0).contains(&p), "loss rate {p} outside [0, 1]");
+    // lint:allow(float-eq): p = 0 is an exact sentinel selecting the lossless limit
     if p == 0.0 {
         // Limit of the formula as p → 0: lim (1-(1-p)^d)(1-p)/p = d.
         return d as f64 + 1.0;

@@ -68,7 +68,7 @@ impl PftkParams {
     }
 
     /// Converts a throughput in segments/second to bits/second.
-    fn to_bps(&self, segments_per_sec: f64) -> f64 {
+    fn to_bps(self, segments_per_sec: f64) -> f64 {
         segments_per_sec * 8.0 * self.mss as f64
     }
 }
@@ -141,7 +141,10 @@ fn timeout_probability(p: f64, w: f64) -> f64 {
 /// Expected duration multiplier of exponential RTO backoff
 /// (PFTK: G(p) = 1 + p + 2p² + 4p³ + 8p⁴ + 16p⁵ + 32p⁶).
 fn backoff_factor(p: f64) -> f64 {
-    1.0 + p + 2.0 * p.powi(2) + 4.0 * p.powi(3) + 8.0 * p.powi(4)
+    1.0 + p
+        + 2.0 * p.powi(2)
+        + 4.0 * p.powi(3)
+        + 8.0 * p.powi(4)
         + 16.0 * p.powi(5)
         + 32.0 * p.powi(6)
 }
@@ -174,7 +177,8 @@ pub fn pftk_full(params: &PftkParams) -> f64 {
     let rate_segments = if w < wmax {
         let q = timeout_probability(p, w);
         let numer = (1.0 - p) / p + w / 2.0 + q;
-        let denom = rtt * (b / 2.0 * w + 1.0) + q * backoff_factor(p) * rto / (1.0 - p).max(f64::EPSILON);
+        let denom =
+            rtt * (b / 2.0 * w + 1.0) + q * backoff_factor(p) * rto / (1.0 - p).max(f64::EPSILON);
         numer / denom
     } else {
         let q = timeout_probability(p, wmax);
@@ -219,7 +223,8 @@ pub fn pftk_revised(params: &PftkParams) -> f64 {
     let rate_segments = if w < wmax {
         let q = timeout_probability(p, w);
         let numer = y + w / 2.0 + q;
-        let denom = rtt * (b / 2.0 * w + 1.0) + q * backoff_factor(p) * rto / (1.0 - p).max(f64::EPSILON);
+        let denom =
+            rtt * (b / 2.0 * w + 1.0) + q * backoff_factor(p) * rto / (1.0 - p).max(f64::EPSILON);
         numer / denom
     } else {
         let q = timeout_probability(p, wmax);
@@ -278,8 +283,14 @@ mod tests {
     #[test]
     fn throughput_decreases_with_rtt() {
         for model in [pftk, pftk_full, pftk_revised] {
-            let r1 = model(&PftkParams { rtt: 0.02, ..params(0.01) });
-            let r2 = model(&PftkParams { rtt: 0.2, ..params(0.01) });
+            let r1 = model(&PftkParams {
+                rtt: 0.02,
+                ..params(0.01)
+            });
+            let r2 = model(&PftkParams {
+                rtt: 0.2,
+                ..params(0.01)
+            });
             assert!(r1 > r2);
         }
     }

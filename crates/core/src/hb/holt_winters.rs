@@ -113,8 +113,7 @@ impl Predictor for HoltWinters {
             HwState::Running { smooth, trend } => {
                 let forecast = smooth + trend;
                 let new_smooth = self.alpha * x + (1.0 - self.alpha) * forecast;
-                let new_trend =
-                    self.beta * (new_smooth - smooth) + (1.0 - self.beta) * trend;
+                let new_trend = self.beta * (new_smooth - smooth) + (1.0 - self.beta) * trend;
                 HwState::Running {
                     smooth: new_smooth,
                     trend: new_trend,

@@ -162,7 +162,9 @@ mod tests {
             ma.update((i % 17) as f64 * 1e9 + 0.1);
         }
         // window is the last 4 values; compute expected directly
-        let tail: Vec<f64> = (99_996..100_000).map(|i| (i % 17) as f64 * 1e9 + 0.1).collect();
+        let tail: Vec<f64> = (99_996..100_000)
+            .map(|i| (i % 17) as f64 * 1e9 + 0.1)
+            .collect();
         let expected = tail.iter().sum::<f64>() / 4.0;
         let got = ma.predict().unwrap();
         assert!((got - expected).abs() / expected < 1e-12);

@@ -138,7 +138,10 @@ impl Detector {
     pub fn new(cfg: LsoConfig) -> Self {
         assert!(cfg.gamma > 0.0, "LSO gamma must be positive");
         assert!(cfg.psi > 0.0, "LSO psi must be positive");
-        assert!(cfg.max_window >= 4, "LSO window must hold at least 4 samples");
+        assert!(
+            cfg.max_window >= 4,
+            "LSO window must hold at least 4 samples"
+        );
         Detector {
             cfg,
             window: Vec::new(),
@@ -456,8 +459,14 @@ mod tests {
         for x in [10.0; 8] {
             det.push(x);
         }
-        assert!(det.push(20.0).is_plain(), "first new-level sample: no call yet");
-        assert!(det.push(20.0).is_plain(), "second new-level sample: k+2>n still");
+        assert!(
+            det.push(20.0).is_plain(),
+            "first new-level sample: no call yet"
+        );
+        assert!(
+            det.push(20.0).is_plain(),
+            "second new-level sample: k+2>n still"
+        );
         let ev = det.push(20.0);
         assert_eq!(ev.level_shift, Some(8), "shift begins at the first 20");
         assert_eq!(det.window().len(), 3);
@@ -494,10 +503,14 @@ mod tests {
             det.push(x);
         }
         assert!(det.push(30.0).is_plain());
-        assert!(det.push(10.0).is_plain(), "one successor: not confirmable yet");
+        assert!(
+            det.push(10.0).is_plain(),
+            "one successor: not confirmable yet"
+        );
         let ev = det.push(10.0);
         assert_eq!(ev.outliers, vec![8], "the 30 at position 8 is an outlier");
         assert_eq!(ev.level_shift, None);
+        // lint:allow(float-eq): window holds the exact literals pushed above
         assert!(det.window().iter().all(|&(_, v)| v == 10.0));
     }
 
@@ -613,8 +626,7 @@ mod tests {
 
     #[test]
     fn successive_level_shifts_are_all_caught() {
-        let series: Vec<f64> =
-            [vec![10.0; 6], vec![20.0; 6], vec![5.0; 6]].concat();
+        let series: Vec<f64> = [vec![10.0; 6], vec![20.0; 6], vec![5.0; 6]].concat();
         let (shifts, _) = scan_series(&series, cfg());
         assert_eq!(shifts, vec![6, 12]);
     }

@@ -237,7 +237,10 @@ mod tests {
         // The outlier sits in the MA window for one step before its
         // confirmation (two-sample delay), so the post-outlier prediction
         // is contaminated once; still a small overall RMSRE.
-        assert!(without < 0.5, "remaining series is nearly perfect: {without}");
+        assert!(
+            without < 0.5,
+            "remaining series is nearly perfect: {without}"
+        );
     }
 
     #[test]
@@ -301,9 +304,7 @@ mod tests {
         let series: Vec<f64> = [vec![10.0; 20], vec![30.0; 20]].concat();
         let seg = segmented_cov(&series, LsoConfig::default()).unwrap();
         assert!(seg < 0.02, "segmented CoV ≈ 0, got {seg}");
-        let global = Summary::from_samples(series.iter().copied())
-            .cov()
-            .unwrap();
+        let global = Summary::from_samples(series.iter().copied()).cov().unwrap();
         assert!(global > 0.4, "global CoV is large: {global}");
     }
 
@@ -319,7 +320,9 @@ mod tests {
         // Alternating 9/11: CoV = 1/10 = 0.1, no shifts (alternation
         // violates the all-lower/all-higher condition) and no outliers
         // (±22% of the odd-window median, below ψ = 0.4).
-        let series: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 9.0 } else { 11.0 }).collect();
+        let series: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 9.0 } else { 11.0 })
+            .collect();
         let seg = segmented_cov(&series, LsoConfig::default()).unwrap();
         assert!((seg - 0.1).abs() < 0.02, "got {seg}");
     }

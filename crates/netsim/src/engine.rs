@@ -33,9 +33,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Identifies an endpoint within a [`Simulator`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EndpointId(pub u32);
 
 /// An instruction an endpoint issues through its [`Ctx`].
@@ -101,11 +99,19 @@ pub trait Endpoint {
 
 #[derive(Debug)]
 enum EventKind {
-    Timer { endpoint: EndpointId, token: u64 },
+    Timer {
+        endpoint: EndpointId,
+        token: u64,
+    },
     /// A link finished serializing `packet`.
-    TxDone { link: LinkId, packet: Packet },
+    TxDone {
+        link: LinkId,
+        packet: Packet,
+    },
     /// `packet` finished propagating; enter next hop or deliver.
-    Arrival { packet: Packet },
+    Arrival {
+        packet: Packet,
+    },
 }
 
 struct Scheduled {
@@ -252,7 +258,13 @@ impl Simulator {
                 let next = l.finish_tx(&packet, self.now);
                 let delay = l.delay();
                 if let Some((next_pkt, done)) = next {
-                    self.push(done, EventKind::TxDone { link, packet: next_pkt });
+                    self.push(
+                        done,
+                        EventKind::TxDone {
+                            link,
+                            packet: next_pkt,
+                        },
+                    );
                 }
                 let mut sent = packet;
                 sent.advance_hop();
@@ -291,7 +303,13 @@ impl Simulator {
                 match link.offer(packet, self.now) {
                     Offer::StartTx => {
                         let done = link.begin_tx(&packet, self.now);
-                        self.push(done, EventKind::TxDone { link: link_id, packet });
+                        self.push(
+                            done,
+                            EventKind::TxDone {
+                                link: link_id,
+                                packet,
+                            },
+                        );
                     }
                     Offer::Queued | Offer::Dropped => {}
                 }
@@ -329,7 +347,13 @@ impl Simulator {
                 Command::Send(packet) => self.route_packet(packet),
                 Command::SetTimer { token, at } => {
                     debug_assert!(at >= self.now, "timer in the past");
-                    self.push(at.max(self.now), EventKind::Timer { endpoint: id, token });
+                    self.push(
+                        at.max(self.now),
+                        EventKind::Timer {
+                            endpoint: id,
+                            token,
+                        },
+                    );
                 }
             }
         }
@@ -372,12 +396,14 @@ mod tests {
 
     fn world(
         rate: f64,
+        // lint:allow(units): whole-ms test grid; converted via Time::from_millis below
         delay_ms: u64,
         buffer: u32,
         burst: u32,
         size: u32,
     ) -> (Simulator, LinkId, Rc<RefCell<Vec<Time>>>) {
         let mut sim = Simulator::new(7);
+        // lint:allow(units): conversion is explicit at the use site
         let link = sim.add_link(LinkConfig::new(rate, Time::from_millis(delay_ms), buffer));
         let arrivals = Rc::new(RefCell::new(Vec::new()));
         let sink = sim.add_endpoint(Box::new(Recorder {
@@ -443,8 +469,14 @@ mod tests {
         }
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulator::new(1);
-        let a = sim.add_endpoint(Box::new(Logger { tag: 1, log: Rc::clone(&log) }));
-        let b = sim.add_endpoint(Box::new(Logger { tag: 2, log: Rc::clone(&log) }));
+        let a = sim.add_endpoint(Box::new(Logger {
+            tag: 1,
+            log: Rc::clone(&log),
+        }));
+        let b = sim.add_endpoint(Box::new(Logger {
+            tag: 2,
+            log: Rc::clone(&log),
+        }));
         let t = Time::from_millis(5);
         sim.schedule_timer(b, 1, t);
         sim.schedule_timer(a, 2, t);

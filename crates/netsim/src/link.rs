@@ -61,9 +61,7 @@ impl Aqm {
 }
 
 /// Identifies a link within a [`crate::Simulator`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub u32);
 
 /// Static link parameters.
@@ -207,7 +205,13 @@ impl Link {
 
     /// RED early-drop decision for the current (pre-enqueue) state.
     fn red_drops(&mut self) -> bool {
-        let Aqm::Red { min_th, max_th, max_p, weight } = self.config.aqm else {
+        let Aqm::Red {
+            min_th,
+            max_th,
+            max_p,
+            weight,
+        } = self.config.aqm
+        else {
             return false;
         };
         self.red_avg = (1.0 - weight) * self.red_avg + weight * self.queue.len() as f64;
@@ -413,9 +417,15 @@ mod tests {
         let cfg = LinkConfig::new(10e6, Time::from_millis(10), 67);
         // 10 Mbps × 80 ms RTT = 100 kB ≈ 66 packets of 1500 B.
         assert_eq!(cfg.bdp_bytes(Time::from_millis(80)), 100_000);
-        assert_eq!(LinkConfig::bdp_packets(10e6, Time::from_millis(80), 1500), 66);
+        assert_eq!(
+            LinkConfig::bdp_packets(10e6, Time::from_millis(80), 1500),
+            66
+        );
         // The floor of 2 packets applies on tiny BDPs.
-        assert_eq!(LinkConfig::bdp_packets(64e3, Time::from_millis(10), 1500), 2);
+        assert_eq!(
+            LinkConfig::bdp_packets(64e3, Time::from_millis(10), 1500),
+            2
+        );
     }
 
     #[test]
@@ -448,7 +458,13 @@ mod red_tests {
 
     #[test]
     fn red_defaults_scale_with_buffer() {
-        let Aqm::Red { min_th, max_th, max_p, weight } = Aqm::red_for_buffer(30) else {
+        let Aqm::Red {
+            min_th,
+            max_th,
+            max_p,
+            weight,
+        } = Aqm::red_for_buffer(30)
+        else {
             panic!("expected RED");
         };
         assert!((max_th - 24.0).abs() < 1e-9);
@@ -470,10 +486,8 @@ mod red_tests {
         let mut t = Time::ZERO;
         for i in 0..20_000 {
             // Alternate: one arrival, one service, queue hovering ~25.
-            if l.queue_len() < 25 {
-                if matches!(l.offer(pkt(1000), t), Offer::Dropped) {
-                    dropped += 1;
-                }
+            if l.queue_len() < 25 && matches!(l.offer(pkt(1000), t), Offer::Dropped) {
+                dropped += 1;
             }
             if i % 2 == 0 {
                 l.finish_tx(&p, t);
@@ -481,7 +495,7 @@ mod red_tests {
                     // finish_tx already dequeued the next packet.
                 }
             }
-            t = t + Time::from_micros(500);
+            t += Time::from_micros(500);
         }
         assert!(dropped > 0, "RED must early-drop under sustained backlog");
         // And the queue itself never hard-overflowed (30-packet buffer,

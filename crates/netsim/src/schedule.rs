@@ -201,11 +201,7 @@ mod tests {
 
     #[test]
     fn bursts_override_and_expire() {
-        let s = RateSchedule::constant(1.0).with_burst(
-            Time::from_secs(5),
-            Time::from_secs(6),
-            9.0,
-        );
+        let s = RateSchedule::constant(1.0).with_burst(Time::from_secs(5), Time::from_secs(6), 9.0);
         assert_eq!(s.multiplier_at(Time::from_millis(5500)), 9.0);
         assert_eq!(s.multiplier_at(Time::from_secs(6)), 1.0, "end-exclusive");
         assert_eq!(s.multiplier_at(Time::from_secs(4)), 1.0);
@@ -245,7 +241,10 @@ mod tests {
         let a = build();
         let b = build();
         assert_eq!(a, b, "same seed, same schedule");
-        for m in (0..3600).step_by(13).map(|s| a.multiplier_at(Time::from_secs(s))) {
+        for m in (0..3600)
+            .step_by(13)
+            .map(|s| a.multiplier_at(Time::from_secs(s)))
+        {
             assert!((0.2..=4.0).contains(&m), "multiplier {m} out of range");
         }
     }

@@ -402,9 +402,9 @@ mod tests {
                 let (s, h) = ParetoOnOffSource::new(cfg, 0.3, 1.9, 0.5);
                 (Box::new(s), h)
             },
-            400,
+            1200,
         );
-        let expected = 50_000.0;
+        let expected = 150_000.0;
         let err = (sent as f64 - expected).abs() / expected;
         assert!(err < 0.15, "sent {sent}, expected ≈{expected}");
     }
@@ -443,11 +443,8 @@ mod tests {
         let link = fat_link(&mut sim);
         let (sink, rx) = Sink::new();
         let sink_id = sim.add_endpoint(Box::new(sink));
-        let schedule = RateSchedule::constant(1.0).with_burst(
-            Time::from_secs(2),
-            Time::from_secs(4),
-            0.0,
-        );
+        let schedule =
+            RateSchedule::constant(1.0).with_burst(Time::from_secs(2), Time::from_secs(4), 0.0);
         let cfg = SourceConfig {
             route: Route::direct(link),
             dst: sink_id,

@@ -168,7 +168,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut ts = vec![Time::from_secs(3), Time::ZERO, Time::from_millis(1)];
+        let mut ts = [Time::from_secs(3), Time::ZERO, Time::from_millis(1)];
         ts.sort();
         assert_eq!(ts[0], Time::ZERO);
         assert_eq!(ts[2], Time::from_secs(3));

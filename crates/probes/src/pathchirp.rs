@@ -224,36 +224,33 @@ impl Endpoint for PathChirp {
             return;
         }
         match token {
-            TOKEN_SEND => {
+            TOKEN_SEND if self.pkt_idx < self.config.packets_per_chirp => {
+                let meta = ProbeMeta {
+                    seq: self.pkt_idx as u64,
+                    stream: self.chirp_idx,
+                    sent_at: ctx.now,
+                    is_reply: false,
+                };
+                ctx.send(
+                    self.route,
+                    self.dst,
+                    self.config.packet_size,
+                    Payload::Probe(meta),
+                );
+                self.pkt_idx += 1;
                 if self.pkt_idx < self.config.packets_per_chirp {
-                    let meta = ProbeMeta {
-                        seq: self.pkt_idx as u64,
-                        stream: self.chirp_idx,
-                        sent_at: ctx.now,
-                        is_reply: false,
-                    };
-                    ctx.send(
-                        self.route,
-                        self.dst,
-                        self.config.packet_size,
-                        Payload::Probe(meta),
-                    );
-                    self.pkt_idx += 1;
-                    if self.pkt_idx < self.config.packets_per_chirp {
-                        let rate = rate_at(&self.config, self.pkt_idx);
-                        ctx.set_timer_after(
-                            TOKEN_SEND,
-                            Time::tx_time(self.config.packet_size, rate),
-                        );
-                    } else {
-                        ctx.set_timer_after(TOKEN_EVAL, self.config.inter_chirp_gap);
-                    }
+                    let rate = rate_at(&self.config, self.pkt_idx);
+                    ctx.set_timer_after(TOKEN_SEND, Time::tx_time(self.config.packet_size, rate));
+                } else {
+                    ctx.set_timer_after(TOKEN_EVAL, self.config.inter_chirp_gap);
                 }
             }
             TOKEN_EVAL => {
                 let samples = {
                     let log = self.owds.borrow();
-                    log.get(self.chirp_idx as usize).cloned().unwrap_or_default()
+                    log.get(self.chirp_idx as usize)
+                        .cloned()
+                        .unwrap_or_default()
                 };
                 let estimate =
                     chirp_estimate(&self.config, &samples, self.config.packets_per_chirp);
@@ -261,8 +258,7 @@ impl Endpoint for PathChirp {
                     let mut r = self.result.borrow_mut();
                     r.per_chirp.push(estimate);
                     if r.per_chirp.len() as u32 >= self.config.chirps {
-                        let med = tputpred_stats::median(&r.per_chirp)
-                            .expect("at least one chirp");
+                        let med = tputpred_stats::median(&r.per_chirp).expect("at least one chirp");
                         r.estimate = Some(med);
                         r.done = true;
                         return;
@@ -368,7 +364,7 @@ mod tests {
         let samples: Vec<(u64, Time)> = (0..20)
             .map(|i| {
                 let owd = if i < 10 { 1000 } else { 1000 + 300 * (i - 9) };
-                (i as u64, Time::from_micros(owd))
+                (i, Time::from_micros(owd))
             })
             .collect();
         let est = chirp_estimate(&cfg, &samples, 20);
@@ -396,8 +392,7 @@ mod tests {
         let cfg = PathChirpConfig::default();
         // Only the first 12 of 24 packets arrive (flat delays): the top
         // rates overflowed.
-        let samples: Vec<(u64, Time)> =
-            (0..12).map(|i| (i, Time::from_micros(1000))).collect();
+        let samples: Vec<(u64, Time)> = (0..12).map(|i| (i, Time::from_micros(1000))).collect();
         let est = chirp_estimate(&cfg, &samples, cfg.packets_per_chirp);
         assert!((est / rate_at(&cfg, 12) - 1.0).abs() < 1e-9);
     }

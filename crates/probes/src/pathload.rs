@@ -97,9 +97,8 @@ impl PathloadResult {
     /// The converged estimate, or the current bracket midpoint if the
     /// search is still running. `None` before the first verdict.
     pub fn best_guess(&self) -> Option<f64> {
-        self.estimate.or_else(|| {
-            (self.bracket.1 > 0.0).then(|| (self.bracket.0 + self.bracket.1) / 2.0)
-        })
+        self.estimate
+            .or_else(|| (self.bracket.1 > 0.0).then(|| (self.bracket.0 + self.bracket.1) / 2.0))
     }
 }
 
@@ -412,7 +411,9 @@ impl Endpoint for Pathload {
             TOKEN_EVAL => {
                 let samples = {
                     let log = self.owds.borrow();
-                    log.get(self.stream_idx as usize).cloned().unwrap_or_default()
+                    log.get(self.stream_idx as usize)
+                        .cloned()
+                        .unwrap_or_default()
                 };
                 let trend = detect_trend(&samples, self.stream_pkts);
                 self.verdicts.push(trend);
@@ -444,11 +445,7 @@ mod tests {
     /// Poisson cross traffic; returns the estimate.
     fn measure(capacity: f64, cross: f64, seed: u64) -> f64 {
         let mut sim = Simulator::new(seed);
-        let fwd = sim.add_link(LinkConfig::new(
-            capacity,
-            Time::from_millis(20),
-            170,
-        ));
+        let fwd = sim.add_link(LinkConfig::new(capacity, Time::from_millis(20), 170));
         if cross > 0.0 {
             let (sink, _) = Sink::new();
             let sink_id = sim.add_endpoint(Box::new(sink));
@@ -526,8 +523,7 @@ mod tests {
 
     #[test]
     fn trend_detector_accepts_flat_owds() {
-        let samples: Vec<(u64, Time)> =
-            (0..60).map(|i| (i, Time::from_micros(1000))).collect();
+        let samples: Vec<(u64, Time)> = (0..60).map(|i| (i, Time::from_micros(1000))).collect();
         assert_eq!(detect_trend(&samples, 60), Trend::NotIncreasing);
     }
 
@@ -541,16 +537,14 @@ mod tests {
 
     #[test]
     fn heavy_stream_loss_reads_as_overload() {
-        let samples: Vec<(u64, Time)> =
-            (0..20).map(|i| (i, Time::from_micros(1000))).collect();
+        let samples: Vec<(u64, Time)> = (0..20).map(|i| (i, Time::from_micros(1000))).collect();
         assert_eq!(detect_trend(&samples, 60), Trend::Increasing);
     }
 
     #[test]
     fn slight_stream_loss_also_reads_as_overload() {
         // 56/60 delivered (6.7% loss): above the 5% gate.
-        let samples: Vec<(u64, Time)> =
-            (0..56).map(|i| (i, Time::from_micros(1000))).collect();
+        let samples: Vec<(u64, Time)> = (0..56).map(|i| (i, Time::from_micros(1000))).collect();
         assert_eq!(detect_trend(&samples, 60), Trend::Increasing);
     }
 

@@ -101,7 +101,12 @@ impl PingProber {
     /// Creates a prober toward the [`tputpred_netsim::sources::Reflector`]
     /// at `dst`, probing every `interval` until `stop`. Returns the
     /// prober and the shared record handle.
-    pub fn new(route: Route, dst: EndpointId, interval: Time, stop: Time) -> (Self, PingStatsHandle) {
+    pub fn new(
+        route: Route,
+        dst: EndpointId,
+        interval: Time,
+        stop: Time,
+    ) -> (Self, PingStatsHandle) {
         let stats = PingStatsHandle::default();
         (
             PingProber {
@@ -161,7 +166,11 @@ mod tests {
     /// One path: forward link (configurable), fast reverse link.
     fn world(fwd_rate: f64, fwd_buffer_pkts: u32) -> (Simulator, PingStatsHandle) {
         let mut sim = Simulator::new(21);
-        let fwd = sim.add_link(LinkConfig::new(fwd_rate, Time::from_millis(25), fwd_buffer_pkts));
+        let fwd = sim.add_link(LinkConfig::new(
+            fwd_rate,
+            Time::from_millis(25),
+            fwd_buffer_pkts,
+        ));
         let rev = sim.add_link(LinkConfig::new(1e9, Time::from_millis(25), 1000));
         let (reflector, _) = Reflector::new(Route::direct(rev));
         let refl_id = sim.add_endpoint(Box::new(reflector));
@@ -224,7 +233,11 @@ mod tests {
         };
         sim.run_until(Time::from_secs(65));
         let s = stats.borrow().summarize(Time::ZERO, Time::from_secs(60));
-        assert!(s.loss_rate > 0.05, "overload must drop probes: {}", s.loss_rate);
+        assert!(
+            s.loss_rate > 0.05,
+            "overload must drop probes: {}",
+            s.loss_rate
+        );
         // A full 13-packet (~19.5 kB) queue at 2 Mbps adds ~78 ms.
         assert!(s.rtt > 0.100, "queueing delay visible: {:.4}", s.rtt);
     }

@@ -36,7 +36,12 @@ fn world(seed: u64, capacity: f64, cross: f64, buffer: u32) -> World {
     }
     let (reflector, _) = Reflector::new(Route::direct(rev));
     let refl = sim.add_endpoint(Box::new(reflector));
-    World { sim, fwd, rev, refl }
+    World {
+        sim,
+        fwd,
+        rev,
+        refl,
+    }
 }
 
 #[test]

@@ -99,7 +99,11 @@ impl Cdf {
                 // Pin the final grid point to the exact maximum: the
                 // incremental sum can land a hair below it and miss the
                 // top sample.
-                let x = if i == points - 1 { hi } else { lo + step * i as f64 };
+                let x = if i == points - 1 {
+                    hi
+                } else {
+                    lo + step * i as f64
+                };
                 (x, self.fraction_below(x))
             })
             .collect()

@@ -2,7 +2,7 @@
 //!
 //! The error distributions of this reproduction span orders of magnitude
 //! (relative errors from 0.01 to 100+), so the log-binned variant is the
-//! natural way to tabulate them; the figure binaries use [`Cdf`]
+//! natural way to tabulate them; the figure binaries use [`Cdf`](crate::cdf::Cdf)
 //! (crate::Cdf) for the paper's CDF plots and histograms for compact
 //! textual summaries.
 
@@ -180,7 +180,11 @@ mod tests {
 
     #[test]
     fn linear_binning_places_values() {
-        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 10.0, bins: 5 });
+        let mut h = Histogram::new(Binning::Linear {
+            lo: 0.0,
+            hi: 10.0,
+            bins: 5,
+        });
         for x in [0.0, 1.9, 2.0, 9.99] {
             h.push(x);
         }
@@ -190,7 +194,11 @@ mod tests {
 
     #[test]
     fn under_and_overflow_are_counted_separately() {
-        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 1.0, bins: 2 });
+        let mut h = Histogram::new(Binning::Linear {
+            lo: 0.0,
+            hi: 1.0,
+            bins: 2,
+        });
         h.push(-1.0);
         h.push(1.0);
         h.push(99.0);
@@ -201,7 +209,11 @@ mod tests {
 
     #[test]
     fn log_bins_are_equal_ratio() {
-        let h = Histogram::new(Binning::Log { lo: 1.0, hi: 16.0, bins: 4 });
+        let h = Histogram::new(Binning::Log {
+            lo: 1.0,
+            hi: 16.0,
+            bins: 4,
+        });
         assert_eq!(h.bin_edges(0), (1.0, 2.0));
         let (lo3, hi3) = h.bin_edges(3);
         assert!((lo3 - 8.0).abs() < 1e-9 && (hi3 - 16.0).abs() < 1e-9);
@@ -209,7 +221,11 @@ mod tests {
 
     #[test]
     fn log_binning_places_decades() {
-        let mut h = Histogram::new(Binning::Log { lo: 0.01, hi: 100.0, bins: 4 });
+        let mut h = Histogram::new(Binning::Log {
+            lo: 0.01,
+            hi: 100.0,
+            bins: 4,
+        });
         for x in [0.05, 0.5, 5.0, 50.0] {
             h.push(x);
         }
@@ -218,7 +234,11 @@ mod tests {
 
     #[test]
     fn render_lists_nonempty_bins_and_tails() {
-        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 2.0, bins: 2 });
+        let mut h = Histogram::new(Binning::Linear {
+            lo: 0.0,
+            hi: 2.0,
+            bins: 2,
+        });
         h.push(0.5);
         h.push(5.0);
         let r = h.render();
@@ -230,6 +250,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "0 < lo")]
     fn log_binning_rejects_nonpositive_lo() {
-        let _ = Histogram::new(Binning::Log { lo: 0.0, hi: 1.0, bins: 2 });
+        let _ = Histogram::new(Binning::Log {
+            lo: 0.0,
+            hi: 1.0,
+            bins: 2,
+        });
     }
 }

@@ -24,7 +24,10 @@
 /// assert_eq!(quantile(&xs, 1.0), Some(4.0));
 /// ```
 pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level {q} outside [0, 1]"
+    );
     if data.is_empty() {
         return None;
     }
@@ -39,7 +42,10 @@ pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
 /// median and 10/90th percentiles of Fig. 7), avoiding repeated sorts.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty sample");
-    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level {q} outside [0, 1]"
+    );
     let n = sorted.len();
     if n == 1 {
         return sorted[0];

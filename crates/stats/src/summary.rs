@@ -131,6 +131,7 @@ impl Summary {
     /// Returns `None` when the mean is zero (undefined) or no samples were
     /// pushed.
     pub fn cov(&self) -> Option<f64> {
+        // lint:allow(float-eq): CoV is undefined only at an exactly zero mean
         if self.count == 0 || self.mean == 0.0 {
             None
         } else {
@@ -174,7 +175,9 @@ mod tests {
 
     #[test]
     fn matches_two_pass_computation() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() * 10.0 + 5.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.7).sin() * 10.0 + 5.0)
+            .collect();
         let s = Summary::from_samples(xs.iter().copied());
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;

@@ -8,7 +8,6 @@ use std::rc::Rc;
 use tputpred_netsim::{EndpointId, Route, Simulator, Time};
 use tputpred_stats::Summary;
 
-
 /// Loss-recovery flavor of the sender.
 ///
 /// The PFTK model (and the paper's IPerf endpoints) assume **Reno**:

@@ -180,6 +180,7 @@ mod tests {
         }
     }
 
+    // lint:allow(units): whole-ms test grid; converted via Time::from_millis below
     fn data(seq: u64, echo_ms: u64) -> TcpMeta {
         TcpMeta {
             seq,
@@ -187,6 +188,7 @@ mod tests {
             ack: 0,
             is_ack: false,
             retx: false,
+            // lint:allow(units): conversion is explicit at the use site
             echo: Time::from_millis(echo_ms),
         }
     }
@@ -197,11 +199,8 @@ mod tests {
         let fwd = sim.add_link(LinkConfig::new(100e6, Time::from_millis(1), 100));
         let rev = sim.add_link(LinkConfig::new(100e6, Time::from_millis(1), 100));
         let stats: FlowHandle = Rc::new(RefCell::new(FlowStats::default()));
-        let receiver = TcpReceiver::new(
-            TcpConfig::default(),
-            Route::direct(rev),
-            Rc::clone(&stats),
-        );
+        let receiver =
+            TcpReceiver::new(TcpConfig::default(), Route::direct(rev), Rc::clone(&stats));
         let rid = sim.add_endpoint(Box::new(receiver));
         let acks = Rc::new(RefCell::new(Vec::new()));
         let injector = Injector {
@@ -221,7 +220,12 @@ mod tests {
 
     #[test]
     fn in_order_pairs_produce_one_ack_per_two_segments() {
-        let (delivered, acks) = run(vec![data(0, 0), data(1448, 1), data(2896, 2), data(4344, 3)]);
+        let (delivered, acks) = run(vec![
+            data(0, 0),
+            data(1448, 1),
+            data(2896, 2),
+            data(4344, 3),
+        ]);
         assert_eq!(delivered, 4 * 1448);
         assert_eq!(acks.len(), 2, "delayed ACKs: every second segment");
         assert_eq!(acks[0].ack, 2896);

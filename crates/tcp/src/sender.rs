@@ -151,8 +151,7 @@ impl TcpSender {
             return;
         }
         let wnd = self.window();
-        while self.flight() + self.mss() <= wnd && self.snd_nxt + self.mss() <= self.byte_limit
-        {
+        while self.flight() + self.mss() <= wnd && self.snd_nxt + self.mss() <= self.byte_limit {
             let seq = self.snd_nxt;
             self.send_segment(ctx, seq);
             self.snd_nxt += self.mss();
@@ -220,8 +219,7 @@ impl TcpSender {
                         // window deflation.
                         let hole = self.snd_una;
                         self.send_segment(ctx, hole);
-                        self.cwnd = (self.cwnd - bytes_acked as f64 + mss)
-                            .max(2.0 * mss);
+                        self.cwnd = (self.cwnd - bytes_acked as f64 + mss).max(2.0 * mss);
                         self.arm_rto(ctx);
                         return;
                     }

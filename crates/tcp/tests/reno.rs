@@ -189,11 +189,8 @@ fn flow_survives_a_total_blackout_via_timeout() {
     let mut path = dumbbell(10e6, Time::from_millis(20), 33, 7);
     let (sink, _rx) = Sink::new();
     let sink_id = path.sim.add_endpoint(Box::new(sink));
-    let schedule = RateSchedule::constant(0.0).with_burst(
-        Time::from_secs(5),
-        Time::from_secs(8),
-        1.0,
-    );
+    let schedule =
+        RateSchedule::constant(0.0).with_burst(Time::from_secs(5), Time::from_secs(8), 1.0);
     let (cbr, _tx) = CbrSource::new(SourceConfig {
         route: Route::direct(path.fwd),
         dst: sink_id,
@@ -253,7 +250,12 @@ fn simulation_is_deterministic() {
         let stats = bulk_flow(&mut path, TcpConfig::default(), Time::ZERO, stop);
         path.sim.run_until(stop);
         let s = stats.borrow();
-        (s.bytes_delivered, s.segments_sent, s.retransmits, s.timeouts)
+        (
+            s.bytes_delivered,
+            s.segments_sent,
+            s.retransmits,
+            s.timeouts,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -313,7 +315,10 @@ fn sized_transfer_delivers_exactly_its_budget_and_records_finish_time() {
     // Lower bound: ~45 segments through slow start at 40 ms RTT takes at
     // least a few RTTs; upper bound: must be well under a second.
     assert!(finished_at > Time::from_millis(80));
-    assert!(finished_at < Time::from_secs(1), "finished at {finished_at}");
+    assert!(
+        finished_at < Time::from_secs(1),
+        "finished at {finished_at}"
+    );
 }
 
 #[test]
@@ -344,8 +349,7 @@ fn small_probe_underestimates_bulk_throughput() {
     let stop = Time::from_secs(40);
     let bulk = bulk_flow(&mut path, TcpConfig::default(), Time::from_secs(10), stop);
     path.sim.run_until(stop);
-    let bulk_tput =
-        FlowStats::throughput_bps(bulk.borrow().bytes_delivered, Time::from_secs(30));
+    let bulk_tput = FlowStats::throughput_bps(bulk.borrow().bytes_delivered, Time::from_secs(30));
     assert!(
         probe_tput < bulk_tput / 2.0,
         "probe {:.2} Mbps vs bulk {:.2} Mbps",

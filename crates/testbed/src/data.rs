@@ -1,4 +1,12 @@
 //! The dataset model: what one epoch measures and how datasets persist.
+//!
+//! Persistence carries a staleness guard: [`Dataset::save`] embeds the
+//! [`BEHAVIOR_HASH`] of the simulation source trees (netsim, tcp,
+//! probes, testbed) alongside the data, and
+//! [`Dataset::load_or_generate`] regenerates the cache whenever the
+//! embedded hash differs from the one compiled into the running binary.
+//! A cached dataset is a pure function of (preset, seed, simulator
+//! code); the hash makes the third input explicit.
 
 use crate::path::PathConfig;
 use crate::preset::Preset;
@@ -6,6 +14,20 @@ use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::path::Path as FsPath;
+
+/// Digest of the simulation source trees this binary was compiled
+/// from, computed by `build.rs` (see `behavior_hash`).
+pub const BEHAVIOR_HASH: &str = env!("TPUTPRED_BEHAVIOR_HASH");
+
+/// The on-disk envelope: the dataset plus the behavior hash of the
+/// code that generated it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DatasetFile {
+    /// [`BEHAVIOR_HASH`] at generation time.
+    behavior_hash: String,
+    /// The payload.
+    dataset: Dataset,
+}
 
 /// Everything one measurement epoch records (§4.1): the a-priori
 /// estimates that feed FB prediction, the during-flow estimates of
@@ -102,37 +124,73 @@ impl Dataset {
         self.epochs().count()
     }
 
-    /// Serializes the dataset as JSON to `path`.
+    /// Serializes the dataset as JSON to `path`, embedding the current
+    /// [`BEHAVIOR_HASH`].
     pub fn save(&self, path: &FsPath) -> io::Result<()> {
+        self.save_with_hash(path, BEHAVIOR_HASH)
+    }
+
+    /// [`Dataset::save`] with an explicit hash. Exists so tests can
+    /// fabricate stale cache files; everything else wants `save`.
+    #[doc(hidden)]
+    pub fn save_with_hash(&self, path: &FsPath, behavior_hash: &str) -> io::Result<()> {
         if let Some(dir) = path.parent() {
             fs::create_dir_all(dir)?;
         }
-        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        let file = DatasetFile {
+            behavior_hash: behavior_hash.to_string(),
+            dataset: self.clone(),
+        };
+        let json = serde_json::to_string(&file).map_err(io::Error::other)?;
         fs::write(path, json)
     }
 
-    /// Loads a dataset saved by [`Dataset::save`].
+    /// Loads a dataset saved by [`Dataset::save`], regardless of the
+    /// behavior hash it was generated under. Use
+    /// [`Dataset::load_or_generate`] when staleness matters.
     pub fn load(path: &FsPath) -> io::Result<Self> {
-        let json = fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(io::Error::other)
+        Ok(Self::load_with_hash(path)?.1)
     }
 
-    /// Loads the dataset at `path` if present, otherwise generates it
-    /// with `generate` and saves it there. The figure binaries all share
-    /// one dataset this way.
+    /// Loads `(embedded behavior hash, dataset)`.
+    fn load_with_hash(path: &FsPath) -> io::Result<(String, Self)> {
+        let json = fs::read_to_string(path)?;
+        let file: DatasetFile = serde_json::from_str(&json).map_err(io::Error::other)?;
+        Ok((file.behavior_hash, file.dataset))
+    }
+
+    /// Loads the dataset at `path` if it is present *and* was generated
+    /// by the same simulation code as this binary (matching behavior
+    /// hash); otherwise generates it with `generate` and saves it
+    /// there. Missing files, caches from a different source tree, and
+    /// unparseable files (e.g. the pre-hash format) all regenerate —
+    /// the cache can be wrong only by being slow, never by being stale.
     pub fn load_or_generate<F: FnOnce() -> Dataset>(
         path: &FsPath,
         generate: F,
     ) -> io::Result<Self> {
-        match Self::load(path) {
-            Ok(ds) => Ok(ds),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                let ds = generate();
-                ds.save(path)?;
-                Ok(ds)
+        match Self::load_with_hash(path) {
+            Ok((hash, ds)) if hash == BEHAVIOR_HASH => return Ok(ds),
+            Ok((hash, _)) => {
+                eprintln!(
+                    "dataset {}: behavior hash {} != current {}; simulation code \
+                     changed — regenerating",
+                    path.display(),
+                    hash,
+                    BEHAVIOR_HASH
+                );
             }
-            Err(e) => Err(e),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => {
+                eprintln!(
+                    "dataset {}: unreadable cache ({e}); regenerating",
+                    path.display()
+                );
+            }
         }
+        let ds = generate();
+        ds.save(path)?;
+        Ok(ds)
     }
 }
 
@@ -222,5 +280,49 @@ mod tests {
         let again = Dataset::load_or_generate(&file, || panic!("cached")).unwrap();
         assert_eq!(ds, again);
         std::fs::remove_file(&file).unwrap();
+    }
+
+    #[test]
+    fn stale_behavior_hash_triggers_regeneration() {
+        let dir = std::env::temp_dir().join("tputpred-test-data3");
+        let file = dir.join(format!("ds-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&file);
+        // A cache written by "different simulation code": same payload,
+        // different hash.
+        dataset().save_with_hash(&file, "0123456789abcdef").unwrap();
+        let mut calls = 0;
+        let ds = Dataset::load_or_generate(&file, || {
+            calls += 1;
+            dataset()
+        })
+        .unwrap();
+        assert_eq!(calls, 1, "stale cache must regenerate");
+        // The rewritten cache carries the current hash: hit next time.
+        let again = Dataset::load_or_generate(&file, || panic!("cached")).unwrap();
+        assert_eq!(ds, again);
+        std::fs::remove_file(&file).unwrap();
+    }
+
+    #[test]
+    fn unparseable_cache_triggers_regeneration() {
+        let dir = std::env::temp_dir().join("tputpred-test-data4");
+        let file = dir.join(format!("ds-{}.json", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // The pre-hash format: a bare Dataset with no envelope.
+        std::fs::write(&file, "{\"preset\": {}, \"paths\": []}").unwrap();
+        let mut calls = 0;
+        Dataset::load_or_generate(&file, || {
+            calls += 1;
+            dataset()
+        })
+        .unwrap();
+        assert_eq!(calls, 1, "legacy cache must regenerate");
+        std::fs::remove_file(&file).unwrap();
+    }
+
+    #[test]
+    fn behavior_hash_is_a_hex_digest() {
+        assert_eq!(BEHAVIOR_HASH.len(), 16);
+        assert!(BEHAVIOR_HASH.bytes().all(|b| b.is_ascii_hexdigit()));
     }
 }

@@ -24,6 +24,17 @@
 //!   [`data::Dataset`]) with JSON persistence, so every figure binary
 //!   reuses one generated dataset instead of re-simulating.
 
+/// Behavior hashing: a digest of the source trees (netsim, tcp,
+/// probes, testbed) whose code decides what a generated dataset
+/// contains. `data/<preset>.json` caches are pure functions of
+/// (preset, seed, simulator code); the first two are embedded in the
+/// file, and this digest fingerprints the third so
+/// [`data::Dataset::load_or_generate`] regenerates caches produced by
+/// different simulation code — replacing the old "remember to delete
+/// `data/*.json` after touching netsim/tcp/probes/testbed" convention
+/// with a mechanical check. `build.rs` `include!`s this module to bake
+/// the current hash in as [`data::BEHAVIOR_HASH`].
+pub mod behavior_hash;
 pub mod data;
 pub mod path;
 pub mod preset;

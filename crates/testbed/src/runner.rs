@@ -139,12 +139,8 @@ fn build_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceWor
     // Ping runs across the whole trace.
     let (reflector, _) = Reflector::new(Route::direct(rev));
     let refl_id = sim.add_endpoint(Box::new(reflector));
-    let (prober, ping) = PingProber::new(
-        Route::direct(fwd),
-        refl_id,
-        preset.ping_interval,
-        trace_len,
-    );
+    let (prober, ping) =
+        PingProber::new(Route::direct(fwd), refl_id, preset.ping_interval, trace_len);
     let prober_id = sim.add_endpoint(Box::new(prober));
     sim.schedule_timer(prober_id, 0, Time::ZERO);
 
@@ -184,10 +180,7 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
         );
         let ping_window_start = t0 + preset.pathload_slot;
         world.sim.run_until(ping_window_start);
-        let a_hat = pathload
-            .borrow()
-            .best_guess()
-            .unwrap_or(path.capacity_bps);
+        let a_hat = pathload.borrow().best_guess().unwrap_or(path.capacity_bps);
 
         // --- Phase 2: ping-only window; record ground-truth spare
         //     capacity over it ------------------------------------------
@@ -373,7 +366,11 @@ mod tests {
         let path = quiet_path();
         let trace = run_trace(&path, 0, &preset);
         for r in &trace.records {
-            assert!(r.p_hat < 0.05, "30%-loaded path: little ping loss, {}", r.p_hat);
+            assert!(
+                r.p_hat < 0.05,
+                "30%-loaded path: little ping loss, {}",
+                r.p_hat
+            );
             // Avail-bw should be in the ballpark of the 7 Mbps residual.
             assert!(
                 r.a_hat > 2e6,
@@ -394,6 +391,24 @@ mod tests {
         let a = run_trace(&path, 0, &preset);
         let b = run_trace(&path, 0, &preset);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dataset_generation_replays_bit_identically() {
+        // The full generate() pass — parallel (rayon) trace fan-out and
+        // assembly — must be a pure function of the preset, not just
+        // each trace in isolation: this is what makes `data/*.json`
+        // caching and the behavior-hash staleness guard sound.
+        let preset = mini_preset();
+        let a = generate(&preset);
+        let b = generate(&preset);
+        assert_eq!(a, b);
+        // Byte-identical serialized form, i.e. the cache file itself
+        // replays.
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,10 @@
+// Fixture: allowlist misuse. Not compiled.
+fn bad(x: f64) -> bool {
+    // lint:allow(float-eq)
+    x == 0.0
+}
+
+fn unused() {
+    // lint:allow(nondeterminism): nothing here actually needs this
+    let _y = 1;
+}

@@ -1,0 +1,18 @@
+// Fixture: clean code no rule should fire on. Not compiled.
+
+/// Escaped citation \[26\], inline `[3]` code, and a [link](https://x).
+///
+/// ```
+/// let sample = arr[26];
+/// ```
+fn good(cap_bps: f64, rtt_s: f64) -> f64 {
+    let bdp_bytes = cap_bps * rtt_s / 8.0;
+    let close_enough = (bdp_bytes - 1.0).abs() < 1e-9;
+    // lint:allow(float-eq): golden sentinel value is produced by exact assignment
+    let exact = bdp_bytes == 0.0;
+    if close_enough || exact {
+        0.0
+    } else {
+        bdp_bytes
+    }
+}

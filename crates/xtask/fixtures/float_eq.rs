@@ -1,0 +1,7 @@
+// Fixture: exact float comparisons. Not compiled.
+fn bad(x: f64) -> bool {
+    if x == 0.0 {
+        return true;
+    }
+    x != 1.5e3 && x == 3f64
+}

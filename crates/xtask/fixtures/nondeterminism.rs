@@ -1,0 +1,11 @@
+// Fixture: every nondeterminism violation class. Not compiled.
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+fn bad() {
+    let _t = Instant::now();
+    let _w = SystemTime::now();
+    let mut rng = thread_rng();
+    let _r = StdRng::from_entropy();
+    let mut m: HashMap<u32, u32> = HashMap::new();
+}

@@ -1,0 +1,7 @@
+// Fixture: unescaped citation brackets in doc comments. Not compiled.
+
+/// The PFTK model [26] predicts steady-state throughput.
+fn bad() {}
+
+/// Properly escaped \[26\] and a [link](https://example.com) are fine.
+fn good() {}

@@ -1,0 +1,9 @@
+// Fixture: unit-suffix violations. Not compiled.
+fn bad() {
+    let rtt_ms = 50.0;
+    let cap_mbps = 10.0;
+    let buf_kb = 64;
+    let rtt_s = 0.05;
+    let cap_bps = 1e7;
+    let _mixed = cap_bps + rtt_s;
+}

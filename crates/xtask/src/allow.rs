@@ -1,0 +1,202 @@
+//! The allowlist: `// lint:allow(rule, ...): justification` directives.
+//!
+//! A directive suppresses matching diagnostics on its own line and — so
+//! it can sit on a line of its own above the offending code — on the
+//! next line. Justifications are mandatory: an allowlist entry without a
+//! reason is itself a violation, and so is a directive that suppresses
+//! nothing (stale allowlists rot into lies about the code).
+
+use crate::classify::ClassifiedLine;
+use crate::diag::Diagnostic;
+use std::path::Path;
+
+/// One parsed directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the directive appears on.
+    pub line: usize,
+    /// Rules it names.
+    pub rules: Vec<String>,
+    /// The justification text after the closing `):`.
+    pub justification: String,
+}
+
+/// Scans the comment channel of every line for directives.
+pub fn collect(lines: &[ClassifiedLine]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for (idx, cl) in lines.iter().enumerate() {
+        let comment = &cl.comment;
+        let Some(start) = comment.find("lint:allow") else {
+            continue;
+        };
+        // Doc comments describing the directive syntax (like this
+        // module's own) are prose, not directives.
+        if cl.doc[start..].starts_with("lint:allow") {
+            continue;
+        }
+        let rest = &comment[start + "lint:allow".len()..];
+        let Some(open) = rest.find('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[open + 1..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let after = rest[close + 1..].trim_start();
+        let justification = after.strip_prefix(':').unwrap_or("").trim().to_string();
+        out.push(AllowDirective {
+            line: idx + 1,
+            rules,
+            justification,
+        });
+    }
+    out
+}
+
+/// Applies directives to `diags`: suppressed diagnostics are dropped.
+/// Returns the surviving diagnostics plus new ones for malformed or
+/// unused directives.
+pub fn apply(
+    file: &Path,
+    directives: &[AllowDirective],
+    diags: Vec<Diagnostic>,
+    known_rules: &[&str],
+) -> Vec<Diagnostic> {
+    let mut used = vec![false; directives.len()];
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    'diag: for d in diags {
+        for (i, dir) in directives.iter().enumerate() {
+            let covers_line = d.line == dir.line || d.line == dir.line + 1;
+            if covers_line && dir.rules.iter().any(|r| r == d.rule) {
+                used[i] = true;
+                continue 'diag;
+            }
+        }
+        out.push(d);
+    }
+
+    for (i, dir) in directives.iter().enumerate() {
+        if dir.justification.is_empty() {
+            out.push(Diagnostic {
+                file: file.to_path_buf(),
+                line: dir.line,
+                col: 1,
+                rule: "lint-allow",
+                message: "allowlist directive has no justification; write \
+                          `// lint:allow(rule): why this is sound`"
+                    .to_string(),
+            });
+        }
+        for r in &dir.rules {
+            if !known_rules.contains(&r.as_str()) {
+                out.push(Diagnostic {
+                    file: file.to_path_buf(),
+                    line: dir.line,
+                    col: 1,
+                    rule: "lint-allow",
+                    message: format!("allowlist names unknown rule `{r}`"),
+                });
+            }
+        }
+        if !used[i] && dir.justification.is_empty() {
+            // Already reported above; don't double-report.
+            continue;
+        }
+        if !used[i] {
+            out.push(Diagnostic {
+                file: file.to_path_buf(),
+                line: dir.line,
+                col: 1,
+                rule: "lint-allow",
+                message: format!(
+                    "allowlist directive for ({}) suppresses nothing — remove it",
+                    dir.rules.join(", ")
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+
+    fn diag(line: usize, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            file: "x.rs".into(),
+            line,
+            col: 1,
+            rule,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn directive_parses_rules_and_justification() {
+        let lines = classify("let x = 1; // lint:allow(float-eq, units): golden sentinel");
+        let dirs = collect(&lines);
+        assert_eq!(dirs.len(), 1);
+        assert_eq!(dirs[0].rules, vec!["float-eq", "units"]);
+        assert_eq!(dirs[0].justification, "golden sentinel");
+    }
+
+    #[test]
+    fn suppresses_same_line_and_next_line() {
+        let lines = classify("// lint:allow(float-eq): sentinel\nlet y = x == 0.0;");
+        let dirs = collect(&lines);
+        let out = apply(
+            Path::new("x.rs"),
+            &dirs,
+            vec![diag(2, "float-eq")],
+            &["float-eq"],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn does_not_suppress_other_rules_or_far_lines() {
+        let lines = classify("// lint:allow(float-eq): sentinel\nlet y = 1;\nlet z = x == 0.0;");
+        let dirs = collect(&lines);
+        let out = apply(
+            Path::new("x.rs"),
+            &dirs,
+            vec![diag(3, "float-eq")],
+            &["float-eq"],
+        );
+        // Directive covers lines 1-2 only: the diag survives and the
+        // directive is reported unused.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|d| d.rule == "float-eq" && d.line == 3));
+        assert!(out.iter().any(|d| d.rule == "lint-allow"));
+    }
+
+    #[test]
+    fn missing_justification_is_a_violation() {
+        let lines = classify("let y = x == 0.0; // lint:allow(float-eq)");
+        let dirs = collect(&lines);
+        let out = apply(
+            Path::new("x.rs"),
+            &dirs,
+            vec![diag(1, "float-eq")],
+            &["float-eq"],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "lint-allow");
+        assert!(out[0].message.contains("no justification"));
+    }
+
+    #[test]
+    fn unknown_rule_names_are_reported() {
+        let lines = classify("// lint:allow(no-such-rule): because");
+        let dirs = collect(&lines);
+        let out = apply(Path::new("x.rs"), &dirs, vec![], &["float-eq"]);
+        assert!(out.iter().any(|d| d.message.contains("unknown rule")));
+    }
+}

@@ -1,0 +1,311 @@
+//! Line classification: splitting each source line into *code*, *doc
+//! text*, and *comment text* so rules fire only where they should.
+//!
+//! This is a token/line-level pass, not a full parser: it tracks just
+//! enough lexical state (block comments, raw strings) across lines to
+//! blank out string-literal and comment contents from the code channel,
+//! and to extract doc-comment text for the rustdoc rules. Positions are
+//! preserved — every channel is the same length as the input line, with
+//! out-of-channel bytes replaced by spaces — so column numbers in
+//! diagnostics point at the real source.
+
+/// One input line split into channels. All strings have the byte length
+/// of the original line.
+#[derive(Debug, Clone)]
+pub struct ClassifiedLine {
+    /// Code with comments and string/char contents blanked. String
+    /// delimiters remain so tokenizers can still see "a literal was
+    /// here".
+    pub code: String,
+    /// Doc-comment text (`///`, `//!`, `/** */`, `/*! */`), blanked
+    /// elsewhere.
+    pub doc: String,
+    /// All comment text including doc comments, blanked elsewhere. The
+    /// allowlist scanner reads this channel.
+    pub comment: String,
+}
+
+/// Lexical state carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside `/* */`; the depth handles Rust's nested block comments,
+    /// and `doc` records whether the comment opened as `/**` or `/*!`.
+    Block {
+        depth: u32,
+        doc: bool,
+    },
+    /// Inside a multi-line `"..."` string.
+    Str,
+    /// Inside a raw string with `hashes` `#` marks.
+    RawStr {
+        hashes: u8,
+    },
+}
+
+/// Classifies a whole file, returning one [`ClassifiedLine`] per input
+/// line.
+pub fn classify(source: &str) -> Vec<ClassifiedLine> {
+    let mut mode = Mode::Code;
+    source
+        .lines()
+        .map(|line| classify_line(line, &mut mode))
+        .collect()
+}
+
+fn classify_line(line: &str, mode: &mut Mode) -> ClassifiedLine {
+    let bytes = line.as_bytes();
+    let n = bytes.len();
+    let mut code = vec![b' '; n];
+    let mut doc = vec![b' '; n];
+    let mut comment = vec![b' '; n];
+    let mut i = 0;
+
+    while i < n {
+        match *mode {
+            Mode::Block { depth, doc: is_doc } => {
+                // Look for nested open/close.
+                if bytes[i..].starts_with(b"/*") {
+                    *mode = Mode::Block {
+                        depth: depth + 1,
+                        doc: is_doc,
+                    };
+                    comment[i] = b'/';
+                    comment[i + 1] = b'*';
+                    i += 2;
+                } else if bytes[i..].starts_with(b"*/") {
+                    *mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block {
+                            depth: depth - 1,
+                            doc: is_doc,
+                        }
+                    };
+                    i += 2;
+                } else {
+                    comment[i] = bytes[i];
+                    if is_doc {
+                        doc[i] = bytes[i];
+                    }
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if bytes[i] == b'\\' && i + 1 < n {
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    code[i] = b'"';
+                    *mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr { hashes } => {
+                if bytes[i] == b'"' {
+                    let close = &bytes[i + 1..];
+                    let want = hashes as usize;
+                    if close.len() >= want && close[..want].iter().all(|&b| b == b'#') {
+                        code[i] = b'"';
+                        *mode = Mode::Code;
+                        i += 1 + want;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Mode::Code => {
+                let rest = &bytes[i..];
+                if rest.starts_with(b"//") {
+                    // Line comment; `///` and `//!` are doc text. (`////`
+                    // and longer runs are plain comments, like rustdoc.)
+                    let is_doc = (rest.starts_with(b"///") && !rest.starts_with(b"////"))
+                        || rest.starts_with(b"//!");
+                    for j in i..n {
+                        comment[j] = bytes[j];
+                        if is_doc && j >= i + 3 {
+                            doc[j] = bytes[j];
+                        }
+                    }
+                    i = n;
+                } else if rest.starts_with(b"/*") {
+                    let is_doc = (rest.starts_with(b"/**") && !rest.starts_with(b"/***"))
+                        || rest.starts_with(b"/*!");
+                    *mode = Mode::Block {
+                        depth: 1,
+                        doc: is_doc,
+                    };
+                    comment[i] = b'/';
+                    comment[i + 1] = b'*';
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    code[i] = b'"';
+                    *mode = Mode::Str;
+                    i += 1;
+                } else if bytes[i] == b'r'
+                    && (i == 0 || !is_ident_byte(bytes[i - 1]))
+                    && raw_string_open(rest).is_some()
+                {
+                    let hashes = raw_string_open(rest).unwrap();
+                    code[i] = b'r';
+                    *mode = Mode::RawStr { hashes };
+                    i += 1 + hashes as usize + 1;
+                } else if bytes[i] == b'b' && rest.len() > 1 && rest[1] == b'"' {
+                    code[i] = b'b';
+                    code[i + 1] = b'"';
+                    *mode = Mode::Str;
+                    i += 2;
+                } else if bytes[i] == b'\'' {
+                    // Char literal vs lifetime. A lifetime is `'ident`
+                    // with no closing quote right after the identifier.
+                    if let Some(len) = char_literal_len(rest) {
+                        code[i] = b'\'';
+                        i += len;
+                    } else {
+                        code[i] = b'\'';
+                        i += 1;
+                    }
+                } else {
+                    code[i] = bytes[i];
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // A string/char never spans lines in this codebase except raw/normal
+    // multi-line strings, which the mode handles; line comments end here.
+    ClassifiedLine {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        doc: String::from_utf8_lossy(&doc).into_owned(),
+        comment: String::from_utf8_lossy(&comment).into_owned(),
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// If `rest` starts a raw string (`r"`, `r#"`, `r##"`, ...), the number
+/// of hashes.
+fn raw_string_open(rest: &[u8]) -> Option<u8> {
+    if rest.first() != Some(&b'r') {
+        return None;
+    }
+    let mut hashes = 0u8;
+    let mut j = 1;
+    while rest.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (rest.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// If `rest` starts a char literal (`'a'`, `'\n'`, `'\u{1F600}'`), its
+/// byte length; `None` for lifetimes.
+fn char_literal_len(rest: &[u8]) -> Option<usize> {
+    debug_assert_eq!(rest.first(), Some(&b'\''));
+    if rest.len() < 3 {
+        return None;
+    }
+    if rest[1] == b'\\' {
+        // Escaped: scan to the closing quote.
+        let mut j = 2;
+        while j < rest.len() && j < 12 {
+            if rest[j] == b'\'' {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // `'x'` — but `'a` (lifetime) has no close. Multi-byte chars allowed.
+    let mut j = 1;
+    while j < rest.len() && j <= 5 {
+        if rest[j] == b'\'' {
+            return (j > 1).then_some(j + 1);
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(line: &str) -> ClassifiedLine {
+        classify(line).remove(0)
+    }
+
+    #[test]
+    fn line_comments_leave_the_code_channel() {
+        let c = one("let x = 1; // SystemTime mention");
+        assert!(c.code.contains("let x = 1;"));
+        assert!(!c.code.contains("SystemTime"));
+        assert!(c.comment.contains("SystemTime"));
+        assert!(c.doc.trim().is_empty());
+    }
+
+    #[test]
+    fn doc_comments_land_in_the_doc_channel() {
+        let c = one("/// See \\[26\\] for details");
+        assert!(c.doc.contains("[26"));
+        assert!(c.code.trim().is_empty());
+        let c = one("//! module docs [3]");
+        assert!(c.doc.contains("[3]"));
+    }
+
+    #[test]
+    fn quad_slash_is_not_doc() {
+        let c = one("//// separator [3]");
+        assert!(c.doc.trim().is_empty());
+        assert!(c.comment.contains("[3]"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_from_code() {
+        let c = one(r#"let s = "Instant::now inside string";"#);
+        assert!(!c.code.contains("Instant"));
+        assert!(c.code.contains("let s ="));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_handled() {
+        let c = one(r##"let s = r#"quote " inside"# + "a\"b";"##);
+        assert!(!c.code.contains("quote"));
+        assert!(!c.code.contains("inside"));
+        let lines = classify("let s = \"multi\nline SystemTime\";\nlet y = 2;");
+        assert!(!lines[1].code.contains("SystemTime"));
+        assert!(lines[2].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = classify("a /* one /* two */ still */ b\n/* open\nInstant::now()\n*/ c");
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("still"));
+        assert!(!lines[2].code.contains("Instant"));
+        assert!(lines[2].comment.contains("Instant"));
+        assert!(lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = one("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(c.code.contains("fn f<'a>"));
+        let c = one("let c = 'x'; let d = '\\n';");
+        assert!(c.code.contains("let c ="));
+        assert!(!c.code.contains('x'));
+    }
+
+    #[test]
+    fn columns_are_preserved() {
+        let line = "let t = 1; // tail";
+        let c = one(line);
+        assert_eq!(c.code.len(), line.len());
+        assert_eq!(c.comment.len(), line.len());
+        assert_eq!(c.code.find("t =").unwrap(), line.find("t =").unwrap());
+    }
+}

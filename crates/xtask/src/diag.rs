@@ -1,0 +1,53 @@
+//! Diagnostics: what a rule reports and how it prints.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One finding, pointing at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the finding is in (workspace-relative when possible).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (byte offset into the line).
+    pub col: usize,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Human-readable explanation with the offending token named.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_col_rule_message() {
+        let d = Diagnostic {
+            file: "crates/netsim/src/engine.rs".into(),
+            line: 12,
+            col: 5,
+            rule: "nondeterminism",
+            message: "forbidden identifier `Instant`".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/netsim/src/engine.rs:12:5: [nondeterminism] forbidden identifier `Instant`"
+        );
+    }
+}

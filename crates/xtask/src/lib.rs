@@ -1,0 +1,156 @@
+//! `tputpred-xtask` — the workspace invariant linter.
+//!
+//! The reproduction's validity rests on invariants the compiler cannot
+//! see: simulations must be deterministic, quantities carry their units
+//! in identifier suffixes, floats are never compared exactly, and doc
+//! comments escape citation brackets so rustdoc does not read them as
+//! intra-doc links. `cargo run -p tputpred-xtask -- check` enforces all
+//! of them mechanically; `-- rules` lists them.
+//!
+//! Violations that are actually sound are suppressed in place with
+//! `// lint:allow(rule): justification` — the justification is
+//! mandatory, and a directive that suppresses nothing is itself an
+//! error, so the allowlist cannot silently rot.
+
+pub mod allow;
+pub mod classify;
+pub mod diag;
+pub mod rules;
+pub mod scan;
+
+use diag::Diagnostic;
+use std::fs;
+use std::path::Path;
+
+/// Lints one file's contents, applying every applicable rule and the
+/// file's allowlist directives. Rule scope filters (e.g. units only in
+/// library code) are respected.
+pub fn check_source(path: &Path, source: &str, only_rule: Option<&str>) -> Vec<Diagnostic> {
+    check_source_inner(path, source, only_rule, true)
+}
+
+/// Like [`check_source`] but ignoring rule scope filters: every rule
+/// runs. The CLI uses this for explicitly-named files — when the user
+/// points at a file, they want all rules' opinions on it.
+pub fn check_source_all_rules(
+    path: &Path,
+    source: &str,
+    only_rule: Option<&str>,
+) -> Vec<Diagnostic> {
+    check_source_inner(path, source, only_rule, false)
+}
+
+fn check_source_inner(
+    path: &Path,
+    source: &str,
+    only_rule: Option<&str>,
+    respect_scope: bool,
+) -> Vec<Diagnostic> {
+    let registry = rules::registry();
+    let known: Vec<&str> = registry.iter().map(|r| r.name).collect();
+    let lines = classify::classify(source);
+
+    let mut diags = Vec::new();
+    for rule in &registry {
+        if let Some(only) = only_rule {
+            if rule.name != only {
+                continue;
+            }
+        }
+        if respect_scope && !(rule.applies)(path) {
+            continue;
+        }
+        diags.extend((rule.check)(path, &lines));
+    }
+
+    let directives = allow::collect(&lines);
+    let mut out = allow::apply(path, &directives, diags, &known);
+    // With --rule, unused-directive noise for other rules is expected;
+    // keep only findings for the selected rule in that case.
+    if let Some(only) = only_rule {
+        out.retain(|d| d.rule == only);
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Lints every workspace source under `root`. Returns diagnostics in
+/// stable (path, line, col) order.
+pub fn check_workspace(root: &Path, only_rule: Option<&str>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rel in scan::rust_sources(root) {
+        let Ok(source) = fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        out.extend(check_source(&rel, &source, only_rule));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_source_applies_allowlist() {
+        let src = "let x = a == 0.0; // lint:allow(float-eq): golden sentinel\n";
+        let out = check_source(Path::new("crates/stats/src/x.rs"), src, None);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn check_source_rule_filter_limits_output() {
+        let src = "/// cite [26]\nlet rtt_ms = if x == 0.5 { 1 } else { 2 };\n";
+        let path = Path::new("crates/stats/src/x.rs");
+        let all = check_source(path, src, None);
+        assert!(all.iter().any(|d| d.rule == "units"));
+        assert!(all.iter().any(|d| d.rule == "float-eq"));
+        assert!(all.iter().any(|d| d.rule == "rustdoc-citation"));
+        let only = check_source(path, src, Some("units"));
+        assert!(only.iter().all(|d| d.rule == "units"));
+        assert_eq!(only.len(), 1);
+    }
+
+    #[test]
+    fn fixtures_trip_every_rule() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        for (fixture, rule) in [
+            ("nondeterminism.rs", "nondeterminism"),
+            ("units.rs", "units"),
+            ("float_eq.rs", "float-eq"),
+            ("rustdoc_citation.rs", "rustdoc-citation"),
+            ("bad_allow.rs", "lint-allow"),
+        ] {
+            let src = fs::read_to_string(dir.join(fixture)).unwrap();
+            // Fixtures pose as simulation-crate files so every rule is in
+            // scope.
+            let out = check_source(Path::new("crates/netsim/src/fixture.rs"), &src, None);
+            assert!(
+                out.iter().any(|d| d.rule == rule),
+                "{fixture} should trip {rule}: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_fixture_is_clean() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let src = fs::read_to_string(dir.join("clean.rs")).unwrap();
+        let out = check_source(Path::new("crates/netsim/src/fixture.rs"), &src, None);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn workspace_is_lint_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let out = check_workspace(&root, None);
+        assert!(
+            out.is_empty(),
+            "workspace has lint violations:\n{}",
+            out.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p tputpred-xtask -- check [--rule NAME] [PATH...]
+//! cargo run -p tputpred-xtask -- rules
+//! ```
+//!
+//! `check` exits 0 when clean, 1 when any diagnostic fires, 2 on usage
+//! errors. With no PATH it lints the whole workspace (located from this
+//! crate's manifest dir so it works from any cwd), respecting each
+//! rule's scope; explicitly-named PATHs are checked against every rule.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tputpred_xtask::{check_source_all_rules, check_workspace, rules};
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> workspace root, two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tputpred-xtask <check [--rule NAME] [PATH...] | rules>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for rule in rules::registry() {
+                println!("{:<18} {}", rule.name, rule.summary);
+            }
+            println!(
+                "{:<18} meta-rule: malformed, unjustified, or unused `lint:allow` directives",
+                "lint-allow"
+            );
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut only_rule: Option<String> = None;
+            let mut paths: Vec<PathBuf> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--rule" => match it.next() {
+                        Some(name) => only_rule = Some(name.clone()),
+                        None => return usage(),
+                    },
+                    _ => paths.push(PathBuf::from(arg)),
+                }
+            }
+            if let Some(name) = &only_rule {
+                let known = rules::registry();
+                if !known.iter().any(|r| r.name == name) {
+                    eprintln!("unknown rule `{name}`; run `tputpred-xtask rules` for the list");
+                    return ExitCode::from(2);
+                }
+            }
+
+            let diags = if paths.is_empty() {
+                check_workspace(&workspace_root(), only_rule.as_deref())
+            } else {
+                let mut out = Vec::new();
+                for path in &paths {
+                    match std::fs::read_to_string(path) {
+                        Ok(source) => {
+                            out.extend(check_source_all_rules(path, &source, only_rule.as_deref()))
+                        }
+                        Err(err) => {
+                            eprintln!("cannot read {}: {err}", path.display());
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                out
+            };
+
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("xtask check: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask check: {} violation(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

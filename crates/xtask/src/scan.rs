@@ -1,0 +1,76 @@
+//! Workspace file discovery.
+//!
+//! Walks the repository for Rust sources the lint pass should see,
+//! skipping `vendor/` (stub crates are not held to simulation
+//! invariants), `target/`, and the linter's own `fixtures/` (those files
+//! violate rules on purpose).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git", "data", "results"];
+
+/// Returns every `.rs` file under `root` that the lint pass covers,
+/// sorted so diagnostics come out in a stable order.
+pub fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.filter_map(Result::ok).collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out);
+        } else if name.ends_with(".rs") {
+            out.push(
+                path.strip_prefix(root)
+                    .map(Path::to_path_buf)
+                    .unwrap_or(path),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_workspace_sources_and_skips_vendor_and_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = rust_sources(&root);
+        assert!(files
+            .iter()
+            .any(|f| f.ends_with("crates/netsim/src/lib.rs")));
+        assert!(files
+            .iter()
+            .any(|f| f.ends_with("crates/xtask/src/scan.rs")));
+        assert!(!files
+            .iter()
+            .any(|f| f.to_string_lossy().contains("vendor/")));
+        assert!(!files
+            .iter()
+            .any(|f| f.to_string_lossy().contains("fixtures/")));
+        assert!(!files
+            .iter()
+            .any(|f| f.to_string_lossy().contains("target/")));
+        // Stable order.
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

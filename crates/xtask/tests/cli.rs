@@ -1,0 +1,97 @@
+//! End-to-end tests of the `tputpred-xtask` binary: exit codes and
+//! diagnostic formatting, driven through the real CLI.
+
+use std::path::Path;
+use std::process::Command;
+
+fn xtask() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tputpred-xtask"))
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn check_on_violating_fixture_exits_nonzero_with_located_diagnostics() {
+    let out = xtask()
+        .args(["check", &fixture("nondeterminism.rs")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("[nondeterminism]"), "{stdout}");
+    assert!(stdout.contains("Instant"), "{stdout}");
+    // file:line:col prefix present.
+    assert!(
+        stdout.lines().all(|l| l.contains("nondeterminism.rs:")),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn check_on_clean_fixture_exits_zero() {
+    let out = xtask()
+        .args(["check", &fixture("clean.rs")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn check_whole_workspace_is_clean() {
+    let out = xtask().arg("check").output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "violations:\n{stdout}");
+}
+
+#[test]
+fn rule_filter_limits_findings_and_rejects_unknown_rules() {
+    let out = xtask()
+        .args(["check", "--rule", "float-eq", &fixture("float_eq.rs")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.lines().all(|l| l.contains("[float-eq]")), "{stdout}");
+
+    let out = xtask()
+        .args(["check", "--rule", "no-such-rule"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn rules_lists_the_registry() {
+    let out = xtask().arg("rules").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for rule in [
+        "nondeterminism",
+        "units",
+        "float-eq",
+        "rustdoc-citation",
+        "lint-allow",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule}: {stdout}");
+    }
+}
+
+#[test]
+fn bad_allowlist_fixture_trips_the_meta_rule() {
+    let out = xtask()
+        .args(["check", &fixture("bad_allow.rs")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("[lint-allow]"), "{stdout}");
+    assert!(stdout.contains("no justification"), "{stdout}");
+    assert!(stdout.contains("suppresses nothing"), "{stdout}");
+}

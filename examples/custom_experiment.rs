@@ -83,5 +83,9 @@ fn main() {
             relative_error_floored(fb.predict(&est), rec.r_large)
         })
         .collect();
-    println!("{:<16} {:.3}   (no history needed)", "FB (Eq. 3)", rmsre(&fb_errors).unwrap());
+    println!(
+        "{:<16} {:.3}   (no history needed)",
+        "FB (Eq. 3)",
+        rmsre(&fb_errors).unwrap()
+    );
 }

@@ -20,7 +20,9 @@
 use tcp_throughput_predictability::core::metrics::relative_error_floored;
 use tcp_throughput_predictability::core::rmsre;
 use tcp_throughput_predictability::netsim::link::LinkConfig;
-use tcp_throughput_predictability::netsim::sources::{ParetoOnOffSource, PoissonSource, Sink, SourceConfig};
+use tcp_throughput_predictability::netsim::sources::{
+    ParetoOnOffSource, PoissonSource, Sink, SourceConfig,
+};
 use tcp_throughput_predictability::netsim::{RateSchedule, Route, Simulator, Time};
 use tcp_throughput_predictability::probes::BulkTransfer;
 use tcp_throughput_predictability::stats::Summary;
@@ -57,8 +59,11 @@ fn main() {
         dst: sink_id,
         packet_size: 1000,
         base_rate_bps: 5e6,
-        schedule: RateSchedule::constant(0.0)
-            .with_burst(Time::from_secs(400), Time::from_secs(700), 1.0),
+        schedule: RateSchedule::constant(0.0).with_burst(
+            Time::from_secs(400),
+            Time::from_secs(700),
+            1.0,
+        ),
         stop: Time::MAX,
     });
     let surge_id = sim.add_endpoint(Box::new(surge));
@@ -102,7 +107,10 @@ fn main() {
     }
 
     println!("strategy        mean_mbps  cov    deadline_met  rmsre_vs_mean");
-    for (name, rates) in [("saturating-1MB", &saturating), ("window-limited", &limited)] {
+    for (name, rates) in [
+        ("saturating-1MB", &saturating),
+        ("window-limited", &limited),
+    ] {
         let s = Summary::from_samples(rates.iter().copied());
         let met = rates.iter().filter(|&&r| r >= required_bps).count();
         // Predictability: how well does the running mean predict each
@@ -129,5 +137,8 @@ fn main() {
     }
     println!("\nThe saturating transfers are faster on average but erratic; the window-limited");
     println!("ones give up peak throughput for a far tighter distribution — when the job only");
-    println!("needs {:.1} Mbps, predictability wins the deadline (Section 4.2.8).", required_bps / 1e6);
+    println!(
+        "needs {:.1} Mbps, predictability wins the deadline (Section 4.2.8).",
+        required_bps / 1e6
+    );
 }

@@ -1,5 +1,5 @@
 //! Overlay route selection — the RON use case that motivates the paper
-//! (§1, ref. [1]): an overlay node must choose which of several paths to
+//! (§1, ref. \[1\]): an overlay node must choose which of several paths to
 //! send a bulk transfer over, *before* starting it.
 //!
 //! ```text
@@ -10,12 +10,11 @@
 //! Each round the selector picks a path by predicted throughput, sends
 //! the transfer there, and learns. Three selectors compete:
 //!
-//! * `fb`      — Formula-Based prediction only (what RON's
-//!               throughput-optimizing router did, with the square-root
-//!               formula);
-//! * `hb`      — History-Based (HW-LSO) per path, falling back to FB
-//!               until a path has history;
-//! * `oracle`  — hindsight: always the path that would have been best.
+//! * `fb` — Formula-Based prediction only (what RON's
+//!   throughput-optimizing router did, with the square-root formula);
+//! * `hb` — History-Based (HW-LSO) per path, falling back to FB until
+//!   a path has history;
+//! * `oracle` — hindsight: always the path that would have been best.
 //!
 //! The tally at the end shows the HB-informed selector approaching the
 //! oracle while FB keeps mis-ranking paths whose measured loss/avail-bw
@@ -52,7 +51,11 @@ fn build_path(
     poisson_load: f64,
     bursty_load: f64,
 ) -> OverlayPath {
-    let fwd = sim.add_link(LinkConfig::new(capacity, Time::from_millis(one_way_ms), buffer_pkts));
+    let fwd = sim.add_link(LinkConfig::new(
+        capacity,
+        Time::from_millis(one_way_ms),
+        buffer_pkts,
+    ));
     let rev = sim.add_link(LinkConfig::new(1e9, Time::from_millis(one_way_ms), 1000));
     let (sink, _) = Sink::new();
     let sink_id = sim.add_endpoint(Box::new(sink));
@@ -87,7 +90,12 @@ fn build_path(
     }
     let (reflector, _) = Reflector::new(Route::direct(rev));
     let refl_id = sim.add_endpoint(Box::new(reflector));
-    let (prober, ping) = PingProber::new(Route::direct(fwd), refl_id, Time::from_millis(100), Time::MAX);
+    let (prober, ping) = PingProber::new(
+        Route::direct(fwd),
+        refl_id,
+        Time::from_millis(100),
+        Time::MAX,
+    );
     let prober_id = sim.add_endpoint(Box::new(prober));
     sim.schedule_timer(prober_id, 0, Time::ZERO);
     OverlayPath {
@@ -101,7 +109,7 @@ fn build_path(
 
 fn main() {
     let mut sim = Simulator::new(1);
-    let mut paths = vec![
+    let mut paths = [
         // Fast but heavily loaded: pings look fine, transfers struggle.
         build_path(&mut sim, "fast-busy", 45e6, 40, 300, 30e6, 9e6),
         // Modest and lightly loaded: the actual winner most rounds.
@@ -191,15 +199,23 @@ fn main() {
         }
         println!(
             "{round:>5}  {:<10}  {:<10}  {:<10}  ({:.1} / {:.1} / {:.1})",
-            paths[fb_pick].name, paths[hb_pick].name, paths[best].name,
-            actual[0] / 1e6, actual[1] / 1e6, actual[2] / 1e6,
+            paths[fb_pick].name,
+            paths[hb_pick].name,
+            paths[best].name,
+            actual[0] / 1e6,
+            actual[1] / 1e6,
+            actual[2] / 1e6,
         );
         t = sim.now() + Time::from_secs(2);
     }
 
     println!("\ntotal transferred if following each selector (relative to oracle):");
     for (label, s) in ["fb", "hb", "oracle"].iter().zip(&score) {
-        println!("  {label:<7} {:>6.1} Mbit-rounds  ({:.0}%)", s / 1e6, 100.0 * s / score[2]);
+        println!(
+            "  {label:<7} {:>6.1} Mbit-rounds  ({:.0}%)",
+            s / 1e6,
+            100.0 * s / score[2]
+        );
     }
 }
 

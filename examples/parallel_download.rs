@@ -45,7 +45,11 @@ fn mirror(
     schedule: RateSchedule,
 ) -> Mirror {
     let buffer = ((capacity * 0.1 / 8.0 / 1000.0) as u32).max(14);
-    let fwd = sim.add_link(LinkConfig::new(capacity, Time::from_millis(one_way_ms), buffer));
+    let fwd = sim.add_link(LinkConfig::new(
+        capacity,
+        Time::from_millis(one_way_ms),
+        buffer,
+    ));
     let rev = sim.add_link(LinkConfig::new(1e9, Time::from_millis(one_way_ms), 1000));
     let (sink, _) = Sink::new();
     let sink_id = sim.add_endpoint(Box::new(sink));
@@ -77,8 +81,22 @@ fn mirror(
 fn main() {
     let mut sim = Simulator::new(99);
     let mut mirrors = vec![
-        mirror(&mut sim, "mirror-a", 20e6, 20, 8e6, RateSchedule::constant(1.0)),
-        mirror(&mut sim, "mirror-b", 10e6, 45, 2e6, RateSchedule::constant(1.0)),
+        mirror(
+            &mut sim,
+            "mirror-a",
+            20e6,
+            20,
+            8e6,
+            RateSchedule::constant(1.0),
+        ),
+        mirror(
+            &mut sim,
+            "mirror-b",
+            10e6,
+            45,
+            2e6,
+            RateSchedule::constant(1.0),
+        ),
         // mirror-c suffers a mid-experiment load surge: its history has a
         // level shift the LSO wrapper must catch.
         mirror(
@@ -89,7 +107,14 @@ fn main() {
             4e6,
             RateSchedule::constant(1.0).with_shift(Time::from_secs(160), 3.5),
         ),
-        mirror(&mut sim, "mirror-d", 5e6, 15, 1e6, RateSchedule::constant(1.0)),
+        mirror(
+            &mut sim,
+            "mirror-d",
+            5e6,
+            15,
+            1e6,
+            RateSchedule::constant(1.0),
+        ),
     ];
     let file_bits = 400e6; // a 50 MB file per round
     let fb = FbPredictor::new(FbConfig::default());
@@ -123,14 +148,14 @@ fn main() {
             })
             .collect();
         sim.run_until(stop + Time::from_secs(3));
-        let rates: Vec<f64> = transfers.iter().map(|tr| tr.throughput().max(1e3)).collect();
+        let rates: Vec<f64> = transfers
+            .iter()
+            .map(|tr| tr.throughput().max(1e3))
+            .collect();
 
         // Completion times for the two allocations.
         let n = mirrors.len() as f64;
-        let equal: f64 = rates
-            .iter()
-            .map(|&r| file_bits / n / r)
-            .fold(0.0, f64::max);
+        let equal: f64 = rates.iter().map(|&r| file_bits / n / r).fold(0.0, f64::max);
         let predicted: f64 = rates
             .iter()
             .zip(&preds)

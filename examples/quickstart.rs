@@ -19,7 +19,9 @@ use tcp_throughput_predictability::core::hb::{HoltWinters, Predictor};
 use tcp_throughput_predictability::core::lso::Lso;
 use tcp_throughput_predictability::core::metrics::relative_error_floored;
 use tcp_throughput_predictability::netsim::link::LinkConfig;
-use tcp_throughput_predictability::netsim::sources::{PoissonSource, Reflector, Sink, SourceConfig};
+use tcp_throughput_predictability::netsim::sources::{
+    PoissonSource, Reflector, Sink, SourceConfig,
+};
 use tcp_throughput_predictability::netsim::{RateSchedule, Route, Simulator, Time};
 use tcp_throughput_predictability::probes::ping::PingProber;
 use tcp_throughput_predictability::probes::{BulkTransfer, Pathload, PathloadConfig};
@@ -66,8 +68,12 @@ fn main() {
     let pre = ping
         .borrow()
         .summarize(Time::from_secs(15), Time::from_secs(29));
-    println!("measured a priori:  T^ = {:.1} ms, p^ = {:.4}, A^ = {:.2} Mbps",
-        pre.rtt * 1e3, pre.loss_rate, a_hat / 1e6);
+    println!(
+        "measured a priori:  T^ = {:.1} ms, p^ = {:.4}, A^ = {:.2} Mbps",
+        pre.rtt * 1e3,
+        pre.loss_rate,
+        a_hat / 1e6
+    );
 
     // ── 3. The Formula-Based prediction (Eq. 3) ────────────────────────
     let fb = FbPredictor::new(FbConfig::default());
@@ -97,9 +103,7 @@ fn main() {
         sim.run_until(stop + Time::from_secs(3));
         let actual = transfer.throughput();
         let fb_e = relative_error_floored(fb_prediction, actual);
-        let hb_e = hb
-            .predict()
-            .map(|p| relative_error_floored(p, actual));
+        let hb_e = hb.predict().map(|p| relative_error_floored(p, actual));
         println!(
             "{epoch:>5}  {:>11.2}  {:>10.2}  {}",
             actual / 1e6,

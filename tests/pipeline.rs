@@ -63,7 +63,10 @@ fn dataset_has_the_requested_shape_and_sane_records() {
         assert!(rec.r_small.unwrap() > 0.0);
         if rec.flow_rtt > 0.0 {
             // Starved epochs may record no RTT samples at all.
-            assert!(rec.flow_rtt >= rec.t_hat * 0.5, "flow RTT in the same world");
+            assert!(
+                rec.flow_rtt >= rec.t_hat * 0.5,
+                "flow RTT in the same world"
+            );
         }
     }
 }
@@ -190,9 +193,12 @@ fn posthumous_pftk_agrees_with_the_tcp_implementation() {
     // Longer transfers than the other integration tests: PFTK is a
     // steady-state model, and a 6-second flow with one loss event is
     // transient behaviour, not steady state.
+    // 10 paths (vs the shared preset's 6) so enough congested paths —
+    // and with them lossy, steady-state epochs — land in the sample.
     let preset = Preset {
         transfer: Time::from_secs(20),
         epochs_per_trace: 8,
+        paths: 10,
         ..test_preset()
     };
     let ds = generate(&preset);
@@ -201,6 +207,7 @@ fn posthumous_pftk_agrees_with_the_tcp_implementation() {
     for (_, _, rec) in ds.epochs() {
         // Steady-state epochs only: lossy a priori and enough congestion
         // events for the flow to be in its AIMD regime.
+        // lint:allow(float-eq): p_hat = 0 is the exact no-loss-observed sentinel
         if rec.p_hat == 0.0 || rec.flow_loss_events < 3 || rec.flow_rtt <= 0.0 {
             continue;
         }

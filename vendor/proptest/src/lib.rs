@@ -1,0 +1,389 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), range strategies over integers and floats, tuple strategies,
+//! [`Strategy::prop_map`], `prop::collection::vec`, and the
+//! `prop_assert*` macros.
+//!
+//! Semantics differ from the real crate in two deliberate ways:
+//!
+//! * **No shrinking.** A failing case panics with the sampled inputs in
+//!   the message; reproduce it by reading them off the panic.
+//! * **Deterministic by default.** Cases are drawn from a fixed-seed
+//!   [`rand::rngs::StdRng`] stream, so a failure always reproduces —
+//!   matching this repository's no-unseeded-RNG invariant. The first
+//!   samples of every numeric range are its endpoints, so boundary
+//!   values are always exercised.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*` caller expects.
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestRunner,
+    };
+}
+
+/// Test-case failure: carries the formatted assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-block configuration; only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; simulation-heavy suites override this
+        // downward with `with_cases`.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The sampling engine handed to strategies: a seeded [`StdRng`] plus
+/// the case index (so strategies can pin early cases to boundaries).
+pub struct TestRunner {
+    rng: StdRng,
+    case: u32,
+}
+
+impl TestRunner {
+    /// A runner for case `case` of the test named `name`. Seeded from
+    /// the test name so distinct tests draw distinct streams, but every
+    /// run of the same binary draws the same ones.
+    pub fn new(name: &str, case: u32) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            case,
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// The zero-based case index.
+    pub fn case(&self) -> u32 {
+        self.case
+    }
+}
+
+/// A source of values for one test argument.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+/// A strategy producing a single fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                // Case 0 pins the lower bound, case 1 the top value, so
+                // boundaries are always exercised.
+                match runner.case() {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => runner.rng().random_range(self.clone()),
+                }
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                match runner.case() {
+                    0 => *self.start(),
+                    1 => *self.end(),
+                    _ => runner.rng().random_range(self.clone()),
+                }
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, runner: &mut TestRunner) -> f64 {
+        match runner.case() {
+            0 => self.start,
+            // Just inside the open upper bound.
+            1 => self.start + (self.end - self.start) * (1.0 - 1e-12),
+            _ => runner.rng().random_range(self.clone()),
+        }
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, runner: &mut TestRunner) -> f64 {
+        match runner.case() {
+            0 => *self.start(),
+            1 => *self.end(),
+            _ => runner.rng().random_range(self.clone()),
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(runner),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`).
+
+    pub mod collection {
+        //! Collection strategies.
+        use crate::{Strategy, TestRunner};
+        use rand::RngExt;
+
+        /// A strategy for `Vec`s with lengths drawn from `len` and
+        /// elements from `element`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// The strategy returned by [`vec()`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                let n = match runner.case() {
+                    0 => self.len.start,
+                    1 => self.len.end - 1,
+                    _ => runner.rng().random_range(self.len.clone()),
+                };
+                (0..n).map(|_| self.element.sample(runner)).collect()
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case
+/// aborts with the formatted message (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// The test-defining macro. Accepts an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(arg
+/// in strategy, ...) { body }` items, exactly like the real crate.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut runner = $crate::TestRunner::new(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::Strategy::sample(&$strat, &mut runner);
+                    )+
+                    let dbg_args = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {case} of {} failed: {e}\n  inputs: {}",
+                            stringify!($name), dbg_args,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_pin_boundaries_then_sample_inside() {
+        let strat = 10u32..20;
+        let mut r0 = TestRunner::new("t", 0);
+        let mut r1 = TestRunner::new("t", 1);
+        assert_eq!(Strategy::sample(&strat, &mut r0), 10);
+        assert_eq!(Strategy::sample(&strat, &mut r1), 19);
+        for case in 2..50 {
+            let mut r = TestRunner::new("t", case);
+            let v = Strategy::sample(&strat, &mut r);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test_name_and_case() {
+        let strat = 0.0f64..1.0;
+        let a = Strategy::sample(&strat, &mut TestRunner::new("x", 5));
+        let b = Strategy::sample(&strat, &mut TestRunner::new("x", 5));
+        let c = Strategy::sample(&strat, &mut TestRunner::new("y", 5));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (1u32..5, 0.0f64..1.0).prop_map(|(n, f)| n as f64 + f);
+        let mut r = TestRunner::new("z", 7);
+        let v = Strategy::sample(&strat, &mut r);
+        assert!((1.0..5.0).contains(&v));
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let strat = crate::prop::collection::vec(0.0f64..1.0, 3..9);
+        for case in 0..20 {
+            let mut r = TestRunner::new("v", case);
+            let v = Strategy::sample(&strat, &mut r);
+            assert!((3..9).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 1u64..100, f in 0.25f64..0.75) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f) || (f - 0.75).abs() < 1e-9);
+            prop_assert_ne!(x, 0);
+            prop_assert_eq!(x, x);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the one pattern this workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — with plain
+//! `std::thread::scope` fan-out: the slice is split into one contiguous
+//! chunk per available core, each chunk is mapped on its own thread, and
+//! results are reassembled in input order. On a single-core machine it
+//! degenerates to a sequential map with no thread spawns.
+//!
+//! Order preservation matters here: `testbed::generate` sorts its output
+//! anyway, but keeping input order makes the stub a drop-in for the real
+//! crate's deterministic `collect`.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! The traits a `use rayon::prelude::*` caller expects.
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `par_iter()` over `&self`, mirroring rayon's trait of the same name.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+    /// Converts to a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// A borrowed parallel iterator; only `map` is provided.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<F, U>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal operation is `collect`.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Evaluates the map across threads and collects the results in
+    /// input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+        C: FromIterator<U>,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.slice.len().max(1));
+        if threads <= 1 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let chunk_len = self.slice.len().div_ceil(threads);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<U>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            chunks = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

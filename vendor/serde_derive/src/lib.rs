@@ -1,0 +1,326 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the derive input token stream (no `syn`/`quote` — the
+//! build environment has no crates.io access) and emits `Serialize` /
+//! `Deserialize` impls for the shapes this workspace actually derives:
+//!
+//! * structs with named fields → JSON objects,
+//! * newtype tuple structs (`struct Time(u64)`) → the inner value,
+//! * enums with unit variants only → the variant name as a string.
+//!
+//! Anything else (generics, data-carrying enums, multi-field tuple
+//! structs) panics with a clear message at derive time rather than
+//! generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive target looks like after parsing.
+enum Shape {
+    /// `struct Name { a: A, b: B }` — field names in declaration order.
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(Inner);`
+    Newtype { name: String },
+    /// `enum Name { A, B { x: X } }` — variants in declaration order;
+    /// `None` fields = unit variant, `Some` = struct variant.
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+/// Consumes leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from `toks[*i]`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses the body of a named-field struct: returns field names.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect ':' then the type; skip type tokens to the next
+        // top-level ',' tracking angle-bracket depth (commas inside
+        // `Foo<A, B>` are not grouped by the tokenizer).
+        assert!(
+            matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive stub: expected `:` after field `{}`",
+            fields.last().unwrap()
+        );
+        i += 1;
+        let mut angle = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parses the body of an enum: unit variants and struct variants.
+fn parse_variants(name: &str, body: &[TokenTree]) -> Vec<(String, Option<Vec<String>>)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        let vname = match body.get(i) {
+            Some(TokenTree::Ident(v)) => v.to_string(),
+            None => break,
+            Some(t) => panic!("serde_derive stub: unexpected token {t} in enum `{name}`"),
+        };
+        i += 1;
+        let fields = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Some(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde_derive stub: enum `{name}` has a tuple variant `{vname}` — only unit and struct variants are supported"
+            ),
+            _ => None,
+        };
+        variants.push((vname, fields));
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            Some(t) => panic!("serde_derive stub: unexpected token {t} in enum `{name}`"),
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive stub: expected `struct` or `enum`, got {t:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive stub: expected type name, got {t:?}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&body),
+                }
+            } else {
+                let variants = parse_variants(&name, &body);
+                Shape::Enum { name, variants }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let top_commas = {
+                let mut angle = 0i32;
+                let mut commas = 0;
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => commas += 1,
+                        _ => {}
+                    }
+                }
+                commas
+            };
+            assert!(
+                kind == "struct" && top_commas == 0,
+                "serde_derive stub: only single-field (newtype) tuple structs are supported, `{name}` has more"
+            );
+            Shape::Newtype { name }
+        }
+        t => panic!("serde_derive stub: unexpected token {t:?} after `{kind} {name}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::with_capacity({n});\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}",
+                n = fields.len()
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            // Externally tagged, like real serde: unit variants become
+            // the variant name as a string; struct variants become
+            // `{"Variant": {..fields..}}`.
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let pushes: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut inner: Vec<(String, ::serde::Value)> = Vec::with_capacity({n});\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(inner))])\n\
+                             }}\n",
+                            n = fs.len()
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive stub: generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(obj, \"{f}\", \"{name}\")?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                             format!(\"expected JSON object for {name}, got {{}}\", v.kind())))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_none())
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|(v, fields)| fields.as_ref().map(|fs| (v, fs)))
+                .map(|(v, fs)| {
+                    let inits: String = fs
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(obj, \"{f}\", \"{name}::{v}\")?,\n"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let obj = inner.as_object().ok_or_else(|| ::serde::Error::custom(\
+                                 format!(\"expected object body for {name}::{v}, got {{}}\", inner.kind())))?;\n\
+                             Ok({name}::{v} {{ {inits} }})\n\
+                         }}\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(::serde::Error::custom(\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 let _ = inner; // silence unused warning for all-unit enums\n\
+                                 match tag.as_str() {{\n\
+                                     {struct_arms}\
+                                     other => Err(::serde::Error::custom(\
+                                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::custom(\
+                                 format!(\"expected variant of {name}, got {{}}\", v.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive stub: generated code failed to parse")
+}
