@@ -29,15 +29,17 @@ fn synthetic_dataset() -> Dataset {
                                 + 1.5e6 * (phase * 0.7).sin().abs()
                                 + if ei % 13 == 0 { 6e6 } else { 0.0 };
                             EpochRecord {
-                                a_hat: 5e6 + 2e6 * (phase * 0.3).cos(),
-                                t_hat: 0.04 + 0.01 * (phase * 0.2).sin().abs(),
-                                p_hat: if pi % 3 == 0 { 0.01 } else { 0.0 },
-                                t_tilde: 0.05,
-                                p_tilde: 0.02,
-                                r_large: r,
+                                status: Default::default(),
+                                faults: Default::default(),
+                                a_hat: Some(5e6 + 2e6 * (phase * 0.3).cos()),
+                                t_hat: Some(0.04 + 0.01 * (phase * 0.2).sin().abs()),
+                                p_hat: Some(if pi % 3 == 0 { 0.01 } else { 0.0 }),
+                                t_tilde: Some(0.05),
+                                p_tilde: Some(0.02),
+                                r_large: Some(r),
                                 r_small: Some(r / 4.0),
-                                r_prefix_quarter: r * 0.9,
-                                r_prefix_half: r * 0.95,
+                                r_prefix_quarter: Some(r * 0.9),
+                                r_prefix_half: Some(r * 0.95),
                                 flow_loss_events: 3,
                                 flow_retx_rate: 0.01,
                                 flow_rtt: 0.05,
@@ -61,8 +63,8 @@ fn bench_figures(c: &mut Criterion) {
         let fb = FbPredictor::new(fb_config(&ds.preset));
         b.iter(|| {
             let errors: Vec<f64> = ds
-                .epochs()
-                .map(|(_, _, rec)| relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large))
+                .complete_epochs()
+                .map(|(_, _, rec)| relative_error_floored(fb.predict(&a_priori(&rec)), rec.r_large))
                 .collect();
             black_box(errors.len())
         })

@@ -16,9 +16,9 @@
 
 use tputpred_bench::{is_lossy, load_dataset, Args};
 use tputpred_stats::{quantile, render};
-use tputpred_testbed::EpochRecord;
+use tputpred_testbed::CompleteEpoch;
 
-fn event_rate(rec: &EpochRecord) -> Option<f64> {
+fn event_rate(rec: &CompleteEpoch) -> Option<f64> {
     // Segments sent ≈ delivered/MSS + retransmits; reconstruct from the
     // recorded retransmit fraction and loss events. The dataset keeps
     // flow_retx_rate = retx/sent and flow_loss_events, so sent =
@@ -43,11 +43,11 @@ fn main() {
     let mut ping_over_event = Vec::new();
     let mut pktloss_over_event = Vec::new();
     let mut ping_over_pktloss = Vec::new();
-    for (_, _, rec) in ds.epochs() {
-        if !is_lossy(rec) || rec.flow_loss_events == 0 {
+    for (_, _, rec) in ds.complete_epochs() {
+        if !is_lossy(&rec) || rec.flow_loss_events == 0 {
             continue;
         }
-        let Some(ev_per_sec_sent) = event_rate(rec) else {
+        let Some(ev_per_sec_sent) = event_rate(&rec) else {
             continue;
         };
         // events per segment = events / (sent_per_sec × duration)

@@ -43,8 +43,8 @@ fn main() {
             let mut fb_errors = Vec::new();
             let mut hb_errors = Vec::new();
             let mut hybrid_errors = Vec::new();
-            for (i, rec) in t.records.iter().enumerate() {
-                let est = a_priori(rec);
+            for (i, rec) in t.records.iter().filter_map(|r| r.complete()).enumerate() {
+                let est = a_priori(&rec);
                 let e_fb = relative_error_floored(fb.predict(&est), rec.r_large);
                 fb_errors.push(e_fb);
                 if let Some(pred) = hb.predict() {

@@ -27,8 +27,8 @@ fn main() {
 
     let mut posthumous = Vec::new();
     let mut a_priori_errors = Vec::new();
-    for (_, _, rec) in ds.epochs() {
-        if !is_lossy(rec) || rec.flow_loss_events == 0 || rec.flow_rtt <= 0.0 {
+    for (_, _, rec) in ds.complete_epochs() {
+        if !is_lossy(&rec) || rec.flow_loss_events == 0 || rec.flow_rtt <= 0.0 {
             continue;
         }
         // The flow's own congestion-event probability: events per
@@ -49,7 +49,7 @@ fn main() {
         };
         posthumous.push(relative_error_floored(pftk(&params), rec.r_large));
         a_priori_errors.push(relative_error_floored(
-            fb.predict(&a_priori(rec)),
+            fb.predict(&a_priori(&rec)),
             rec.r_large,
         ));
     }

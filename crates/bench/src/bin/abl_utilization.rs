@@ -51,7 +51,12 @@ fn main() {
         let series = trace.throughput_series();
         let mut pred = hw_lso();
         let hb = evaluate(&mut pred, &series).rmsre().unwrap_or(f64::NAN);
-        let fb_errors: Vec<f64> = trace.records.iter().map(|r| fb_error(&fb, r)).collect();
+        let fb_errors: Vec<f64> = trace
+            .records
+            .iter()
+            .filter_map(|r| r.complete())
+            .map(|r| fb_error(&fb, &r))
+            .collect();
         let fb_rmsre = rmsre(&fb_errors).unwrap_or(f64::NAN);
         let mean_tput = series.iter().sum::<f64>() / series.len() as f64;
         table.row([

@@ -28,16 +28,16 @@ fn main() {
     let mut p_hat_lossy = Vec::new();
     let mut flow_retx_lossy = Vec::new();
     let mut t_ratio = Vec::new();
-    for (_, _, rec) in ds.epochs() {
+    for (_, _, rec) in ds.complete_epochs() {
         if rec.true_avail_bw > 1e3 {
             availbw_bias.push(rec.a_hat / rec.true_avail_bw);
-            if is_lossy(rec) {
+            if is_lossy(&rec) {
                 r_vs_avail_lossy.push(rec.r_large / rec.true_avail_bw);
             } else {
                 r_vs_avail_lossless.push(rec.r_large / rec.true_avail_bw);
             }
         }
-        if is_lossy(rec) {
+        if is_lossy(&rec) {
             p_hat_lossy.push(rec.p_hat);
             flow_retx_lossy.push(rec.flow_retx_rate);
         }

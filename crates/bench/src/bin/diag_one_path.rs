@@ -50,14 +50,14 @@ fn main() {
         for (i, r) in trace.records.iter().enumerate() {
             t.row([
                 i.to_string(),
-                render::mbps(r.r_large),
+                render::mbps(r.r_large.unwrap_or(f64::NAN)),
                 render::mbps(r.true_avail_bw),
-                render::mbps(r.a_hat),
-                render::f(r.p_hat),
-                render::f(r.p_tilde),
+                render::mbps(r.a_hat.unwrap_or(f64::NAN)),
+                render::f(r.p_hat.unwrap_or(f64::NAN)),
+                render::f(r.p_tilde.unwrap_or(f64::NAN)),
                 r.flow_loss_events.to_string(),
                 render::f(r.flow_retx_rate),
-                format!("{:.1}", r.t_hat * 1e3),
+                format!("{:.1}", r.t_hat.unwrap_or(f64::NAN) * 1e3),
             ]);
         }
         print!("{}", t.render());

@@ -8,46 +8,55 @@
 use tputpred_bench::{fb_config, fb_error, load_dataset, Args};
 use tputpred_core::fb::FbPredictor;
 
+/// Missing measurements (degraded/missing epochs) export as empty cells.
+fn opt(v: Option<f64>) -> String {
+    v.map_or(String::new(), |v| v.to_string())
+}
+
 fn main() {
     let args = Args::parse();
     let ds = load_dataset(&args);
     let fb = FbPredictor::new(fb_config(&ds.preset));
 
     println!(
-        "path,trace,epoch,capacity_bps,base_rtt_s,buffer_pkts,utilization,elastic_flows,\
+        "path,trace,epoch,status,capacity_bps,base_rtt_s,buffer_pkts,utilization,elastic_flows,\
          a_hat_bps,t_hat_s,p_hat,t_tilde_s,p_tilde,r_large_bps,r_small_bps,\
          r_prefix_quarter_bps,r_prefix_half_bps,flow_loss_events,flow_retx_rate,\
          flow_rtt_s,true_avail_bw_bps,fb_error"
     );
-    for (pi, p) in ds.paths.iter().enumerate() {
+    for p in ds.paths.iter() {
         for (ti, t) in p.traces.iter().enumerate() {
             for (ei, r) in t.records.iter().enumerate() {
+                let e = r
+                    .complete()
+                    .map(|c| fb_error(&fb, &c).to_string())
+                    .unwrap_or_default();
                 println!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     p.config.name,
                     ti,
                     ei,
+                    r.status,
                     p.config.capacity_bps,
                     p.config.base_rtt(),
                     p.config.buffer_packets,
                     p.config.cross.utilization,
                     p.config.cross.elastic_flows,
-                    r.a_hat,
-                    r.t_hat,
-                    r.p_hat,
-                    r.t_tilde,
-                    r.p_tilde,
-                    r.r_large,
-                    r.r_small.unwrap_or(f64::NAN),
-                    r.r_prefix_quarter,
-                    r.r_prefix_half,
+                    opt(r.a_hat),
+                    opt(r.t_hat),
+                    opt(r.p_hat),
+                    opt(r.t_tilde),
+                    opt(r.p_tilde),
+                    opt(r.r_large),
+                    opt(r.r_small),
+                    opt(r.r_prefix_quarter),
+                    opt(r.r_prefix_half),
                     r.flow_loss_events,
                     r.flow_retx_rate,
                     r.flow_rtt,
                     r.true_avail_bw,
-                    fb_error(&fb, r),
+                    e,
                 );
-                let _ = pi;
             }
         }
     }

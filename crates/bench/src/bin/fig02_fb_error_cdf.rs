@@ -20,10 +20,10 @@ fn main() {
     let mut all = Vec::new();
     let mut lossy = Vec::new();
     let mut lossless = Vec::new();
-    for (_, _, rec) in ds.epochs() {
-        let e = relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large);
+    for (_, _, rec) in ds.complete_epochs() {
+        let e = relative_error_floored(fb.predict(&a_priori(&rec)), rec.r_large);
         all.push(e);
-        if is_lossy(rec) {
+        if is_lossy(&rec) {
             lossy.push(e);
         } else {
             lossless.push(e);

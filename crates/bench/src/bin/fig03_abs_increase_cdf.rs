@@ -13,10 +13,13 @@ fn main() {
     let ds = load_dataset(&args);
 
     let rtt_inc_ms: Vec<f64> = ds
-        .epochs()
+        .complete_epochs()
         .map(|(_, _, r)| (r.t_tilde - r.t_hat) * 1e3)
         .collect();
-    let loss_inc: Vec<f64> = ds.epochs().map(|(_, _, r)| r.p_tilde - r.p_hat).collect();
+    let loss_inc: Vec<f64> = ds
+        .complete_epochs()
+        .map(|(_, _, r)| r.p_tilde - r.p_hat)
+        .collect();
 
     println!("# fig03: CDF of absolute RTT and loss-rate increase during the target flow");
     let rtt = Cdf::from_samples(rtt_inc_ms.iter().copied());

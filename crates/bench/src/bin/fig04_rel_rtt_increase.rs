@@ -13,7 +13,7 @@ fn main() {
     let ds = load_dataset(&args);
 
     let rel: Vec<f64> = ds
-        .epochs()
+        .complete_epochs()
         .filter(|(_, _, r)| is_lossy(r) && r.t_tilde > 0.0)
         .map(|(_, _, r)| (r.t_tilde - r.t_hat) / r.t_tilde)
         .collect();
@@ -23,7 +23,7 @@ fn main() {
     let cdf = Cdf::from_samples(rel.iter().copied());
     print!("{}", render::cdf_series("rel_rtt_increase", &cdf, 60));
     let mean_ratio: f64 = ds
-        .epochs()
+        .complete_epochs()
         .filter(|(_, _, r)| is_lossy(r) && r.t_hat > 0.0)
         .map(|(_, _, r)| r.t_tilde / r.t_hat)
         .sum::<f64>()

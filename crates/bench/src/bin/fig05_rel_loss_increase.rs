@@ -14,7 +14,7 @@ fn main() {
     let ds = load_dataset(&args);
 
     let records: Vec<(f64, f64)> = ds
-        .epochs()
+        .complete_epochs()
         .filter(|(_, _, r)| is_lossy(r) && r.p_tilde > 0.0)
         .map(|(_, _, r)| (r.p_hat, r.p_tilde))
         .collect();

@@ -19,16 +19,16 @@ fn main() {
 
     let mut with_a_priori = Vec::new();
     let mut with_during = Vec::new();
-    for (_, _, rec) in ds.epochs() {
-        if !is_lossy(rec) {
+    for (_, _, rec) in ds.complete_epochs() {
+        if !is_lossy(&rec) {
             continue;
         }
         with_a_priori.push(relative_error_floored(
-            fb.predict(&a_priori(rec)),
+            fb.predict(&a_priori(&rec)),
             rec.r_large,
         ));
         with_during.push(relative_error_floored(
-            fb.predict(&during_flow(rec)),
+            fb.predict(&during_flow(&rec)),
             rec.r_large,
         ));
     }

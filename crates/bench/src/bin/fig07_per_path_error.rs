@@ -22,7 +22,8 @@ fn main() {
             .traces
             .iter()
             .flat_map(|t| t.records.iter())
-            .map(|rec| fb_error(&fb, rec))
+            .filter_map(|rec| rec.complete())
+            .map(|rec| fb_error(&fb, &rec))
             .collect();
         if errors.is_empty() {
             continue;

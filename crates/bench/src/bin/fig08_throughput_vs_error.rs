@@ -16,8 +16,8 @@ fn main() {
     let fb = FbPredictor::new(fb_config(&ds.preset));
 
     let points: Vec<(f64, f64)> = ds
-        .epochs()
-        .map(|(_, _, rec)| (rec.r_large / 1e6, fb_error(&fb, rec)))
+        .complete_epochs()
+        .map(|(_, _, rec)| (rec.r_large / 1e6, fb_error(&fb, &rec)))
         .collect();
 
     println!("# fig08: actual throughput (Mbps) vs FB prediction error E");

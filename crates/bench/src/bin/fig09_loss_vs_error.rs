@@ -15,9 +15,9 @@ fn main() {
     let fb = FbPredictor::new(fb_config(&ds.preset));
 
     let points: Vec<(f64, f64)> = ds
-        .epochs()
+        .complete_epochs()
         .filter(|(_, _, rec)| is_lossy(rec))
-        .map(|(_, _, rec)| (rec.p_hat, fb_error(&fb, rec)))
+        .map(|(_, _, rec)| (rec.p_hat, fb_error(&fb, &rec)))
         .collect();
     assert!(!points.is_empty(), "no lossy epochs in this dataset");
 

@@ -14,8 +14,8 @@ fn main() {
     let fb = FbPredictor::new(fb_config(&ds.preset));
 
     let points: Vec<(f64, f64)> = ds
-        .epochs()
-        .map(|(_, _, rec)| (rec.t_hat * 1e3, fb_error(&fb, rec)))
+        .complete_epochs()
+        .map(|(_, _, rec)| (rec.t_hat * 1e3, fb_error(&fb, &rec)))
         .collect();
 
     println!("# fig10: a-priori RTT T^ (ms) vs FB prediction error E");

@@ -30,8 +30,8 @@ fn main() {
     let mut quarter = Vec::new();
     let mut half = Vec::new();
     let mut full = Vec::new();
-    for (_, _, rec) in ds.epochs() {
-        let pred = fb.predict(&a_priori(rec));
+    for (_, _, rec) in ds.complete_epochs() {
+        let pred = fb.predict(&a_priori(&rec));
         quarter.push(relative_error_floored(pred, rec.r_prefix_quarter));
         half.push(relative_error_floored(pred, rec.r_prefix_half));
         full.push(relative_error_floored(pred, rec.r_large));

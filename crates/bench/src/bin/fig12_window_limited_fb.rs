@@ -34,18 +34,23 @@ fn main() {
         let mut e_small = Vec::new();
         let mut wl = 0usize;
         let mut n = 0usize;
-        for rec in p.traces.iter().flat_map(|t| t.records.iter()) {
+        for rec in p
+            .traces
+            .iter()
+            .flat_map(|t| t.records.iter())
+            .filter_map(|r| r.complete())
+        {
             e_large.push(relative_error_floored(
-                fb_large.predict(&a_priori(rec)),
+                fb_large.predict(&a_priori(&rec)),
                 rec.r_large,
             ));
             if let Some(r_small) = rec.r_small {
                 e_small.push(relative_error_floored(
-                    fb_small.predict(&a_priori(rec)),
+                    fb_small.predict(&a_priori(&rec)),
                     r_small,
                 ));
             }
-            if fb_small.is_window_limited(&a_priori(rec)) {
+            if fb_small.is_window_limited(&a_priori(&rec)) {
                 wl += 1;
             }
             n += 1;

@@ -25,9 +25,9 @@ fn main() {
     for (name, model) in models {
         let fb = FbPredictor::new(fb_config_with_model(&ds.preset, model));
         let errors: Vec<f64> = ds
-            .epochs()
+            .complete_epochs()
             .filter(|(_, _, rec)| is_lossy(rec))
-            .map(|(_, _, rec)| relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large))
+            .map(|(_, _, rec)| relative_error_floored(fb.predict(&a_priori(&rec)), rec.r_large))
             .collect();
         assert!(!errors.is_empty(), "no lossy epochs in this dataset");
         let cdf = Cdf::from_samples(errors.iter().copied());

@@ -23,8 +23,8 @@ fn main() {
         for t in &p.traces {
             // The smoothing history is per trace, in epoch order.
             let mut sm = SmoothedFbPredictor::new(fb_config(&ds.preset), 10);
-            for rec in &t.records {
-                let est = a_priori(rec);
+            for rec in t.records.iter().filter_map(|r| r.complete()) {
+                let est = a_priori(&rec);
                 plain.push(relative_error_floored(fb.predict(&est), rec.r_large));
                 smoothed.push(relative_error_floored(sm.predict_next(&est), rec.r_large));
             }

@@ -20,7 +20,12 @@ fn main() {
         .iter()
         .flat_map(|p| p.traces.iter())
         .filter_map(|t| {
-            let errors: Vec<f64> = t.records.iter().map(|rec| fb_error(&fb, rec)).collect();
+            let errors: Vec<f64> = t
+                .records
+                .iter()
+                .filter_map(|rec| rec.complete())
+                .map(|rec| fb_error(&fb, &rec))
+                .collect();
             rmsre(&errors)
         })
         .collect();

@@ -25,12 +25,12 @@ fn main() {
     let mut lossy = 0usize;
     let mut over = 0usize;
     let mut r_all = Vec::new();
-    for (_, _, rec) in ds.epochs() {
-        let e = relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large);
+    for (_, _, rec) in ds.complete_epochs() {
+        let e = relative_error_floored(fb.predict(&a_priori(&rec)), rec.r_large);
         if e > 0.0 {
             over += 1;
         }
-        if is_lossy(rec) {
+        if is_lossy(&rec) {
             lossy += 1;
         }
         errors.push(e);
@@ -41,6 +41,7 @@ fn main() {
     let tput = Cdf::from_samples(r_all);
     let mut t = render::Table::new(["metric", "value"]);
     t.row(["epochs", &n.to_string()]);
+    t.row(["degraded/missing epochs", &ds.degraded_count().to_string()]);
     t.row(["lossy fraction", &render::f(lossy as f64 / n as f64)]);
     t.row([
         "FB overestimation fraction",

@@ -1,0 +1,66 @@
+//! Typed prediction errors for degraded inputs.
+//!
+//! On the real RON testbed, measurements fail: pathload aborts without
+//! converging, ping probes vanish in bursts, transfers are cut short. The
+//! fault-injection layer (`tputpred-testbed::faults`) reproduces those
+//! failures, so predictor entry points must degrade instead of dying.
+//! Every fallible entry point (`FbPredictor::try_predict`,
+//! `Predictor::try_predict`) returns a [`PredictError`] rather than a NaN
+//! or a panic, and callers decide whether to skip the epoch or fall back.
+
+use std::fmt;
+
+/// Why a predictor could not produce a forecast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictError {
+    /// FB (Eq. 3) cannot run without an RTT estimate `T̂` — every branch
+    /// divides by it.
+    MissingRtt,
+    /// FB has neither a loss-rate `p̂` nor an avail-bw `Â` estimate, so
+    /// neither branch of Eq. (3) is computable beyond the bare window
+    /// bound; refusing is safer than returning `W/T̂` alone.
+    MissingLossAndAvailBw,
+    /// An estimate was present but outside its domain (named field):
+    /// non-positive/non-finite RTT, loss rate outside `[0, 1]`, or
+    /// negative/non-finite avail-bw.
+    InvalidEstimate(&'static str),
+    /// An HB predictor has not yet observed enough samples to forecast
+    /// (e.g. Holt-Winters needs two to initialise its trend).
+    InsufficientHistory,
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::MissingRtt => write!(f, "no RTT estimate available"),
+            PredictError::MissingLossAndAvailBw => {
+                write!(f, "neither loss-rate nor avail-bw estimate available")
+            }
+            PredictError::InvalidEstimate(field) => {
+                write!(f, "estimate `{field}` outside its valid domain")
+            }
+            PredictError::InsufficientHistory => {
+                write!(f, "not enough history to forecast")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_invalid_field() {
+        let msg = PredictError::InvalidEstimate("rtt").to_string();
+        assert!(msg.contains("rtt"), "{msg}");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(PredictError::InsufficientHistory);
+    }
+}

@@ -25,6 +25,7 @@
 //! (§3.2) and (b) the difference between periodic probing and TCP's own
 //! sampling (§3.3).
 
+use crate::error::PredictError;
 use crate::formulas::{self, pftk, pftk_full, pftk_revised, PftkParams};
 use crate::hb::{MovingAverage, Predictor};
 use serde::{Deserialize, Serialize};
@@ -40,6 +41,30 @@ pub struct PathEstimates {
     /// Available bandwidth in bits/s (`Â`) from a pathload-style
     /// estimator. Only used when `loss_rate == 0`.
     pub avail_bw: f64,
+}
+
+/// A-priori measurements where any value may be missing — the input shape
+/// of a *degraded* epoch, where a fault (ping outage, pathload abort) ate
+/// one or more measurements. [`FbPredictor::try_predict`] accepts this and
+/// degrades per measurement instead of refusing the whole epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PartialEstimates {
+    /// RTT in seconds (`T̂`), if the ping prober produced a summary.
+    pub rtt: Option<f64>,
+    /// Loss rate in `[0, 1]` (`p̂`), if the ping prober produced a summary.
+    pub loss_rate: Option<f64>,
+    /// Available bandwidth in bits/s (`Â`), if pathload converged.
+    pub avail_bw: Option<f64>,
+}
+
+impl From<PathEstimates> for PartialEstimates {
+    fn from(est: PathEstimates) -> Self {
+        PartialEstimates {
+            rtt: Some(est.rtt),
+            loss_rate: Some(est.loss_rate),
+            avail_bw: Some(est.avail_bw),
+        }
+    }
 }
 
 /// Which throughput model the lossy branch of Eq. (3) plugs estimates into.
@@ -129,25 +154,66 @@ impl FbPredictor {
         debug_assert!(est.avail_bw >= 0.0, "FB: negative avail-bw");
         let window_limit = 8.0 * self.config.max_window as f64 / est.rtt;
         if est.loss_rate > 0.0 {
-            let params = PftkParams {
-                mss: self.config.mss,
-                rtt: est.rtt,
-                rto: formulas::rto_estimate(est.rtt),
-                b: self.config.b,
-                p: est.loss_rate,
-                max_window: self.config.max_window,
-            };
-            let model_rate = match self.config.model {
-                FbModel::PftkSimple => pftk(&params),
-                FbModel::PftkFull => pftk_full(&params),
-                FbModel::PftkRevised => pftk_revised(&params),
-                FbModel::Mathis => {
-                    formulas::mathis(self.config.mss, est.rtt, self.config.b, est.loss_rate)
-                }
-            };
-            f64::min(model_rate, window_limit)
+            f64::min(self.lossy_model_rate(est.rtt, est.loss_rate), window_limit)
         } else {
             f64::min(window_limit, est.avail_bw)
+        }
+    }
+
+    /// Eq. (3)'s lossy branch: the configured model's rate, uncapped.
+    fn lossy_model_rate(&self, rtt: f64, loss_rate: f64) -> f64 {
+        let params = PftkParams {
+            mss: self.config.mss,
+            rtt,
+            rto: formulas::rto_estimate(rtt),
+            b: self.config.b,
+            p: loss_rate,
+            max_window: self.config.max_window,
+        };
+        match self.config.model {
+            FbModel::PftkSimple => pftk(&params),
+            FbModel::PftkFull => pftk_full(&params),
+            FbModel::PftkRevised => pftk_revised(&params),
+            FbModel::Mathis => formulas::mathis(self.config.mss, rtt, self.config.b, loss_rate),
+        }
+    }
+
+    /// Eq. (3) over possibly-incomplete estimates, degrading per missing
+    /// measurement instead of panicking:
+    ///
+    /// * `T̂` missing → [`PredictError::MissingRtt`] (every branch needs it);
+    /// * `p̂ > 0` → the loss-based model, window-capped — `Â` is not needed,
+    ///   so a failed pathload run costs nothing on lossy paths;
+    /// * `p̂ = 0` with `Â` present → `min(W/T̂, Â)` as usual;
+    /// * `p̂ = 0` with `Â` missing → the bare window bound `W/T̂` (the only
+    ///   surviving term of the lossless branch);
+    /// * `p̂` missing with `Â` present → `min(W/T̂, Â)`: without loss
+    ///   evidence the lossless branch is the best remaining estimate;
+    /// * both `p̂` and `Â` missing → [`PredictError::MissingLossAndAvailBw`].
+    ///
+    /// Out-of-domain values yield [`PredictError::InvalidEstimate`] naming
+    /// the offending field, never a NaN.
+    pub fn try_predict(&self, est: &PartialEstimates) -> Result<f64, PredictError> {
+        let rtt = est.rtt.ok_or(PredictError::MissingRtt)?;
+        if !rtt.is_finite() || rtt <= 0.0 {
+            return Err(PredictError::InvalidEstimate("rtt"));
+        }
+        if let Some(p) = est.loss_rate {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(PredictError::InvalidEstimate("loss_rate"));
+            }
+        }
+        if let Some(a) = est.avail_bw {
+            if !a.is_finite() || a < 0.0 {
+                return Err(PredictError::InvalidEstimate("avail_bw"));
+            }
+        }
+        let window_limit = 8.0 * self.config.max_window as f64 / rtt;
+        match (est.loss_rate, est.avail_bw) {
+            (Some(p), _) if p > 0.0 => Ok(f64::min(self.lossy_model_rate(rtt, p), window_limit)),
+            (Some(_), Some(a)) | (None, Some(a)) => Ok(f64::min(window_limit, a)),
+            (Some(_), None) => Ok(window_limit),
+            (None, None) => Err(PredictError::MissingLossAndAvailBw),
         }
     }
 
@@ -334,6 +400,101 @@ mod tests {
         let a = s.predict_next(&e);
         let b = FbPredictor::default().predict(&e);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_predict_on_complete_estimates_matches_predict() {
+        let fb = FbPredictor::default();
+        for e in [est(0.08, 0.01, 50e6), est(0.1, 0.0, 10e6)] {
+            assert_eq!(fb.try_predict(&e.into()), Ok(fb.predict(&e)));
+        }
+    }
+
+    #[test]
+    fn try_predict_lossy_path_ignores_missing_availbw() {
+        // Pathload aborted, but loss evidence selects the PFTK branch,
+        // which never consults Â: prediction is unchanged.
+        let fb = FbPredictor::default();
+        let degraded = PartialEstimates {
+            rtt: Some(0.08),
+            loss_rate: Some(0.01),
+            avail_bw: None,
+        };
+        assert_eq!(
+            fb.try_predict(&degraded),
+            Ok(fb.predict(&est(0.08, 0.01, 50e6)))
+        );
+    }
+
+    #[test]
+    fn try_predict_lossless_without_availbw_degrades_to_window_bound() {
+        let fb = FbPredictor::default();
+        let degraded = PartialEstimates {
+            rtt: Some(0.1),
+            loss_rate: Some(0.0),
+            avail_bw: None,
+        };
+        let r = fb.try_predict(&degraded).unwrap();
+        assert!((r - 8.0 * (1u32 << 20) as f64 / 0.1).abs() < 1.0);
+    }
+
+    #[test]
+    fn try_predict_missing_loss_uses_lossless_branch() {
+        let fb = FbPredictor::default();
+        let degraded = PartialEstimates {
+            rtt: Some(0.1),
+            loss_rate: None,
+            avail_bw: Some(10e6),
+        };
+        assert_eq!(fb.try_predict(&degraded), Ok(10e6));
+    }
+
+    #[test]
+    fn try_predict_typed_errors_for_unusable_epochs() {
+        use crate::error::PredictError;
+        let fb = FbPredictor::default();
+        let no_rtt = PartialEstimates {
+            rtt: None,
+            loss_rate: Some(0.01),
+            avail_bw: Some(10e6),
+        };
+        assert_eq!(fb.try_predict(&no_rtt), Err(PredictError::MissingRtt));
+        let only_rtt = PartialEstimates {
+            rtt: Some(0.1),
+            loss_rate: None,
+            avail_bw: None,
+        };
+        assert_eq!(
+            fb.try_predict(&only_rtt),
+            Err(PredictError::MissingLossAndAvailBw)
+        );
+        let bad_rtt = PartialEstimates {
+            rtt: Some(-0.1),
+            loss_rate: Some(0.0),
+            avail_bw: Some(10e6),
+        };
+        assert_eq!(
+            fb.try_predict(&bad_rtt),
+            Err(PredictError::InvalidEstimate("rtt"))
+        );
+        let bad_loss = PartialEstimates {
+            rtt: Some(0.1),
+            loss_rate: Some(1.5),
+            avail_bw: None,
+        };
+        assert_eq!(
+            fb.try_predict(&bad_loss),
+            Err(PredictError::InvalidEstimate("loss_rate"))
+        );
+        let bad_abw = PartialEstimates {
+            rtt: Some(0.1),
+            loss_rate: Some(0.0),
+            avail_bw: Some(f64::NAN),
+        };
+        assert_eq!(
+            fb.try_predict(&bad_abw),
+            Err(PredictError::InvalidEstimate("avail_bw"))
+        );
     }
 
     #[test]

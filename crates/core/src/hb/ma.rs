@@ -67,8 +67,9 @@ impl Predictor for MovingAverage {
     fn update(&mut self, x: f64) -> Update {
         debug_assert!(!x.is_nan(), "NaN sample");
         if self.window.len() == self.order {
-            let old = self.window.pop_front().expect("non-empty window");
-            self.sum -= old;
+            if let Some(old) = self.window.pop_front() {
+                self.sum -= old;
+            }
         }
         self.window.push_back(x);
         self.sum += x;

@@ -23,6 +23,8 @@ mod ewma;
 mod holt_winters;
 mod ma;
 
+use crate::error::PredictError;
+
 pub use ar::ArPredictor;
 pub use ewma::Ewma;
 pub use holt_winters::HoltWinters;
@@ -66,6 +68,19 @@ pub trait Predictor {
 
     /// Short human-readable name, e.g. `"10-MA"`, used in figure labels.
     fn name(&self) -> String;
+
+    /// Like [`Predictor::predict`] but with a typed refusal: `None`
+    /// becomes [`PredictError::InsufficientHistory`], and a non-finite
+    /// forecast (a predictor poisoned by degraded input) becomes
+    /// [`PredictError::InvalidEstimate`] instead of leaking a NaN into
+    /// error metrics.
+    fn try_predict(&self) -> Result<f64, PredictError> {
+        match self.predict() {
+            None => Err(PredictError::InsufficientHistory),
+            Some(f) if !f.is_finite() => Err(PredictError::InvalidEstimate("forecast")),
+            Some(f) => Ok(f),
+        }
+    }
 }
 
 /// Blanket impl so `&mut P` and boxed predictors are predictors too.
@@ -113,6 +128,14 @@ mod tests {
         assert_eq!(boxed.name(), "2-MA");
         boxed.reset();
         assert_eq!(boxed.predict(), None);
+    }
+
+    #[test]
+    fn try_predict_types_the_warmup_refusal() {
+        let mut ma = MovingAverage::new(2);
+        assert_eq!(ma.try_predict(), Err(PredictError::InsufficientHistory));
+        ma.update(3.0);
+        assert_eq!(ma.try_predict(), Ok(3.0));
     }
 
     #[test]

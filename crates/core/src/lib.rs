@@ -36,12 +36,16 @@
 //! * [`hybrid`] — an FB/HB hybrid predictor (the paper's future-work §7):
 //!   fall back to the formula while history is short, hand over to HB as
 //!   history accumulates.
+//! * [`error`] — [`error::PredictError`], the typed reason a predictor
+//!   declined to forecast on a degraded epoch (missing or out-of-domain
+//!   measurements, insufficient history) instead of a NaN or a panic.
 //!
 //! ## Units
 //!
 //! Throughput and bandwidth are **bits per second**, times are **seconds**,
 //! and segment/window sizes are **bytes** throughout the workspace.
 
+pub mod error;
 pub mod fb;
 pub mod formulas;
 pub mod hb;
@@ -49,8 +53,9 @@ pub mod hybrid;
 pub mod lso;
 pub mod metrics;
 
-pub use fb::{FbConfig, FbPredictor, PathEstimates, SmoothedFbPredictor};
+pub use error::PredictError;
+pub use fb::{FbConfig, FbPredictor, PartialEstimates, PathEstimates, SmoothedFbPredictor};
 pub use hb::{Ewma, HoltWinters, MovingAverage, Predictor, Update};
 pub use hybrid::HybridPredictor;
 pub use lso::{Detector, DetectorEvent, Lso, LsoConfig};
-pub use metrics::{relative_error, rmsre, segmented_cov};
+pub use metrics::{evaluate_gappy, relative_error, rmsre, segmented_cov};

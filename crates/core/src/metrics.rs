@@ -112,20 +112,50 @@ impl EvalResult {
 ///
 /// Throughput values are floored at [`MIN_THROUGHPUT`] for scoring.
 pub fn evaluate<P: Predictor>(predictor: &mut P, series: &[f64]) -> EvalResult {
+    let dense: Vec<Option<f64>> = series.iter().copied().map(Some).collect();
+    evaluate_gappy(predictor, &dense)
+}
+
+/// [`evaluate`] over a series with *gaps*: a `None` is an epoch whose
+/// transfer failed or went unmeasured (node down, aborted run). This is
+/// the HB degradation rule for faulty histories — a gap is simply
+/// **skipped**: the predictor neither observes it nor resets, so a gap can
+/// never masquerade as a level shift or an outlier. The paper's authors do
+/// the same by silently discarding failed epochs from their RON traces.
+///
+/// `errors`/`predictions` keep one slot per input sample (gaps score
+/// `None`), and `outliers`/`level_shifts` positions are mapped back to
+/// indices into the *gappy* input series, so an evaluation over a gappy
+/// series is position-compatible with the series it came from.
+pub fn evaluate_gappy<P: Predictor>(predictor: &mut P, series: &[Option<f64>]) -> EvalResult {
     let mut result = EvalResult::default();
-    for (i, &x) in series.iter().enumerate() {
+    // Positions in the predictor's fed (gap-free) stream → positions in
+    // `series`; predictor-reported events use the former.
+    let mut fed_to_orig: Vec<usize> = Vec::new();
+    let mut outliers_fed: Vec<usize> = Vec::new();
+    let mut shifts_fed: Vec<usize> = Vec::new();
+    for (i, &sample) in series.iter().enumerate() {
+        let Some(x) = sample else {
+            result.predictions.push(None);
+            result.errors.push(None);
+            continue;
+        };
         let forecast = predictor.predict();
         result.predictions.push(forecast);
         result
             .errors
             .push(forecast.map(|f| relative_error_floored(f, x)));
+        fed_to_orig.push(i);
         match predictor.update(x) {
             Update::Accepted => {}
-            Update::OutliersDiscarded(idx) => result.outliers.extend(idx),
-            Update::LevelShift { start } => result.level_shifts.push(start),
+            Update::OutliersDiscarded(idx) => outliers_fed.extend(idx),
+            Update::LevelShift { start } => shifts_fed.push(start),
         }
         debug_assert!(i + 1 == result.errors.len());
     }
+    let remap = |fed: usize| fed_to_orig.get(fed).copied().unwrap_or(fed);
+    result.outliers = outliers_fed.into_iter().map(remap).collect();
+    result.level_shifts = shifts_fed.into_iter().map(remap).collect();
     result
 }
 
@@ -275,6 +305,45 @@ mod tests {
         let res = evaluate(&mut hw, &series);
         let r = res.rmsre().unwrap();
         assert!(r < 0.5, "collapse epoch contained: RMSRE {r}");
+    }
+
+    #[test]
+    fn evaluate_gappy_skips_gaps_without_resetting() {
+        // 1-MA predicts the previous *observed* sample across a gap.
+        let mut p = MovingAverage::new(1);
+        let res = evaluate_gappy(&mut p, &[Some(10.0), None, Some(10.0)]);
+        assert_eq!(res.errors[0], None);
+        assert_eq!(res.errors[1], None, "gap epochs score nothing");
+        assert_eq!(res.errors[2], Some(0.0), "history survives the gap");
+        assert_eq!(res.predicted_count(), 1);
+    }
+
+    #[test]
+    fn evaluate_gappy_event_positions_index_the_gappy_series() {
+        // Same shape as `evaluate_collects_lso_events` (outlier at dense
+        // position 8), but with two gaps punched in before the spike: the
+        // reported outlier position must be the gappy index, 10.
+        let mut series: Vec<Option<f64>> = vec![Some(10.0), None, Some(10.0), None];
+        series.extend(vec![Some(10.0); 6]);
+        series.push(Some(100.0));
+        series.extend(vec![Some(10.0); 3]);
+        let mut p = Lso::new(MovingAverage::new(10));
+        let res = evaluate_gappy(&mut p, &series);
+        assert_eq!(res.outliers, vec![10]);
+    }
+
+    #[test]
+    fn evaluate_gappy_on_dense_series_matches_evaluate() {
+        let series: Vec<f64> = [vec![10.0; 8], vec![100.0], vec![10.0; 3]].concat();
+        let gappy: Vec<Option<f64>> = series.iter().copied().map(Some).collect();
+        let mut a = Lso::new(MovingAverage::new(10));
+        let mut b = Lso::new(MovingAverage::new(10));
+        let ra = evaluate(&mut a, &series);
+        let rb = evaluate_gappy(&mut b, &gappy);
+        assert_eq!(ra.errors, rb.errors);
+        assert_eq!(ra.predictions, rb.predictions);
+        assert_eq!(ra.outliers, rb.outliers);
+        assert_eq!(ra.level_shifts, rb.level_shifts);
     }
 
     #[test]

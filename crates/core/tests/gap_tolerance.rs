@@ -1,0 +1,86 @@
+//! Property: HB evaluation over a gappy series is *exactly* the dense
+//! evaluation of the same series with the gaps removed — a missing epoch
+//! never perturbs the predictor's state, only the positions reported for
+//! outliers and level shifts (which index the gappy series).
+//!
+//! This is the graceful-degradation contract of `evaluate_gappy`
+//! (DESIGN.md §10): node outages thin the history, they do not reset it
+//! or masquerade as level shifts.
+
+use proptest::prelude::*;
+use tputpred_core::hb::{Ewma, HoltWinters, MovingAverage, Predictor};
+use tputpred_core::lso::Lso;
+use tputpred_core::metrics::{evaluate, evaluate_gappy};
+
+/// Positive throughput-like series with `None` gaps sprinkled in.
+///
+/// Drawn as `(value, tag)` pairs — a tag of 0 (1-in-4) turns the slot
+/// into a gap — because the vendored proptest stub has no `prop_oneof!`.
+fn gappy_series() -> impl Strategy<Value = Vec<Option<f64>>> {
+    prop::collection::vec((1e3..1e8f64, 0u8..4), 0..80).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, tag)| (tag > 0).then_some(x))
+            .collect()
+    })
+}
+
+fn predictors() -> Vec<(&'static str, Box<dyn Predictor + Send>)> {
+    vec![
+        ("1-MA", Box::new(MovingAverage::new(1))),
+        ("10-MA", Box::new(MovingAverage::new(10))),
+        ("0.8-EWMA", Box::new(Ewma::new(0.8))),
+        ("0.8-HW-LSO", Box::new(Lso::new(HoltWinters::new(0.8, 0.2)))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn gappy_eval_equals_dense_eval_of_the_compacted_series(series in gappy_series()) {
+        let dense: Vec<f64> = series.iter().filter_map(|&x| x).collect();
+        for (name, _) in predictors() {
+            let mut on_gappy = predictors()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, p)| p)
+                .unwrap();
+            let mut on_dense = predictors()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, p)| p)
+                .unwrap();
+            let g = evaluate_gappy(&mut on_gappy, &series);
+            let d = evaluate(&mut on_dense, &dense);
+
+            // Identical scores — exact equality, not tolerance: the same
+            // arithmetic must run in the same order.
+            prop_assert_eq!(g.rmsre(), d.rmsre(), "{}: rmsre diverged", name);
+
+            // The gappy result's predictions, with gaps dropped, are the
+            // dense predictions bit for bit.
+            let g_preds: Vec<Option<f64>> = series
+                .iter()
+                .zip(&g.predictions)
+                .filter(|(x, _)| x.is_some())
+                .map(|(_, &p)| p)
+                .collect();
+            prop_assert_eq!(&g_preds, &d.predictions, "{}: predictions diverged", name);
+
+            // Event positions map through: every reported event indexes a
+            // non-gap slot of the gappy series.
+            for &i in g.outliers.iter().chain(&g.level_shifts) {
+                prop_assert!(series[i].is_some(), "{}: event at a gap", name);
+            }
+            prop_assert_eq!(g.outliers.len(), d.outliers.len());
+            prop_assert_eq!(g.level_shifts.len(), d.level_shifts.len());
+        }
+    }
+
+    #[test]
+    fn all_gaps_yields_the_empty_evaluation(len in 0usize..30) {
+        let series = vec![None; len];
+        let mut p = Lso::new(HoltWinters::new(0.8, 0.2));
+        let r = evaluate_gappy(&mut p, &series);
+        prop_assert_eq!(r.rmsre(), None);
+        prop_assert!(r.predictions.iter().all(Option::is_none));
+    }
+}

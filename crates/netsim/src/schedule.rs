@@ -78,6 +78,7 @@ impl RateSchedule {
     /// Panics if `at` is not after the last shift, or `level` is negative.
     pub fn with_shift(mut self, at: Time, level: f64) -> Self {
         assert!(level >= 0.0, "negative rate level");
+        // lint:allow(no-unwrap): builder invariant — the constructor seeds the base segment; runs at config time, not during measurement
         let last = self.segments.last().expect("schedule has a base segment");
         assert!(at > last.start, "shifts must be strictly increasing");
         self.segments.push(Segment { start: at, level });

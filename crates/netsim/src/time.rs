@@ -103,6 +103,7 @@ impl Time {
 impl Add for Time {
     type Output = Time;
     fn add(self, rhs: Time) -> Time {
+        // lint:allow(no-unwrap): u64-ns overflow is ~585 years of simulated time — a logic error, not a degradable measurement fault
         Time(self.0.checked_add(rhs.0).expect("simulated time overflow"))
     }
 }
@@ -120,6 +121,7 @@ impl Sub for Time {
     /// Panics on underflow — subtracting a later instant from an earlier
     /// one is always a logic error in a monotonic simulation.
     fn sub(self, rhs: Time) -> Time {
+        // lint:allow(no-unwrap): documented contract — later-minus-earlier underflow is a logic error in a monotonic simulation
         Time(self.0.checked_sub(rhs.0).expect("simulated time underflow"))
     }
 }

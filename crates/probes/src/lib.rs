@@ -28,4 +28,4 @@ pub mod ping;
 pub use iperf::BulkTransfer;
 pub use pathchirp::{PathChirp, PathChirpConfig, PathChirpHandle};
 pub use pathload::{Pathload, PathloadConfig, PathloadHandle};
-pub use ping::{PingProber, PingStats, PingStatsHandle, PingSummary};
+pub use ping::{PingProber, PingStats, PingStatsHandle, PingSummary, ProbeMask};

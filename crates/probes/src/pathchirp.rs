@@ -107,7 +107,7 @@ fn chirp_estimate(config: &PathChirpConfig, samples: &[(u64, Time)], sent: u32) 
             let lo = i.saturating_sub(1);
             let hi = (i + 2).min(n);
             let mut w: Vec<f64> = usable[lo..hi].to_vec();
-            w.sort_by(|a, b| a.partial_cmp(b).expect("NaN OWD"));
+            w.sort_by(f64::total_cmp);
             w[w.len() / 2]
         })
         .collect();
@@ -258,8 +258,7 @@ impl Endpoint for PathChirp {
                     let mut r = self.result.borrow_mut();
                     r.per_chirp.push(estimate);
                     if r.per_chirp.len() as u32 >= self.config.chirps {
-                        let med = tputpred_stats::median(&r.per_chirp).expect("at least one chirp");
-                        r.estimate = Some(med);
+                        r.estimate = tputpred_stats::median(&r.per_chirp);
                         r.done = true;
                         return;
                     }

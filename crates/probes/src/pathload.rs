@@ -140,7 +140,7 @@ fn detect_trend(samples: &[(u64, Time)], sent: u32) -> Trend {
         let start = g * per;
         let end = if g == groups - 1 { n } else { start + per };
         let chunk = &mut owds[start..end];
-        chunk.sort_by(|a, b| a.partial_cmp(b).expect("NaN OWD"));
+        chunk.sort_by(f64::total_cmp);
         medians.push(chunk[chunk.len() / 2]);
     }
     let mut increases = 0usize;

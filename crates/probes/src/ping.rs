@@ -33,6 +33,37 @@ pub struct PingSummary {
     pub loss_rate: f64,
 }
 
+/// Fault windows applied when summarizing probe records — the
+/// measurement-layer view of a prober outage or a reply-loss burst
+/// (`tputpred-testbed::faults`). The probes themselves still traverse
+/// the simulated path (41 bytes per 100 ms is negligible load); the
+/// mask rewrites what the *measurement* sees.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProbeMask {
+    /// Prober down: probes sent within `[start, end)` are treated as
+    /// never sent — excluded from the summary entirely.
+    pub outage: Option<(Time, Time)>,
+    /// Return-path loss burst: probes sent within `[start, end)` count
+    /// as lost even when their echo arrived.
+    pub forced_loss: Option<(Time, Time)>,
+}
+
+impl ProbeMask {
+    /// A mask that changes nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no window is set.
+    pub fn is_none(&self) -> bool {
+        self.outage.is_none() && self.forced_loss.is_none()
+    }
+}
+
+fn within(t: Time, window: Option<(Time, Time)>) -> bool {
+    window.is_some_and(|(start, end)| t >= start && t < end)
+}
+
 impl PingStats {
     /// Summarizes probes *sent* within `[from, to)`.
     ///
@@ -41,15 +72,27 @@ impl PingStats {
     /// otherwise inflate the loss rate — epochs in the testbed leave
     /// multi-second guards, and RTTs are well under a second).
     pub fn summarize(&self, from: Time, to: Time) -> PingSummary {
+        self.summarize_masked(from, to, &ProbeMask::none())
+    }
+
+    /// [`PingStats::summarize`] with fault windows applied: probes in
+    /// the mask's outage window are dropped from the summary, probes in
+    /// its forced-loss window count as lost. With [`ProbeMask::none`]
+    /// this is exactly `summarize`.
+    pub fn summarize_masked(&self, from: Time, to: Time, mask: &ProbeMask) -> PingSummary {
         let window = self
             .records
             .iter()
-            .filter(|r| r.sent_at >= from && r.sent_at < to);
+            .filter(|r| r.sent_at >= from && r.sent_at < to)
+            .filter(|r| !within(r.sent_at, mask.outage));
         let mut sent = 0;
         let mut received = 0;
         let mut rtt_sum = 0.0;
         for r in window {
             sent += 1;
+            if within(r.sent_at, mask.forced_loss) {
+                continue;
+            }
             if let Some(rtt) = r.rtt {
                 received += 1;
                 rtt_sum += rtt.as_secs_f64();
@@ -259,6 +302,49 @@ mod tests {
         let (mut sim, stats) = world(10e6, 67);
         sim.run_until(Time::from_secs(120));
         assert_eq!(stats.borrow().total_sent(), 600);
+    }
+
+    #[test]
+    fn masked_outage_drops_probes_from_the_summary() {
+        let (mut sim, stats) = world(10e6, 67);
+        sim.run_until(Time::from_secs(62));
+        let mask = ProbeMask {
+            outage: Some((Time::from_secs(10), Time::from_secs(20))),
+            forced_loss: None,
+        };
+        let s = stats
+            .borrow()
+            .summarize_masked(Time::ZERO, Time::from_secs(60), &mask);
+        assert_eq!(s.sent, 500, "100 probes fall in the outage");
+        assert_eq!(s.received, 500);
+        assert_eq!(s.loss_rate, 0.0, "unsent probes are not losses");
+    }
+
+    #[test]
+    fn masked_forced_loss_counts_probes_as_lost() {
+        let (mut sim, stats) = world(10e6, 67);
+        sim.run_until(Time::from_secs(62));
+        let mask = ProbeMask {
+            outage: None,
+            forced_loss: Some((Time::from_secs(0), Time::from_secs(6))),
+        };
+        let s = stats
+            .borrow()
+            .summarize_masked(Time::ZERO, Time::from_secs(60), &mask);
+        assert_eq!(s.sent, 600);
+        assert_eq!(s.received, 540, "60 echoes are discarded");
+        assert!((s.loss_rate - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mask_matches_summarize() {
+        let (mut sim, stats) = world(10e6, 67);
+        sim.run_until(Time::from_secs(62));
+        let stats = stats.borrow();
+        let plain = stats.summarize(Time::ZERO, Time::from_secs(60));
+        let masked = stats.summarize_masked(Time::ZERO, Time::from_secs(60), &ProbeMask::none());
+        assert_eq!(plain, masked);
+        assert!(ProbeMask::none().is_none());
     }
 
     #[test]

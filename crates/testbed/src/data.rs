@@ -29,33 +29,99 @@ struct DatasetFile {
     dataset: Dataset,
 }
 
+/// How much of an epoch's measurement schedule actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EpochStatus {
+    /// Every scheduled measurement completed.
+    #[default]
+    Ok,
+    /// At least one measurement failed; the surviving fields are valid.
+    Degraded,
+    /// The node was down: nothing was measured this epoch.
+    Missing,
+}
+
+/// Which fault(s) hit an epoch — the dataset's record of what
+/// `faults::FaultPlan` scheduled, so analysis can condition on failure
+/// mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EpochFaults {
+    /// Whole epoch missing (node down).
+    pub node_down: bool,
+    /// Pathload ran but aborted without an estimate.
+    pub pathload_failed: bool,
+    /// The ping prober was down for part of the epoch.
+    pub ping_outage: bool,
+    /// A burst of probe replies was lost on the return path.
+    pub reply_loss_burst: bool,
+    /// The bulk transfer was cut short.
+    pub transfer_truncated: bool,
+    /// The bulk transfer never started.
+    pub transfer_failed: bool,
+}
+
+impl EpochFaults {
+    /// No fault hit this epoch.
+    pub fn is_clean(&self) -> bool {
+        *self == EpochFaults::default()
+    }
+
+    /// The [`EpochStatus`] these faults imply.
+    pub fn status(&self) -> EpochStatus {
+        if self.node_down {
+            EpochStatus::Missing
+        } else if self.is_clean() {
+            EpochStatus::Ok
+        } else {
+            EpochStatus::Degraded
+        }
+    }
+}
+
 /// Everything one measurement epoch records (§4.1): the a-priori
 /// estimates that feed FB prediction, the during-flow estimates of
 /// Figs. 3–6, the actual throughput(s), and the target flow's own view
 /// of the path.
+///
+/// Measurement fields are `Option`s: `None` means the measurement was
+/// lost to a fault (see [`EpochRecord::faults`] for which one). On a
+/// fault-free run — every stock preset — all fields are `Some` and
+/// `status` is [`EpochStatus::Ok`]; [`EpochRecord::complete`] recovers
+/// the plain-`f64` view the figure binaries consume.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EpochRecord {
+    /// What ran: [`EpochStatus::Ok`], `Degraded`, or `Missing`.
+    pub status: EpochStatus,
+    /// Which faults hit (all-false on a clean epoch).
+    pub faults: EpochFaults,
     /// Avail-bw estimate `Â` from the pathload measurement, bits/s.
-    pub a_hat: f64,
+    /// `None` when pathload aborted or the epoch is missing.
+    pub a_hat: Option<f64>,
     /// A-priori RTT `T̂` from the pre-transfer ping window, seconds.
-    pub t_hat: f64,
+    /// `None` when an outage left the window with no probes.
+    pub t_hat: Option<f64>,
     /// A-priori loss rate `p̂` from the pre-transfer ping window.
-    pub p_hat: f64,
+    pub p_hat: Option<f64>,
     /// RTT `T̃` from ping probes sent *during* the transfer, seconds.
-    pub t_tilde: f64,
+    pub t_tilde: Option<f64>,
     /// Loss rate `p̃` from ping probes sent during the transfer.
-    pub p_tilde: f64,
+    pub p_tilde: Option<f64>,
     /// Actual throughput `R` of the large-window (1 MB) transfer, bits/s.
-    pub r_large: f64,
+    /// `None` when the transfer failed; present (over the shortened run)
+    /// when it was merely truncated.
+    pub r_large: Option<f64>,
     /// Actual throughput of the extra window-limited (20 KB) transfer,
-    /// when the preset runs one.
+    /// when the preset runs one and the epoch is not missing.
     pub r_small: Option<f64>,
     /// Throughput over the first quarter of the transfer (Fig. 11).
-    pub r_prefix_quarter: f64,
+    /// `None` when the transfer failed or was truncated (a shortened
+    /// run's prefixes are not comparable to full-length ones).
+    pub r_prefix_quarter: Option<f64>,
     /// Throughput over the first half of the transfer (Fig. 11).
-    pub r_prefix_half: f64,
+    pub r_prefix_half: Option<f64>,
     /// Loss events (fast retransmits + timeouts) the target flow itself
-    /// saw — the model's "congestion events" (§3.3).
+    /// saw — the model's "congestion events" (§3.3). Zero when no
+    /// transfer ran.
     pub flow_loss_events: u64,
     /// The target flow's per-segment retransmission fraction.
     pub flow_retx_rate: f64,
@@ -67,6 +133,62 @@ pub struct EpochRecord {
     pub true_avail_bw: f64,
 }
 
+/// The plain-`f64` view of a fully-measured epoch — what every figure
+/// binary consumes. Field meanings are exactly [`EpochRecord`]'s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompleteEpoch {
+    /// Avail-bw estimate `Â`, bits/s.
+    pub a_hat: f64,
+    /// A-priori RTT `T̂`, seconds.
+    pub t_hat: f64,
+    /// A-priori loss rate `p̂`.
+    pub p_hat: f64,
+    /// During-flow RTT `T̃`, seconds.
+    pub t_tilde: f64,
+    /// During-flow loss rate `p̃`.
+    pub p_tilde: f64,
+    /// Large-window transfer throughput `R`, bits/s.
+    pub r_large: f64,
+    /// Window-limited transfer throughput, when the preset ran one.
+    pub r_small: Option<f64>,
+    /// Throughput over the first quarter of the transfer.
+    pub r_prefix_quarter: f64,
+    /// Throughput over the first half of the transfer.
+    pub r_prefix_half: f64,
+    /// The target flow's own loss events.
+    pub flow_loss_events: u64,
+    /// The target flow's retransmission fraction.
+    pub flow_retx_rate: f64,
+    /// The target flow's mean RTT, seconds.
+    pub flow_rtt: f64,
+    /// Ground-truth spare capacity, bits/s.
+    pub true_avail_bw: f64,
+}
+
+impl EpochRecord {
+    /// The plain view, if every scheduled measurement is present — the
+    /// paper's own post-processing rule: epochs with failed measurements
+    /// are silently discarded. A truncated transfer does not count as
+    /// complete (its prefix throughputs are unmeasured).
+    pub fn complete(&self) -> Option<CompleteEpoch> {
+        Some(CompleteEpoch {
+            a_hat: self.a_hat?,
+            t_hat: self.t_hat?,
+            p_hat: self.p_hat?,
+            t_tilde: self.t_tilde?,
+            p_tilde: self.p_tilde?,
+            r_large: self.r_large?,
+            r_small: self.r_small,
+            r_prefix_quarter: self.r_prefix_quarter?,
+            r_prefix_half: self.r_prefix_half?,
+            flow_loss_events: self.flow_loss_events,
+            flow_retx_rate: self.flow_retx_rate,
+            flow_rtt: self.flow_rtt,
+            true_avail_bw: self.true_avail_bw,
+        })
+    }
+}
+
 /// One trace: a consecutive sequence of epochs on one path.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct TraceData {
@@ -76,17 +198,29 @@ pub struct TraceData {
 
 impl TraceData {
     /// The throughput time series HB predictors forecast (large-window
-    /// transfers, bits/s).
+    /// transfers, bits/s). Epochs whose transfer failed are **skipped**,
+    /// not zero-filled: this is the HB degradation rule — a predictor
+    /// simply never sees the gap, so it cannot misread one as a level
+    /// shift (the paper's authors likewise drop failed epochs from their
+    /// RON traces). Use [`TraceData::throughput_series_gappy`] when gap
+    /// positions matter.
     pub fn throughput_series(&self) -> Vec<f64> {
+        self.records.iter().filter_map(|r| r.r_large).collect()
+    }
+
+    /// The large-window series with gaps preserved: one slot per epoch,
+    /// `None` where the transfer failed or the epoch is missing. Feed
+    /// this to `tputpred_core::metrics::evaluate_gappy` when reported
+    /// positions must index the epoch timeline.
+    pub fn throughput_series_gappy(&self) -> Vec<Option<f64>> {
         self.records.iter().map(|r| r.r_large).collect()
     }
 
-    /// The window-limited throughput series, if the preset measured one.
+    /// The window-limited throughput series (gaps skipped), or `None`
+    /// when the preset measured none at all.
     pub fn small_window_series(&self) -> Option<Vec<f64>> {
-        self.records
-            .iter()
-            .map(|r| r.r_small)
-            .collect::<Option<Vec<f64>>>()
+        let series: Vec<f64> = self.records.iter().filter_map(|r| r.r_small).collect();
+        (!series.is_empty()).then_some(series)
     }
 }
 
@@ -119,9 +253,26 @@ impl Dataset {
         })
     }
 
+    /// Iterates over the fully-measured epochs only, as plain-`f64`
+    /// [`CompleteEpoch`] views with their `(path, trace)` indices —
+    /// the paper's post-processing rule (degraded epochs are discarded)
+    /// packaged for the figure binaries. On fault-free datasets this is
+    /// every epoch.
+    pub fn complete_epochs(&self) -> impl Iterator<Item = (usize, usize, CompleteEpoch)> + '_ {
+        self.epochs()
+            .filter_map(|(p, t, r)| r.complete().map(|c| (p, t, c)))
+    }
+
     /// Total epoch count.
     pub fn epoch_count(&self) -> usize {
         self.epochs().count()
+    }
+
+    /// Epochs whose status is not [`EpochStatus::Ok`].
+    pub fn degraded_count(&self) -> usize {
+        self.epochs()
+            .filter(|(_, _, r)| r.status != EpochStatus::Ok)
+            .count()
     }
 
     /// Serializes the dataset as JSON to `path`, embedding the current
@@ -132,17 +283,34 @@ impl Dataset {
 
     /// [`Dataset::save`] with an explicit hash. Exists so tests can
     /// fabricate stale cache files; everything else wants `save`.
+    ///
+    /// Writes are atomic: the JSON goes to a temp file in the same
+    /// directory, then renames into place, so a figure run interrupted
+    /// mid-save can never leave a truncated cache behind for the next
+    /// run to trip over.
     #[doc(hidden)]
     pub fn save_with_hash(&self, path: &FsPath, behavior_hash: &str) -> io::Result<()> {
-        if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir)?;
-        }
+        let dir = path.parent().unwrap_or(FsPath::new("."));
+        fs::create_dir_all(dir)?;
         let file = DatasetFile {
             behavior_hash: behavior_hash.to_string(),
             dataset: self.clone(),
         };
         let json = serde_json::to_string(&file).map_err(io::Error::other)?;
-        fs::write(path, json)
+        // Per-process temp name: concurrent generators on the same cache
+        // each write their own temp file; last rename wins, and both
+        // outcomes are complete files with identical content (generation
+        // is deterministic).
+        let file_name = path.file_name().unwrap_or_default().to_string_lossy();
+        let tmp = dir.join(format!(".{}.tmp.{}", file_name, std::process::id()));
+        fs::write(&tmp, json)?;
+        match fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 
     /// Loads a dataset saved by [`Dataset::save`], regardless of the
@@ -201,18 +369,43 @@ mod tests {
 
     fn record(r: f64) -> EpochRecord {
         EpochRecord {
-            a_hat: 5e6,
-            t_hat: 0.05,
-            p_hat: 0.0,
-            t_tilde: 0.06,
-            p_tilde: 0.01,
-            r_large: r,
+            status: EpochStatus::Ok,
+            faults: EpochFaults::default(),
+            a_hat: Some(5e6),
+            t_hat: Some(0.05),
+            p_hat: Some(0.0),
+            t_tilde: Some(0.06),
+            p_tilde: Some(0.01),
+            r_large: Some(r),
             r_small: Some(r / 4.0),
-            r_prefix_quarter: r * 0.8,
-            r_prefix_half: r * 0.9,
+            r_prefix_quarter: Some(r * 0.8),
+            r_prefix_half: Some(r * 0.9),
             flow_loss_events: 2,
             flow_retx_rate: 0.01,
             flow_rtt: 0.055,
+            true_avail_bw: 5.5e6,
+        }
+    }
+
+    fn missing_record() -> EpochRecord {
+        EpochRecord {
+            status: EpochStatus::Missing,
+            faults: EpochFaults {
+                node_down: true,
+                ..EpochFaults::default()
+            },
+            a_hat: None,
+            t_hat: None,
+            p_hat: None,
+            t_tilde: None,
+            p_tilde: None,
+            r_large: None,
+            r_small: None,
+            r_prefix_quarter: None,
+            r_prefix_half: None,
+            flow_loss_events: 0,
+            flow_retx_rate: 0.0,
+            flow_rtt: 0.0,
             true_avail_bw: 5.5e6,
         }
     }
@@ -238,10 +431,14 @@ mod tests {
     #[test]
     fn epochs_iterates_in_order_with_indices() {
         let ds = dataset();
-        let idx: Vec<(usize, usize, f64)> =
+        let idx: Vec<(usize, usize, Option<f64>)> =
             ds.epochs().map(|(p, t, r)| (p, t, r.r_large)).collect();
-        assert_eq!(idx, vec![(0, 0, 1e6), (0, 0, 2e6), (0, 1, 3e6)]);
+        assert_eq!(
+            idx,
+            vec![(0, 0, Some(1e6)), (0, 0, Some(2e6)), (0, 1, Some(3e6))]
+        );
         assert_eq!(ds.epoch_count(), 3);
+        assert_eq!(ds.degraded_count(), 0);
     }
 
     #[test]
@@ -252,6 +449,62 @@ mod tests {
             ds.paths[0].traces[0].small_window_series(),
             Some(vec![0.25e6, 0.5e6])
         );
+    }
+
+    #[test]
+    fn gappy_series_keeps_positions_dense_series_skips() {
+        let trace = TraceData {
+            records: vec![record(1e6), missing_record(), record(3e6)],
+        };
+        assert_eq!(trace.throughput_series(), vec![1e6, 3e6]);
+        assert_eq!(
+            trace.throughput_series_gappy(),
+            vec![Some(1e6), None, Some(3e6)]
+        );
+        assert_eq!(trace.small_window_series(), Some(vec![0.25e6, 0.75e6]));
+    }
+
+    #[test]
+    fn complete_epochs_discards_degraded_records() {
+        let mut ds = dataset();
+        ds.paths[0].traces[0].records.push(missing_record());
+        let mut degraded = record(4e6);
+        degraded.status = EpochStatus::Degraded;
+        degraded.faults.pathload_failed = true;
+        degraded.a_hat = None;
+        ds.paths[0].traces[1].records.push(degraded);
+        assert_eq!(ds.epoch_count(), 5);
+        assert_eq!(ds.degraded_count(), 2);
+        let complete: Vec<f64> = ds.complete_epochs().map(|(_, _, c)| c.r_large).collect();
+        assert_eq!(complete, vec![1e6, 2e6, 3e6]);
+    }
+
+    #[test]
+    fn complete_view_mirrors_the_record_fields() {
+        let r = record(2e6);
+        let c = r.complete().unwrap();
+        assert_eq!(Some(c.a_hat), r.a_hat);
+        assert_eq!(Some(c.t_hat), r.t_hat);
+        assert_eq!(Some(c.r_large), r.r_large);
+        assert_eq!(c.r_small, r.r_small);
+        assert_eq!(c.flow_loss_events, r.flow_loss_events);
+        assert_eq!(missing_record().complete(), None);
+    }
+
+    #[test]
+    fn fault_flags_imply_status() {
+        assert_eq!(EpochFaults::default().status(), EpochStatus::Ok);
+        let outage = EpochFaults {
+            ping_outage: true,
+            ..EpochFaults::default()
+        };
+        assert_eq!(outage.status(), EpochStatus::Degraded);
+        let down = EpochFaults {
+            node_down: true,
+            transfer_failed: true,
+            ..EpochFaults::default()
+        };
+        assert_eq!(down.status(), EpochStatus::Missing);
     }
 
     #[test]
@@ -318,6 +571,41 @@ mod tests {
         .unwrap();
         assert_eq!(calls, 1, "legacy cache must regenerate");
         std::fs::remove_file(&file).unwrap();
+    }
+
+    #[test]
+    fn truncated_cache_triggers_regeneration() {
+        // A cache cut off mid-write (the pre-atomic-save hazard): the
+        // loader must treat it as stale, not return an error.
+        let dir = std::env::temp_dir().join("tputpred-test-data5");
+        let file = dir.join(format!("ds-{}.json", std::process::id()));
+        let valid_file = dir.join(format!("full-{}.json", std::process::id()));
+        dataset().save(&valid_file).unwrap();
+        let full = std::fs::read_to_string(&valid_file).unwrap();
+        std::fs::write(&file, &full[..full.len() / 2]).unwrap();
+        let mut calls = 0;
+        let ds = Dataset::load_or_generate(&file, || {
+            calls += 1;
+            dataset()
+        })
+        .unwrap();
+        assert_eq!(calls, 1, "truncated cache must regenerate");
+        assert_eq!(ds, dataset());
+        std::fs::remove_file(&file).unwrap();
+        std::fs::remove_file(&valid_file).unwrap();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let dir = std::env::temp_dir().join(format!("tputpred-test-data6-{}", std::process::id()));
+        let file = dir.join("ds.json");
+        dataset().save(&file).unwrap();
+        let entries: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(entries, vec!["ds.json"], "only the renamed cache remains");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Deterministic measurement fault injection (DESIGN.md §10).
+//!
+//! The paper's campaign ran on the real RON testbed, where measurement
+//! infrastructure fails: pathload sometimes aborts without converging,
+//! ping probes are lost in bursts or the prober host goes down, bulk
+//! transfers are cut short, and whole epochs vanish when a node reboots.
+//! The authors silently discard such epochs. This module reproduces
+//! those failures *deterministically*: a [`FaultPlan`] is drawn once per
+//! trace from the trace seed, on an RNG stream separate from the
+//! simulator's, so a plan with every probability at zero leaves the
+//! generated measurements bit-identical to a build without the fault
+//! layer at all — and any plan replays exactly.
+//!
+//! What each fault does to the epoch is decided in `runner.rs`; what the
+//! dataset records about it lives in `data::EpochStatus` /
+//! `data::EpochFaults`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-epoch fault probabilities, all in `[0, 1]` and independent.
+/// Part of the [`crate::preset::Preset`], so fault rates are an input of
+/// dataset generation like every other knob.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Whole epoch missing (node down): nothing is measured, cross
+    /// traffic still flows.
+    pub epoch_missing: f64,
+    /// Pathload runs but aborts without converging: no `Â`.
+    pub pathload_fail: f64,
+    /// The ping prober is down for a contiguous window: probes in it
+    /// were never sent.
+    pub ping_outage: f64,
+    /// A burst of probe replies is lost on the return path: probes in
+    /// the window count as lost, inflating `p̂`/`p̃`.
+    pub reply_loss_burst: f64,
+    /// The bulk transfer is cut short at a random fraction of its
+    /// scheduled duration.
+    pub transfer_truncate: f64,
+    /// The bulk transfer fails to start at all: no `R`.
+    pub transfer_fail: f64,
+}
+
+impl FaultConfig {
+    /// No faults — the default, and the configuration of every stock
+    /// preset. Guarantees bit-identical output to a fault-free build.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every fault type at the same probability `p` — the `abl_faults`
+    /// sweep's axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn uniform(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "fault probability out of range");
+        FaultConfig {
+            epoch_missing: p,
+            pathload_fail: p,
+            ping_outage: p,
+            reply_loss_burst: p,
+            transfer_truncate: p,
+            transfer_fail: p,
+        }
+    }
+
+    /// True when every probability is zero (no fault can ever fire).
+    pub fn is_none(&self) -> bool {
+        self.epoch_missing <= 0.0
+            && self.pathload_fail <= 0.0
+            && self.ping_outage <= 0.0
+            && self.reply_loss_burst <= 0.0
+            && self.transfer_truncate <= 0.0
+            && self.transfer_fail <= 0.0
+    }
+}
+
+/// What happens to an epoch's bulk transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TransferFault {
+    /// Runs to completion.
+    #[default]
+    None,
+    /// Cut short at this fraction of the scheduled duration (in
+    /// `[0.25, 0.85]`): the throughput sample covers only the truncated
+    /// run, and prefix throughputs past the cut are unmeasured.
+    Truncated(f64),
+    /// Never starts: no throughput sample at all.
+    Failed,
+}
+
+/// The faults scheduled for one epoch. Window positions are fractions
+/// of the epoch's probing span (ping-window start → transfer end), so
+/// the plan is independent of the preset's absolute phase durations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochFaultPlan {
+    /// Node down: measure nothing this epoch.
+    pub missing: bool,
+    /// Pathload aborts: discard `Â`.
+    pub pathload_fail: bool,
+    /// Prober outage as `(start, end)` fractions of the probing span.
+    pub ping_outage: Option<(f64, f64)>,
+    /// Reply-loss burst as `(start, end)` fractions of the probing span.
+    pub reply_burst: Option<(f64, f64)>,
+    /// The bulk transfer's fate.
+    pub transfer: TransferFault,
+}
+
+impl EpochFaultPlan {
+    /// True when nothing at all is scheduled for this epoch.
+    pub fn is_clean(&self) -> bool {
+        *self == EpochFaultPlan::default()
+    }
+}
+
+/// One trace's fault schedule: drawn up-front from the trace seed, never
+/// from the simulator's RNG, so measurement values are untouched by the
+/// draw itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    epochs: Vec<EpochFaultPlan>,
+}
+
+/// Salt separating the fault-plan RNG stream from every other consumer
+/// of the trace seed.
+const FAULT_STREAM_SALT: u64 = 0xFA17_5EED_0000_0001;
+
+impl FaultPlan {
+    /// Draws the plan for a trace of `epochs` epochs. Deterministic in
+    /// `(config, trace_seed, epochs)`; a zero-probability config yields
+    /// an all-clean plan.
+    pub fn draw(config: &FaultConfig, trace_seed: u64, epochs: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(trace_seed ^ FAULT_STREAM_SALT);
+        let epochs = (0..epochs)
+            .map(|_| {
+                let missing = rng.random_bool(config.epoch_missing);
+                let pathload_fail = rng.random_bool(config.pathload_fail);
+                let ping_outage = rng
+                    .random_bool(config.ping_outage)
+                    .then(|| random_window(&mut rng));
+                let reply_burst = rng
+                    .random_bool(config.reply_loss_burst)
+                    .then(|| random_window(&mut rng));
+                let transfer = if rng.random_bool(config.transfer_fail) {
+                    TransferFault::Failed
+                } else if rng.random_bool(config.transfer_truncate) {
+                    TransferFault::Truncated(rng.random_range(0.25..=0.85))
+                } else {
+                    TransferFault::None
+                };
+                EpochFaultPlan {
+                    missing,
+                    pathload_fail,
+                    ping_outage,
+                    reply_burst,
+                    transfer,
+                }
+            })
+            .collect();
+        FaultPlan { epochs }
+    }
+
+    /// The plan for epoch `k`; epochs past the drawn horizon are clean.
+    pub fn epoch(&self, k: usize) -> EpochFaultPlan {
+        self.epochs.get(k).copied().unwrap_or_default()
+    }
+
+    /// True when no epoch has any fault scheduled.
+    pub fn is_clean(&self) -> bool {
+        self.epochs.iter().all(EpochFaultPlan::is_clean)
+    }
+}
+
+/// A `(start, end)` window in span fractions: starts in the first 70%,
+/// lasts 15–40% of the span.
+fn random_window(rng: &mut StdRng) -> (f64, f64) {
+    let start = rng.random_range(0.0..0.7);
+    let len = rng.random_range(0.15..0.4);
+    (start, (start + len).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_plan_is_clean() {
+        let plan = FaultPlan::draw(&FaultConfig::none(), 12345, 200);
+        assert!(plan.is_clean());
+        assert!(plan.epoch(7).is_clean());
+        assert!(FaultConfig::none().is_none());
+    }
+
+    #[test]
+    fn draw_is_deterministic_in_seed_and_config() {
+        let cfg = FaultConfig::uniform(0.3);
+        let a = FaultPlan::draw(&cfg, 42, 50);
+        let b = FaultPlan::draw(&cfg, 42, 50);
+        assert_eq!(a, b);
+        let c = FaultPlan::draw(&cfg, 43, 50);
+        assert_ne!(a, c, "different seeds draw different plans");
+    }
+
+    #[test]
+    fn certain_faults_all_fire() {
+        // transfer_fail = 1.0 shadows transfer_truncate by draw order.
+        let cfg = FaultConfig::uniform(1.0);
+        let plan = FaultPlan::draw(&cfg, 7, 20);
+        for k in 0..20 {
+            let e = plan.epoch(k);
+            assert!(e.missing && e.pathload_fail);
+            assert!(e.ping_outage.is_some() && e.reply_burst.is_some());
+            assert_eq!(e.transfer, TransferFault::Failed);
+        }
+    }
+
+    #[test]
+    fn windows_are_ordered_fractions() {
+        let cfg = FaultConfig {
+            ping_outage: 1.0,
+            reply_loss_burst: 1.0,
+            ..FaultConfig::none()
+        };
+        let plan = FaultPlan::draw(&cfg, 99, 100);
+        for k in 0..100 {
+            let e = plan.epoch(k);
+            for (start, end) in [e.ping_outage, e.reply_burst].into_iter().flatten() {
+                assert!((0.0..=1.0).contains(&start));
+                assert!(start < end && end <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_fractions_stay_in_range() {
+        let cfg = FaultConfig {
+            transfer_truncate: 1.0,
+            ..FaultConfig::none()
+        };
+        let plan = FaultPlan::draw(&cfg, 5, 100);
+        for k in 0..100 {
+            match plan.epoch(k).transfer {
+                TransferFault::Truncated(f) => assert!((0.25..=0.85).contains(&f)),
+                other => panic!("expected truncation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_past_horizon_are_clean() {
+        let plan = FaultPlan::draw(&FaultConfig::uniform(1.0), 1, 3);
+        assert!(plan.epoch(3).is_clean());
+    }
+
+    #[test]
+    fn moderate_rate_hits_some_but_not_all_epochs() {
+        let plan = FaultPlan::draw(&FaultConfig::uniform(0.2), 11, 200);
+        let faulty = (0..200).filter(|&k| !plan.epoch(k).is_clean()).count();
+        assert!(faulty > 50, "20% per fault type across 6 types: {faulty}");
+        assert!(faulty < 200, "not every epoch should be hit: {faulty}");
+    }
+}

@@ -20,9 +20,17 @@
 //!   the *shape* of results is preserved.
 //! * [`runner`] — epoch orchestration: per-trace simulation assembly,
 //!   the epoch timeline, and parallel (rayon) dataset generation.
+//! * [`faults`] — deterministic measurement fault injection: a per-trace
+//!   [`faults::FaultPlan`] (drawn from the trace seed, on its own RNG
+//!   stream) schedules pathload aborts, prober outages, reply-loss
+//!   bursts, truncated/failed transfers, and whole missing epochs — the
+//!   failure modes of the real RON testbed (DESIGN.md §10).
 //! * [`data`] — the dataset model ([`data::EpochRecord`],
 //!   [`data::Dataset`]) with JSON persistence, so every figure binary
-//!   reuses one generated dataset instead of re-simulating.
+//!   reuses one generated dataset instead of re-simulating. Degraded
+//!   epochs carry a [`data::EpochStatus`] and `None` measurements;
+//!   [`data::Dataset::complete_epochs`] yields only the fully-measured
+//!   ones, as the paper's own post-processing did.
 
 /// Behavior hashing: a digest of the source trees (netsim, tcp,
 /// probes, testbed) whose code decides what a generated dataset
@@ -36,11 +44,15 @@
 /// the current hash in as [`data::BEHAVIOR_HASH`].
 pub mod behavior_hash;
 pub mod data;
+pub mod faults;
 pub mod path;
 pub mod preset;
 pub mod runner;
 
-pub use data::{Dataset, EpochRecord, PathData, TraceData};
+pub use data::{
+    CompleteEpoch, Dataset, EpochFaults, EpochRecord, EpochStatus, PathData, TraceData,
+};
+pub use faults::{EpochFaultPlan, FaultConfig, FaultPlan, TransferFault};
 pub use path::{catalog_2004, catalog_2006, CrossProfile, PathConfig};
 pub use preset::Preset;
 pub use runner::{catalog_for, generate, run_trace};

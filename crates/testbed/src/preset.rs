@@ -6,6 +6,7 @@
 //! time-series shape) while scaling the sizes: `paper` is the faithful
 //! scale, `quick` regenerates every figure in minutes, `tiny` fits CI.
 
+use crate::faults::FaultConfig;
 use serde::{Deserialize, Serialize};
 use tputpred_netsim::Time;
 use tputpred_tcp::TcpConfig;
@@ -40,6 +41,10 @@ pub struct Preset {
     pub ping_interval: Time,
     /// Catalog seed.
     pub seed: u64,
+    /// Measurement fault probabilities (DESIGN.md §10). All stock
+    /// presets use [`FaultConfig::none`]; the `abl_faults` sweep raises
+    /// them.
+    pub faults: FaultConfig,
 }
 
 impl Preset {
@@ -61,6 +66,7 @@ impl Preset {
             with_small_window: true,
             ping_interval: Time::from_millis(100),
             seed: 2004,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -82,6 +88,7 @@ impl Preset {
             with_small_window: true,
             ping_interval: Time::from_millis(100),
             seed: 2004,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -101,6 +108,7 @@ impl Preset {
             with_small_window: true,
             ping_interval: Time::from_millis(100),
             seed: 2004,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -122,6 +130,7 @@ impl Preset {
             with_small_window: false,
             ping_interval: Time::from_millis(100),
             seed: 2006,
+            faults: FaultConfig::none(),
         }
     }
 

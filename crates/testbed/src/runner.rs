@@ -13,7 +13,8 @@
 //! transfer follows the main one (§4.2.8). All per-epoch measurements
 //! land in an [`EpochRecord`].
 
-use crate::data::{Dataset, EpochRecord, PathData, TraceData};
+use crate::data::{Dataset, EpochFaults, EpochRecord, PathData, TraceData};
+use crate::faults::{EpochFaultPlan, FaultPlan, TransferFault};
 use crate::path::{catalog_2004, catalog_2006, PathConfig};
 use crate::preset::Preset;
 use rand::rngs::StdRng;
@@ -22,7 +23,7 @@ use rayon::prelude::*;
 use tputpred_netsim::link::LinkConfig;
 use tputpred_netsim::sources::{ParetoOnOffSource, PoissonSource, Reflector, Sink, SourceConfig};
 use tputpred_netsim::{LinkId, RateSchedule, Route, Simulator, Time};
-use tputpred_probes::ping::PingProber;
+use tputpred_probes::ping::{PingProber, PingSummary, ProbeMask};
 use tputpred_probes::{BulkTransfer, Pathload, PathloadConfig};
 use tputpred_tcp::{connect, TcpConfig};
 
@@ -40,14 +41,19 @@ struct TraceWorld {
     ping: tputpred_probes::PingStatsHandle,
 }
 
+/// The seed every per-trace randomness stream derives from: simulator,
+/// cross-traffic schedule, and fault plan (each with its own salt).
+fn trace_seed(path: &PathConfig, trace_idx: usize) -> u64 {
+    path.seed
+        .wrapping_add(trace_idx as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Assembles the simulation of one trace: links, cross traffic with the
 /// trace's random load schedule, the probe reflector, and the continuous
 /// ping prober.
 fn build_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceWorld {
-    let seed = path
-        .seed
-        .wrapping_add(trace_idx as u64)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let seed = trace_seed(path, trace_idx);
     let mut sim = Simulator::new(seed);
     let fwd = sim.add_link(LinkConfig::new(
         path.capacity_bps,
@@ -162,25 +168,88 @@ fn pathload_config(path: &PathConfig) -> PathloadConfig {
     }
 }
 
+/// Converts a `(start, end)` span-fraction window (from the fault plan)
+/// into wall-clock times within `[span_start, span_end)`.
+fn window_in_span(span_start: Time, span_end: Time, frac: (f64, f64)) -> (Time, Time) {
+    let span_ns = span_end.saturating_sub(span_start).as_nanos() as f64;
+    let at = |f: f64| span_start + Time::from_nanos((span_ns * f) as u64);
+    (at(frac.0), at(frac.1))
+}
+
+/// Turns a (possibly masked) ping summary into the recorded
+/// `(rtt, loss_rate)` pair: no probes sent → neither is measured; probes
+/// sent but none answered → the loss rate is measured (1.0) while the
+/// RTT is not.
+fn summary_measurements(s: &PingSummary) -> (Option<f64>, Option<f64>) {
+    if s.sent == 0 {
+        (None, None)
+    } else if s.received == 0 {
+        (None, Some(s.loss_rate))
+    } else {
+        (Some(s.rtt), Some(s.loss_rate))
+    }
+}
+
+/// What the dataset records about one epoch's faults, from its plan.
+fn epoch_faults(plan: &EpochFaultPlan) -> EpochFaults {
+    if plan.missing {
+        // A down node masks every other fault: nothing else "happened".
+        return EpochFaults {
+            node_down: true,
+            ..EpochFaults::default()
+        };
+    }
+    EpochFaults {
+        node_down: false,
+        pathload_failed: plan.pathload_fail,
+        ping_outage: plan.ping_outage.is_some(),
+        reply_loss_burst: plan.reply_burst.is_some(),
+        transfer_truncated: matches!(plan.transfer, TransferFault::Truncated(_)),
+        transfer_failed: plan.transfer == TransferFault::Failed,
+    }
+}
+
 /// Runs one complete trace and returns its epoch records.
+///
+/// The preset's [`crate::faults::FaultConfig`] is drawn into a
+/// [`FaultPlan`] up-front on its own RNG stream, so with all
+/// probabilities zero this function is call-for-call identical to a
+/// build without the fault layer (the replay test pins this).
 pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceData {
     let mut world = build_trace(path, trace_idx, preset);
+    let plan = FaultPlan::draw(
+        &preset.faults,
+        trace_seed(path, trace_idx),
+        preset.epochs_per_trace,
+    );
     let guard = summary_guard(preset);
     let mut records = Vec::with_capacity(preset.epochs_per_trace);
 
     for epoch in 0..preset.epochs_per_trace {
         let t0 = Time::from_nanos(preset.epoch_len().as_nanos() * epoch as u64);
+        let fault = plan.epoch(epoch);
+        let faults = epoch_faults(&fault);
 
         // --- Phase 1: pathload avail-bw measurement -------------------
-        let pathload = Pathload::deploy(
-            &mut world.sim,
-            pathload_config(path),
-            Route::direct(world.fwd),
-            t0,
-        );
+        // A failed run still injects its probe streams (the abort is in
+        // the estimator, not the traffic); a missing epoch injects
+        // nothing.
+        let pathload = (!fault.missing).then(|| {
+            Pathload::deploy(
+                &mut world.sim,
+                pathload_config(path),
+                Route::direct(world.fwd),
+                t0,
+            )
+        });
         let ping_window_start = t0 + preset.pathload_slot;
         world.sim.run_until(ping_window_start);
-        let a_hat = pathload.borrow().best_guess().unwrap_or(path.capacity_bps);
+        let a_hat = match &pathload {
+            Some(p) if !fault.pathload_fail => {
+                Some(p.borrow().best_guess().unwrap_or(path.capacity_bps))
+            }
+            _ => None,
+        };
 
         // --- Phase 2: ping-only window; record ground-truth spare
         //     capacity over it ------------------------------------------
@@ -193,32 +262,60 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
 
         // --- Phase 3: the target transfer ------------------------------
         let transfer_end = transfer_start + preset.transfer;
-        let transfer = BulkTransfer::launch(
-            &mut world.sim,
-            preset.tcp_large(),
-            Route::direct(world.fwd),
-            Route::direct(world.rev),
-            transfer_start,
-            transfer_end,
-        );
         let quarter = Time::from_nanos(preset.transfer.as_nanos() / 4);
         let half = Time::from_nanos(preset.transfer.as_nanos() / 2);
-        let prefix_floor = 1448.0 * 8.0 / preset.transfer.as_secs_f64();
-        world.sim.run_until(transfer_start + quarter);
-        let r_prefix_quarter = transfer.throughput_over(quarter).max(prefix_floor);
-        world.sim.run_until(transfer_start + half);
-        let r_prefix_half = transfer.throughput_over(half).max(prefix_floor);
-        world.sim.run_until(transfer_end);
         // Floor at the measurement resolution of one segment per
         // transfer: a fully starved epoch records a tiny-but-positive
         // throughput (as a real IPerf run would), keeping relative
         // errors large but finite.
         let r_floor = 1448.0 * 8.0 / preset.transfer.as_secs_f64();
-        let r_large = transfer.throughput().max(r_floor);
-        let (flow_loss_events, flow_retx_rate, flow_rtt) = {
-            let s = transfer.stats().borrow();
-            (s.loss_events(), s.retransmit_rate(), s.rtt.mean())
-        };
+        let mut r_large = None;
+        let mut r_prefix_quarter = None;
+        let mut r_prefix_half = None;
+        let mut flow_stats = (0_u64, 0.0, 0.0);
+        let launch_main = !fault.missing && fault.transfer != TransferFault::Failed;
+        if launch_main {
+            let stop = match fault.transfer {
+                TransferFault::Truncated(frac) => {
+                    let len = Time::from_nanos((preset.transfer.as_nanos() as f64 * frac) as u64);
+                    transfer_start + len
+                }
+                _ => transfer_end,
+            };
+            let transfer = BulkTransfer::launch(
+                &mut world.sim,
+                preset.tcp_large(),
+                Route::direct(world.fwd),
+                Route::direct(world.rev),
+                transfer_start,
+                stop,
+            );
+            if let TransferFault::Truncated(_) = fault.transfer {
+                // The shortened run: one throughput sample over the
+                // actual duration, no prefix samples (not comparable to
+                // full-length ones), then idle to the scheduled end.
+                world.sim.run_until(stop);
+                let run_secs = stop.saturating_sub(transfer_start).as_secs_f64();
+                let trunc_floor = 1448.0 * 8.0 / run_secs;
+                r_large = Some(transfer.throughput().max(trunc_floor));
+                world.sim.run_until(transfer_end);
+            } else {
+                world.sim.run_until(transfer_start + quarter);
+                let prefix_floor = 1448.0 * 8.0 / preset.transfer.as_secs_f64();
+                r_prefix_quarter = Some(transfer.throughput_over(quarter).max(prefix_floor));
+                world.sim.run_until(transfer_start + half);
+                r_prefix_half = Some(transfer.throughput_over(half).max(prefix_floor));
+                world.sim.run_until(transfer_end);
+                r_large = Some(transfer.throughput().max(r_floor));
+            }
+            flow_stats = {
+                let s = transfer.stats().borrow();
+                (s.loss_events(), s.retransmit_rate(), s.rtt.mean())
+            };
+        } else {
+            world.sim.run_until(transfer_end);
+        }
+        let (flow_loss_events, flow_retx_rate, flow_rtt) = flow_stats;
 
         // --- Phase 4 (optional): the window-limited transfer -----------
         let mut r_small = None;
@@ -226,33 +323,59 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
         if preset.with_small_window {
             world.sim.run_until(cursor);
             let small_end = cursor + preset.transfer;
-            let small = BulkTransfer::launch(
-                &mut world.sim,
-                preset.tcp_small(),
-                Route::direct(world.fwd),
-                Route::direct(world.rev),
-                cursor,
-                small_end,
-            );
-            world.sim.run_until(small_end);
-            r_small = Some(small.throughput().max(r_floor));
+            if !fault.missing {
+                let small = BulkTransfer::launch(
+                    &mut world.sim,
+                    preset.tcp_small(),
+                    Route::direct(world.fwd),
+                    Route::direct(world.rev),
+                    cursor,
+                    small_end,
+                );
+                world.sim.run_until(small_end);
+                r_small = Some(small.throughput().max(r_floor));
+            } else {
+                world.sim.run_until(small_end);
+            }
             cursor = small_end + preset.epoch_gap;
         }
         world.sim.run_until(cursor);
 
         // --- Summarize the ping windows (reply-safe: the epoch gap has
         //     passed, so all echoes are in) ------------------------------
-        let ping = world.ping.borrow();
-        let pre = ping.summarize(ping_window_start, transfer_start.saturating_sub(guard));
-        let during = ping.summarize(transfer_start, transfer_end.saturating_sub(guard));
-        drop(ping);
+        let (t_hat, p_hat, t_tilde, p_tilde) = if fault.missing {
+            (None, None, None, None)
+        } else {
+            // Fault windows are fractions of the whole probing span
+            // (ping-window start → transfer end); both summaries see the
+            // same mask.
+            let span = |frac| window_in_span(ping_window_start, transfer_end, frac);
+            let mask = ProbeMask {
+                outage: fault.ping_outage.map(span),
+                forced_loss: fault.reply_burst.map(span),
+            };
+            let ping = world.ping.borrow();
+            let pre = ping.summarize_masked(
+                ping_window_start,
+                transfer_start.saturating_sub(guard),
+                &mask,
+            );
+            let during =
+                ping.summarize_masked(transfer_start, transfer_end.saturating_sub(guard), &mask);
+            drop(ping);
+            let (t_hat, p_hat) = summary_measurements(&pre);
+            let (t_tilde, p_tilde) = summary_measurements(&during);
+            (t_hat, p_hat, t_tilde, p_tilde)
+        };
 
         records.push(EpochRecord {
+            status: faults.status(),
+            faults,
             a_hat,
-            t_hat: pre.rtt,
-            p_hat: pre.loss_rate,
-            t_tilde: during.rtt,
-            p_tilde: during.loss_rate,
+            t_hat,
+            p_hat,
+            t_tilde,
+            p_tilde,
             r_large,
             r_small,
             r_prefix_quarter,
@@ -309,6 +432,8 @@ pub fn generate(preset: &Preset) -> Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::EpochStatus;
+    use crate::faults::FaultConfig;
 
     /// A minimal preset for unit tests: one quiet-ish path would still
     /// take seconds in debug mode at full scale, so keep it very short.
@@ -327,6 +452,7 @@ mod tests {
             with_small_window: true,
             ping_interval: Time::from_millis(100),
             seed: 99,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -347,7 +473,10 @@ mod tests {
         let path = quiet_path();
         let trace = run_trace(&path, 0, &preset);
         assert_eq!(trace.records.len(), 3);
-        for r in &trace.records {
+        for rec in &trace.records {
+            assert_eq!(rec.status, EpochStatus::Ok);
+            assert!(rec.faults.is_clean());
+            let r = rec.complete().expect("fault-free epochs are complete");
             assert!(r.r_large > 100e3, "transfer made progress: {}", r.r_large);
             assert!(r.r_large <= path.capacity_bps * 1.01);
             assert!(r.r_small.unwrap() > 0.0);
@@ -365,7 +494,8 @@ mod tests {
         let preset = mini_preset();
         let path = quiet_path();
         let trace = run_trace(&path, 0, &preset);
-        for r in &trace.records {
+        for rec in &trace.records {
+            let r = rec.complete().expect("fault-free epochs are complete");
             assert!(
                 r.p_hat < 0.05,
                 "30%-loaded path: little ping loss, {}",
@@ -430,6 +560,149 @@ mod tests {
             assert_eq!(p.traces[0].records.len(), 3);
         }
         assert_eq!(ds.epoch_count(), 9);
+    }
+
+    #[test]
+    fn missing_epochs_record_nothing_but_keep_the_timeline() {
+        let preset = Preset {
+            faults: FaultConfig {
+                epoch_missing: 1.0,
+                ..FaultConfig::none()
+            },
+            ..mini_preset()
+        };
+        let trace = run_trace(&quiet_path(), 0, &preset);
+        assert_eq!(trace.records.len(), 3, "one record per epoch, even down");
+        for r in &trace.records {
+            assert_eq!(r.status, EpochStatus::Missing);
+            assert!(r.faults.node_down);
+            assert_eq!(r.complete(), None);
+            assert!(r.a_hat.is_none() && r.t_hat.is_none() && r.r_large.is_none());
+            assert!(r.r_small.is_none() && r.r_prefix_half.is_none());
+            assert_eq!(r.flow_loss_events, 0);
+        }
+        assert!(trace.throughput_series().is_empty());
+        assert_eq!(trace.throughput_series_gappy(), vec![None, None, None]);
+    }
+
+    #[test]
+    fn pathload_failure_loses_only_the_availbw_estimate() {
+        let preset = Preset {
+            faults: FaultConfig {
+                pathload_fail: 1.0,
+                ..FaultConfig::none()
+            },
+            ..mini_preset()
+        };
+        let trace = run_trace(&quiet_path(), 0, &preset);
+        for r in &trace.records {
+            assert_eq!(r.status, EpochStatus::Degraded);
+            assert!(r.faults.pathload_failed && !r.faults.node_down);
+            assert!(r.a_hat.is_none(), "Â is the lost measurement");
+            assert!(r.t_hat.is_some() && r.p_hat.is_some());
+            assert!(r.r_large.is_some() && r.r_prefix_half.is_some());
+            assert_eq!(r.complete(), None, "a degraded epoch is not complete");
+        }
+    }
+
+    #[test]
+    fn failed_transfers_leave_throughput_unmeasured() {
+        let preset = Preset {
+            faults: FaultConfig {
+                transfer_fail: 1.0,
+                ..FaultConfig::none()
+            },
+            ..mini_preset()
+        };
+        let trace = run_trace(&quiet_path(), 0, &preset);
+        for r in &trace.records {
+            assert_eq!(r.status, EpochStatus::Degraded);
+            assert!(r.faults.transfer_failed);
+            assert!(r.r_large.is_none() && r.r_prefix_quarter.is_none());
+            assert_eq!(r.flow_loss_events, 0);
+            // The rest of the epoch still measured.
+            assert!(r.a_hat.is_some() && r.t_hat.is_some());
+            assert!(r.r_small.is_some(), "the small transfer still runs");
+        }
+        assert!(trace.throughput_series().is_empty());
+    }
+
+    #[test]
+    fn truncated_transfers_measure_the_shortened_run_only() {
+        let preset = Preset {
+            faults: FaultConfig {
+                transfer_truncate: 1.0,
+                ..FaultConfig::none()
+            },
+            ..mini_preset()
+        };
+        let trace = run_trace(&quiet_path(), 0, &preset);
+        for r in &trace.records {
+            assert_eq!(r.status, EpochStatus::Degraded);
+            assert!(r.faults.transfer_truncated);
+            let r_large = r.r_large.expect("truncated run still yields a sample");
+            assert!(r_large > 100e3, "shortened transfer made progress");
+            assert!(
+                r.r_prefix_quarter.is_none() && r.r_prefix_half.is_none(),
+                "prefixes of a shortened run are not comparable"
+            );
+        }
+    }
+
+    #[test]
+    fn ping_outage_degrades_but_reply_burst_inflates_loss() {
+        let outage_preset = Preset {
+            faults: FaultConfig {
+                ping_outage: 1.0,
+                ..FaultConfig::none()
+            },
+            ..mini_preset()
+        };
+        let clean = run_trace(&quiet_path(), 0, &mini_preset());
+        let outage = run_trace(&quiet_path(), 0, &outage_preset);
+        for (o, c) in outage.records.iter().zip(&clean.records) {
+            assert_eq!(o.status, EpochStatus::Degraded);
+            assert!(o.faults.ping_outage);
+            // Fewer probes sampled, but the path is quiet: the values
+            // that survive stay sane when present at all.
+            if let (Some(to), Some(tc)) = (o.t_hat, c.t_hat) {
+                assert!((to - tc).abs() < 0.05, "outage barely moves RTT");
+            }
+        }
+        let burst_preset = Preset {
+            faults: FaultConfig {
+                reply_loss_burst: 1.0,
+                ..FaultConfig::none()
+            },
+            ..mini_preset()
+        };
+        let burst = run_trace(&quiet_path(), 0, &burst_preset);
+        let mean = |t: &TraceData| {
+            let ps: Vec<f64> = t.records.iter().filter_map(|r| r.p_hat).collect();
+            ps.iter().sum::<f64>() / ps.len().max(1) as f64
+        };
+        assert!(
+            mean(&burst) > mean(&clean),
+            "forced reply loss must inflate p̂: {} vs {}",
+            mean(&burst),
+            mean(&clean)
+        );
+    }
+
+    #[test]
+    fn faulty_generation_is_deterministic() {
+        let preset = Preset {
+            faults: FaultConfig::uniform(0.3),
+            ..mini_preset()
+        };
+        let a = generate(&preset);
+        let b = generate(&preset);
+        assert_eq!(a, b);
+        assert!(a.degraded_count() > 0, "30% fault rates must hit something");
+        assert!(
+            a.complete_epochs().count() < a.epoch_count(),
+            "some epochs must be discarded"
+        );
     }
 
     #[test]

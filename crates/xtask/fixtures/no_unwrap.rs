@@ -1,0 +1,18 @@
+// Fixture: panicking extraction in simulation code. Not compiled.
+fn bad(maybe_bps: Option<f64>) -> f64 {
+    let a = maybe_bps.unwrap();
+    let b = maybe_bps.expect("measured earlier");
+    a + b
+}
+
+fn good(maybe_bps: Option<f64>) -> f64 {
+    maybe_bps.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic on broken expectations.
+    fn asserts() {
+        Some(1.0f64).unwrap();
+    }
+}

@@ -116,6 +116,7 @@ mod tests {
         let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
         for (fixture, rule) in [
             ("nondeterminism.rs", "nondeterminism"),
+            ("no_unwrap.rs", "no-unwrap"),
             ("units.rs", "units"),
             ("float_eq.rs", "float-eq"),
             ("rustdoc_citation.rs", "rustdoc-citation"),

@@ -1,10 +1,11 @@
-//! The rule registry and the four initial rules.
+//! The rule registry and the built-in rules.
 //!
 //! Rules are token/line-level checks over [`ClassifiedLine`]s — cheap,
 //! dependency-free, and aimed at the invariants DESIGN.md records in
-//! prose: determinism, unit discipline, float comparisons, and rustdoc
-//! citation escaping. Each rule documents exactly what it matches so a
-//! `lint:allow` reviewer can judge a suppression.
+//! prose: determinism, panic-free degradation, unit discipline, float
+//! comparisons, and rustdoc citation escaping. Each rule documents
+//! exactly what it matches so a `lint:allow` reviewer can judge a
+//! suppression.
 
 use crate::classify::ClassifiedLine;
 use crate::diag::Diagnostic;
@@ -38,6 +39,13 @@ pub fn registry() -> Vec<Rule> {
                       suffixes (_bps, _s, _ns, _bytes) and not mix units across +/-",
             applies: in_library_sources,
             check: check_units,
+        },
+        Rule {
+            name: "no-unwrap",
+            summary: "no .unwrap()/.expect() in non-test simulation-crate code; degrade \
+                      via Option/Result instead of panicking on faulty measurements",
+            applies: in_simulation_crates,
+            check: check_no_unwrap,
         },
         Rule {
             name: "float-eq",
@@ -175,6 +183,46 @@ fn check_nondeterminism(file: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnostic
                 message: format!("forbidden identifier `{id}`: {why}"),
             });
         }
+    }
+    out
+}
+
+// --- no-unwrap ----------------------------------------------------------
+
+/// Flags `unwrap(` / `expect(` calls in simulation-crate code outside
+/// the trailing `#[cfg(test)]` module. A panic in the measurement
+/// pipeline turns one faulty epoch into a lost dataset; degraded
+/// measurements must flow out as `Option`/`Result` (DESIGN.md §10).
+/// Longer idents (`unwrap_or`, `unwrap_or_default`, `expect_err`) are
+/// the approved alternatives and do not match.
+fn check_no_unwrap(file: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnostic> {
+    // Test modules live at the bottom of each file in this codebase;
+    // everything from the first `#[cfg(test)]` attribute on is test code,
+    // where panicking on broken expectations is the point.
+    let test_start = lines
+        .iter()
+        .position(|cl| cl.code.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+    let mut out = Vec::new();
+    for (li, col, id) in idents(&lines[..test_start]) {
+        if id != "unwrap" && id != "expect" {
+            continue;
+        }
+        let rest = lines[li].code[col + id.len()..].trim_start();
+        if !rest.starts_with('(') {
+            continue; // e.g. a path like `Option::unwrap` in a turbofish-free ref
+        }
+        out.push(Diagnostic {
+            file: file.to_path_buf(),
+            line: li + 1,
+            col: col + 1,
+            rule: "no-unwrap",
+            message: format!(
+                "`.{id}()` in simulation code; propagate the absence \
+                 (Option/Result, unwrap_or*) so faulty measurements degrade \
+                 instead of panicking"
+            ),
+        });
     }
     out
 }
@@ -456,6 +504,50 @@ mod tests {
         assert!(!(rule.applies)(Path::new("crates/xtask/src/rules.rs")));
         assert!(!(rule.applies)(Path::new(
             "crates/netsim/tests/invariants.rs"
+        )));
+    }
+
+    #[test]
+    fn no_unwrap_flags_unwrap_and_expect_calls() {
+        let out = run("no-unwrap", "let x = maybe.unwrap();");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("unwrap"));
+        assert_eq!(
+            run("no-unwrap", r#"let x = maybe.expect("set above");"#).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn no_unwrap_ignores_the_approved_alternatives() {
+        assert!(run("no-unwrap", "let x = maybe.unwrap_or(0.0);").is_empty());
+        assert!(run("no-unwrap", "let x = maybe.unwrap_or_default();").is_empty());
+        assert!(run("no-unwrap", "let x = maybe.unwrap_or_else(|| 1);").is_empty());
+        assert!(run("no-unwrap", "let e = res.expect_err(\"bad\");").is_empty());
+        assert!(run("no-unwrap", "// unwrap() discussed in prose").is_empty());
+        assert!(run("no-unwrap", r#"let s = "unwrap()";"#).is_empty());
+    }
+
+    #[test]
+    fn no_unwrap_exempts_trailing_test_modules() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn g() { None::<u8>.unwrap(); }\n}\n";
+        let out = run("no-unwrap", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn no_unwrap_scope_is_simulation_crates() {
+        let rules = registry();
+        let rule = rules.iter().find(|r| r.name == "no-unwrap").unwrap();
+        assert!((rule.applies)(Path::new("crates/testbed/src/runner.rs")));
+        assert!((rule.applies)(Path::new("crates/core/src/fb.rs")));
+        assert!(!(rule.applies)(Path::new("crates/bench/src/analysis.rs")));
+        assert!(!(rule.applies)(Path::new("crates/stats/src/cdf.rs")));
+        assert!(!(rule.applies)(Path::new(
+            "crates/testbed/tests/zero_fault_pin.rs"
         )));
     }
 

@@ -12,7 +12,7 @@ use tcp_throughput_predictability::core::hb::{ArPredictor, HoltWinters, MovingAv
 use tcp_throughput_predictability::core::lso::Lso;
 use tcp_throughput_predictability::core::metrics::{evaluate, relative_error_floored, rmsre};
 use tcp_throughput_predictability::netsim::Time;
-use tcp_throughput_predictability::testbed::{catalog_2004, run_trace, Preset};
+use tcp_throughput_predictability::testbed::{catalog_2004, run_trace, FaultConfig, Preset};
 
 fn main() {
     // A compact custom preset: short epochs, no window-limited extras.
@@ -30,6 +30,7 @@ fn main() {
         with_small_window: false,
         ping_interval: Time::from_millis(100),
         seed: 0xC0FFEE,
+        faults: FaultConfig::none(),
     };
 
     // Pick one path from the catalog and customise it.
@@ -74,6 +75,7 @@ fn main() {
     let fb_errors: Vec<f64> = trace
         .records
         .iter()
+        .filter_map(|rec| rec.complete())
         .map(|rec| {
             let est = PathEstimates {
                 rtt: rec.t_hat,

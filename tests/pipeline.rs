@@ -9,7 +9,9 @@ use tcp_throughput_predictability::core::hb::HoltWinters;
 use tcp_throughput_predictability::core::lso::Lso;
 use tcp_throughput_predictability::core::metrics::{evaluate, relative_error_floored, rmsre};
 use tcp_throughput_predictability::netsim::Time;
-use tcp_throughput_predictability::testbed::{catalog_2004, generate, run_trace, Dataset, Preset};
+use tcp_throughput_predictability::testbed::{
+    catalog_2004, generate, run_trace, Dataset, FaultConfig, Preset,
+};
 
 /// A small-but-meaningful preset: 6 paths, 1 trace, 14 epochs.
 fn test_preset() -> Preset {
@@ -27,6 +29,7 @@ fn test_preset() -> Preset {
         with_small_window: true,
         ping_interval: Time::from_millis(100),
         seed: 20040701,
+        faults: FaultConfig::none(),
     }
 }
 
@@ -41,7 +44,7 @@ fn fb_for(ds: &Dataset) -> FbPredictor {
     })
 }
 
-fn a_priori(rec: &tcp_throughput_predictability::testbed::EpochRecord) -> PathEstimates {
+fn a_priori(rec: &tcp_throughput_predictability::testbed::CompleteEpoch) -> PathEstimates {
     PathEstimates {
         rtt: rec.t_hat,
         loss_rate: rec.p_hat,
@@ -54,7 +57,9 @@ fn dataset_has_the_requested_shape_and_sane_records() {
     let ds = dataset();
     assert_eq!(ds.paths.len(), 6);
     assert_eq!(ds.epoch_count(), 6 * 14);
-    for (_, _, rec) in ds.epochs() {
+    // Zero-fault presets produce only complete epochs.
+    assert_eq!(ds.degraded_count(), 0);
+    for (_, _, rec) in ds.complete_epochs() {
         assert!(rec.r_large > 0.0, "every transfer delivers something");
         assert!(rec.t_hat > 0.0 && rec.t_hat < 2.0);
         assert!((0.0..=1.0).contains(&rec.p_hat));
@@ -76,8 +81,8 @@ fn fb_overestimation_dominates_as_in_the_paper() {
     let ds = dataset();
     let fb = fb_for(&ds);
     let errors: Vec<f64> = ds
-        .epochs()
-        .map(|(_, _, rec)| relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large))
+        .complete_epochs()
+        .map(|(_, _, rec)| relative_error_floored(fb.predict(&a_priori(&rec)), rec.r_large))
         .collect();
     let over = errors.iter().filter(|&&e| e > 0.0).count() as f64 / errors.len() as f64;
     assert!(
@@ -105,7 +110,8 @@ fn hb_beats_fb_when_history_exists() {
             let fb_errors: Vec<f64> = t
                 .records
                 .iter()
-                .map(|rec| relative_error_floored(fb.predict(&a_priori(rec)), rec.r_large))
+                .filter_map(|rec| rec.complete())
+                .map(|rec| relative_error_floored(fb.predict(&a_priori(&rec)), rec.r_large))
                 .collect();
             let fb_rmsre = rmsre(&fb_errors).unwrap();
             let mut hb = Lso::new(HoltWinters::new(0.8, 0.2));
@@ -204,7 +210,7 @@ fn posthumous_pftk_agrees_with_the_tcp_implementation() {
     let ds = generate(&preset);
     let duration = ds.preset.transfer.as_secs_f64();
     let mut errors = Vec::new();
-    for (_, _, rec) in ds.epochs() {
+    for (_, _, rec) in ds.complete_epochs() {
         // Steady-state epochs only: lossy a priori and enough congestion
         // events for the flow to be in its AIMD regime.
         // lint:allow(float-eq): p_hat = 0 is the exact no-loss-observed sentinel
