@@ -13,11 +13,11 @@
 //! demonstrated, and measures how much of FB's error is inputs (most of
 //! it) versus model error (the residual here).
 
-use tputpred_bench::{a_priori, fb_config, is_lossy, load_dataset, Args};
+use tputpred_bench::{a_priori, fb_config, is_lossy, load_dataset, require_cdf, Args};
 use tputpred_core::fb::FbPredictor;
 use tputpred_core::formulas::{pftk, rto_estimate, PftkParams};
 use tputpred_core::metrics::relative_error_floored;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -60,7 +60,7 @@ fn main() {
         ("posthumous_inputs", &posthumous),
         ("a_priori_inputs", &a_priori_errors),
     ] {
-        let cdf = Cdf::from_samples(errors.iter().copied());
+        let cdf = require_cdf(name, errors.iter().copied());
         print!("{}", render::cdf_series(name, &cdf, 50));
         println!(
             "# {name}: n={} median={:.3} P(|E|<1)={:.3} P(|E|<3)={:.3}",

@@ -7,10 +7,10 @@
 //! underestimation is much rarer; lossless-path predictions are markedly
 //! better and almost never underestimate.
 
-use tputpred_bench::{a_priori, fb_config, is_lossy, load_dataset, Args};
+use tputpred_bench::{a_priori, fb_config, is_lossy, load_dataset, require_cdf, Args};
 use tputpred_core::fb::FbPredictor;
 use tputpred_core::metrics::relative_error_floored;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -38,7 +38,7 @@ fn main() {
             println!("# series: {name} (empty)");
             continue;
         }
-        let cdf = Cdf::from_samples(errors.iter().copied());
+        let cdf = require_cdf(name, errors.iter().copied());
         print!("{}", render::cdf_series(name, &cdf, 60));
         println!(
             "# {name}: n={} P(E>=1)={:.3} P(E>=9)={:.3} P(E<=-1)={:.3}",

@@ -5,8 +5,8 @@
 //! fraction sees increases of 5–60 ms; loss rate increases by 0.1–2% in
 //! almost all epochs — the §3.2 "errors due to load increase" mechanism.
 
-use tputpred_bench::{load_dataset, Args};
-use tputpred_stats::{render, Cdf};
+use tputpred_bench::{load_dataset, require_cdf, Args};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -22,14 +22,14 @@ fn main() {
         .collect();
 
     println!("# fig03: CDF of absolute RTT and loss-rate increase during the target flow");
-    let rtt = Cdf::from_samples(rtt_inc_ms.iter().copied());
+    let rtt = require_cdf("rtt_increase_ms", rtt_inc_ms.iter().copied());
     print!("{}", render::cdf_series("rtt_increase_ms", &rtt, 60));
     println!(
         "# rtt: median={:.2} ms, P(increase > 5 ms)={:.3}",
         rtt.quantile(0.5),
         1.0 - rtt.fraction_below(5.0)
     );
-    let loss = Cdf::from_samples(loss_inc.iter().copied());
+    let loss = require_cdf("loss_rate_increase", loss_inc.iter().copied());
     print!("{}", render::cdf_series("loss_rate_increase", &loss, 60));
     println!(
         "# loss: median={:.5}, P(increase > 0.001)={:.3}",

@@ -5,8 +5,8 @@
 //! `E = (T̃√p̃)/(T̂√p̂) − 1`. Paper: for ~20% of epochs the relative RTT
 //! increase exceeds 0.5; the mean ratio T̃/T̂ is ~1.3.
 
-use tputpred_bench::{is_lossy, load_dataset, Args};
-use tputpred_stats::{render, Cdf};
+use tputpred_bench::{is_lossy, load_dataset, require_cdf, Args};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -20,7 +20,7 @@ fn main() {
     assert!(!rel.is_empty(), "no lossy epochs in this dataset");
 
     println!("# fig04: CDF of relative RTT increase (T~ - T^)/T~ (lossy epochs)");
-    let cdf = Cdf::from_samples(rel.iter().copied());
+    let cdf = require_cdf("rel_rtt_increase", rel.iter().copied());
     print!("{}", render::cdf_series("rel_rtt_increase", &cdf, 60));
     let mean_ratio: f64 = ds
         .complete_epochs()

@@ -6,8 +6,8 @@
 //! (p̃ > 2.25·p̂); on average the during-flow loss rate is ~5× the
 //! a-priori loss rate — the dominant cause of FB overestimation.
 
-use tputpred_bench::{is_lossy, load_dataset, Args};
-use tputpred_stats::{render, Cdf};
+use tputpred_bench::{is_lossy, load_dataset, require_cdf, Args};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -28,7 +28,7 @@ fn main() {
         .map(|&(p_hat, p_tilde)| (p_tilde - p_hat) / p_tilde)
         .collect();
     println!("# fig05: CDF of relative loss-rate increase (p~ - p^)/p~ (a-priori lossy epochs)");
-    let cdf = Cdf::from_samples(rel.iter().copied());
+    let cdf = require_cdf("rel_loss_increase", rel.iter().copied());
     print!("{}", render::cdf_series("rel_loss_increase", &cdf, 60));
     let mean_ratio: f64 = records
         .iter()

@@ -7,10 +7,10 @@
 //! errors remain — but the error distribution becomes roughly symmetric
 //! and much tighter than with a-priori inputs.
 
-use tputpred_bench::{a_priori, during_flow, fb_config, is_lossy, load_dataset, Args};
+use tputpred_bench::{a_priori, during_flow, fb_config, is_lossy, load_dataset, require_cdf, Args};
 use tputpred_core::fb::FbPredictor;
 use tputpred_core::metrics::relative_error_floored;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -41,7 +41,7 @@ fn main() {
         ("a_priori_inputs", &with_a_priori),
         ("during_flow_inputs", &with_during),
     ] {
-        let cdf = Cdf::from_samples(errors.iter().copied());
+        let cdf = require_cdf(name, errors.iter().copied());
         print!("{}", render::cdf_series(name, &cdf, 60));
         println!(
             "# {name}: n={} median={:.3} P(|E|<3)={:.3} P(E>0)={:.3}",

@@ -10,10 +10,10 @@
 //!
 //! Defaults to `--preset quick-2006`.
 
-use tputpred_bench::{a_priori, fb_config, load_dataset, Args};
+use tputpred_bench::{a_priori, fb_config, load_dataset, require_cdf, Args};
 use tputpred_core::fb::FbPredictor;
 use tputpred_core::metrics::relative_error_floored;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let mut args = Args::parse_from(std::env::args().skip(1)).unwrap_or_else(|e| {
@@ -44,7 +44,7 @@ fn main() {
         (format!("first_{:.0}s", secs / 2.0), &half),
         (format!("full_{secs:.0}s"), &full),
     ] {
-        let cdf = Cdf::from_samples(errors.iter().copied());
+        let cdf = require_cdf(&name, errors.iter().copied());
         print!("{}", render::cdf_series(&name, &cdf, 60));
         println!(
             "# {name}: median={:.3} P(|E|<1)={:.3}",

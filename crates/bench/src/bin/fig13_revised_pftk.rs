@@ -6,10 +6,10 @@
 //! compared to FB prediction's other error sources — fixing the formula
 //! does not fix FB prediction.
 
-use tputpred_bench::{a_priori, fb_config_with_model, is_lossy, load_dataset, Args};
+use tputpred_bench::{a_priori, fb_config_with_model, is_lossy, load_dataset, require_cdf, Args};
 use tputpred_core::fb::{FbModel, FbPredictor};
 use tputpred_core::metrics::relative_error_floored;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -30,7 +30,7 @@ fn main() {
             .map(|(_, _, rec)| relative_error_floored(fb.predict(&a_priori(&rec)), rec.r_large))
             .collect();
         assert!(!errors.is_empty(), "no lossy epochs in this dataset");
-        let cdf = Cdf::from_samples(errors.iter().copied());
+        let cdf = require_cdf(name, errors.iter().copied());
         print!("{}", render::cdf_series(name, &cdf, 60));
         medians.push((name, cdf.quantile(0.5)));
         println!(

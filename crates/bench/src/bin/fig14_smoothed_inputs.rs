@@ -7,10 +7,10 @@
 //! in T̂/p̂ is not what limits FB prediction; the flow's own impact on
 //! the path and TCP-vs-probing sampling differences are.
 
-use tputpred_bench::{a_priori, fb_config, load_dataset, Args};
+use tputpred_bench::{a_priori, fb_config, load_dataset, require_cdf, Args};
 use tputpred_core::fb::{FbPredictor, SmoothedFbPredictor};
 use tputpred_core::metrics::relative_error_floored;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -33,7 +33,7 @@ fn main() {
 
     println!("# fig14: FB error CDF with latest vs 10-MA-smoothed RTT/loss inputs");
     for (name, errors) in [("latest_inputs", &plain), ("smoothed_inputs", &smoothed)] {
-        let cdf = Cdf::from_samples(errors.iter().copied());
+        let cdf = require_cdf(name, errors.iter().copied());
         print!("{}", render::cdf_series(name, &cdf, 60));
         println!(
             "# {name}: median={:.3} P(E>=1)={:.3}",

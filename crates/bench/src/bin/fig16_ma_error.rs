@@ -5,10 +5,10 @@
 //! is worse); LSO significantly reduces RMSRE and removes the
 //! sensitivity to `n`.
 
-use tputpred_bench::{load_dataset, rmsre_per_trace, Args, PredictorZoo};
+use tputpred_bench::{load_dataset, require_cdf, rmsre_per_trace, Args, PredictorZoo};
 use tputpred_core::hb::MovingAverage;
 use tputpred_core::lso::Lso;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -33,7 +33,7 @@ fn main() {
     println!("# fig16: CDF over traces of per-trace RMSRE, MA predictors +/- LSO");
     for (name, make) in variants {
         let rmsres = rmsre_per_trace(&ds, make);
-        let cdf = Cdf::from_samples(rmsres.iter().copied());
+        let cdf = require_cdf(name, rmsres.iter().copied());
         print!("{}", render::cdf_series(name, &cdf, 50));
         println!(
             "# {name}: n={} median={:.3} P(RMSRE<0.4)={:.3}",

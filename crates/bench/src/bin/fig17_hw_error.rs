@@ -5,10 +5,10 @@
 //! improves HW significantly; HW-LSO edges out MA-LSO only slightly
 //! (few traces have persistent linear trends).
 
-use tputpred_bench::{load_dataset, rmsre_per_trace, Args, PredictorZoo};
+use tputpred_bench::{load_dataset, require_cdf, rmsre_per_trace, Args, PredictorZoo};
 use tputpred_core::hb::{Ewma, HoltWinters};
 use tputpred_core::lso::Lso;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -31,7 +31,7 @@ fn main() {
     println!("# fig17: CDF over traces of per-trace RMSRE, HW/EWMA predictors +/- LSO");
     for (name, make) in variants {
         let rmsres = rmsre_per_trace(&ds, make);
-        let cdf = Cdf::from_samples(rmsres.iter().copied());
+        let cdf = require_cdf(name, rmsres.iter().copied());
         print!("{}", render::cdf_series(name, &cdf, 50));
         println!(
             "# {name}: n={} median={:.3} P(RMSRE<0.4)={:.3}",

@@ -4,11 +4,11 @@
 //! Paper finding: the detection heuristics are *not* sensitive to their
 //! parameters — the CDFs for different (χ, ψ) nearly coincide.
 
-use tputpred_bench::{load_dataset, Args};
+use tputpred_bench::{load_dataset, require_cdf, Args};
 use tputpred_core::hb::MovingAverage;
 use tputpred_core::lso::{Lso, LsoConfig};
 use tputpred_core::metrics::evaluate;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -37,7 +37,7 @@ fn main() {
             }
         }
         let name = format!("chi{gamma}_psi{psi}");
-        let cdf = Cdf::from_samples(abs_errors.iter().copied());
+        let cdf = require_cdf(&name, abs_errors.iter().copied());
         print!("{}", render::cdf_series(&name, &cdf, 50));
         println!(
             "# {name}: n={} median|E|={:.3} p90={:.3}",

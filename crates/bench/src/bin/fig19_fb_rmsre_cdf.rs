@@ -5,10 +5,12 @@
 //! of traces, while the same percentile of FB RMSRE is ~20 and the FB
 //! median is ~2. If a throughput history exists, use it.
 
-use tputpred_bench::{fb_config, fb_error, hw_lso, load_dataset, rmsre_per_trace, Args};
+use tputpred_bench::{
+    fb_config, fb_error, hw_lso, load_dataset, require_cdf, rmsre_per_trace, Args,
+};
 use tputpred_core::fb::FbPredictor;
 use tputpred_core::metrics::rmsre;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -33,7 +35,7 @@ fn main() {
 
     println!("# fig19: CDF over traces of per-trace RMSRE — FB vs HB (0.8-HW-LSO)");
     for (name, rmsres) in [("fb", &fb_rmsres), ("hb_hw_lso", &hb_rmsres)] {
-        let cdf = Cdf::from_samples(rmsres.iter().copied());
+        let cdf = require_cdf(name, rmsres.iter().copied());
         print!("{}", render::cdf_series(name, &cdf, 50));
         println!(
             "# {name}: n={} median={:.3} p90={:.3} P(RMSRE<0.4)={:.3}",

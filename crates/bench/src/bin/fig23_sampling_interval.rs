@@ -7,9 +7,9 @@
 //! period, 65% of traces still have RMSRE < 0.4, and the 90th-percentile
 //! RMSRE stays ≤ 1.0. Sporadic histories are still useful.
 
-use tputpred_bench::{hw_lso, load_dataset, Args};
+use tputpred_bench::{hw_lso, load_dataset, require_cdf, Args};
 use tputpred_core::metrics::{downsample, evaluate};
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
@@ -37,7 +37,7 @@ fn main() {
             println!("# series: {label} (too few samples after downsampling)");
             continue;
         }
-        let cdf = Cdf::from_samples(rmsres.iter().copied());
+        let cdf = require_cdf(label, rmsres.iter().copied());
         print!("{}", render::cdf_series(label, &cdf, 50));
         println!(
             "# {label}: n={} median={:.3} p90={:.3} P(RMSRE<0.4)={:.3}",

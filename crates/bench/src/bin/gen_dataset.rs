@@ -5,15 +5,32 @@
 //! ```text
 //! cargo run --release -p tputpred-bench --bin gen_dataset -- --preset quick
 //! ```
+//!
+//! With `--profile`, generation bypasses the cache, runs with telemetry
+//! enabled, and writes a `BENCH_gen_<preset>.json` perf report next to
+//! the working directory (stage timings, event rates, parallel speedup;
+//! DESIGN.md §11). The generated dataset is bit-identical either way and
+//! still lands in the cache.
 
-use tputpred_bench::{a_priori, fb_config, is_lossy, load_dataset, Args};
+use tputpred_bench::{a_priori, fb_config, is_lossy, load_dataset, profile, require_cdf, Args};
 use tputpred_core::fb::FbPredictor;
 use tputpred_core::metrics::relative_error_floored;
-use tputpred_stats::{render, Cdf};
+use tputpred_stats::render;
 
 fn main() {
     let args = Args::parse();
-    let ds = load_dataset(&args);
+    let ds = if args.profile {
+        let (ds, report) = profile::profile_generation(&args)
+            .unwrap_or_else(|e| panic!("profiled generation: {e}"));
+        let out = profile::perf_report_path(&args.preset.name);
+        profile::write_perf_report(&report, &out)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
+        eprint!("{}", profile::render_perf_report(&report));
+        eprintln!("# perf report -> {}", out.display());
+        ds
+    } else {
+        load_dataset(&args)
+    };
     println!(
         "# dataset: {} ({} epochs)",
         ds.preset.name,
@@ -37,8 +54,8 @@ fn main() {
         r_all.push(rec.r_large);
     }
     let n = errors.len();
-    let cdf = Cdf::from_samples(errors.iter().copied());
-    let tput = Cdf::from_samples(r_all);
+    let cdf = require_cdf("fb_error", errors.iter().copied());
+    let tput = require_cdf("throughput_bps", r_all);
     let mut t = render::Table::new(["metric", "value"]);
     t.row(["epochs", &n.to_string()]);
     t.row(["degraded/missing epochs", &ds.degraded_count().to_string()]);
@@ -49,7 +66,7 @@ fn main() {
     ]);
     t.row([
         "median |E|",
-        &render::f(Cdf::from_samples(errors.iter().map(|e| e.abs())).quantile(0.5)),
+        &render::f(require_cdf("abs_fb_error", errors.iter().map(|e| e.abs())).quantile(0.5)),
     ]);
     t.row([
         "P(E >= 1) (off by >= 2x)",

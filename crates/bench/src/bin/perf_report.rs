@@ -1,0 +1,31 @@
+//! Profiles dataset generation end to end and emits
+//! `BENCH_gen_<preset>.json` (DESIGN.md §11):
+//!
+//! ```text
+//! cargo run --release -p tputpred-bench --bin perf_report -- --preset quick
+//! ```
+//!
+//! Generation always runs fresh with telemetry enabled (a cache hit
+//! would time JSON parsing, not the simulator); the resulting dataset is
+//! saved to the normal cache path, so a following figure binary reuses
+//! it. Stdout gets the human-readable stage/path tables; the JSON report
+//! lands in the working directory.
+
+use tputpred_bench::{profile, Args};
+
+fn main() {
+    let args = Args::parse();
+    let (ds, report) =
+        profile::profile_generation(&args).unwrap_or_else(|e| panic!("profiled generation: {e}"));
+    print!("{}", profile::render_perf_report(&report));
+    println!(
+        "# dataset: {} ({} epochs, {} degraded)",
+        ds.preset.name,
+        ds.epoch_count(),
+        ds.degraded_count()
+    );
+    let out = profile::perf_report_path(&args.preset.name);
+    profile::write_perf_report(&report, &out)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
+    println!("# perf report -> {}", out.display());
+}

@@ -6,7 +6,11 @@
 //!   (default `quick`);
 //! * `--data <dir>` — dataset cache directory (default `data/`): the
 //!   first binary to run generates `<dir>/<preset>.json`, later ones
-//!   reuse it.
+//!   reuse it;
+//! * `--profile` — regenerate the dataset with telemetry enabled and
+//!   write a `BENCH_gen_<preset>.json` perf report (see
+//!   [`crate::profile`]; honored by `gen_dataset`, implied by
+//!   `perf_report`).
 
 use std::path::PathBuf;
 use tputpred_testbed::Preset;
@@ -18,6 +22,8 @@ pub struct Args {
     pub preset: Preset,
     /// Dataset cache directory.
     pub data_dir: PathBuf,
+    /// Profile generation and emit `BENCH_gen_<preset>.json`.
+    pub profile: bool,
 }
 
 impl Default for Args {
@@ -25,6 +31,7 @@ impl Default for Args {
         Args {
             preset: Preset::quick(),
             data_dir: PathBuf::from("data"),
+            profile: false,
         }
     }
 }
@@ -53,6 +60,7 @@ impl Args {
                     let dir = iter.next().ok_or("--data needs a value")?;
                     parsed.data_dir = PathBuf::from(dir);
                 }
+                "--profile" => parsed.profile = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -66,7 +74,9 @@ impl Args {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: <bin> [--preset paper|quick|tiny|quick-2006] [--data DIR]");
+                eprintln!(
+                    "usage: <bin> [--preset paper|quick|tiny|quick-2006] [--data DIR] [--profile]"
+                );
                 std::process::exit(2);
             }
         }
@@ -95,6 +105,13 @@ mod tests {
         let a = Args::parse_from(["--preset", "tiny", "--data", "/tmp/x"]).unwrap();
         assert_eq!(a.preset.name, "tiny");
         assert_eq!(a.dataset_path(), PathBuf::from("/tmp/x/tiny.json"));
+        assert!(!a.profile);
+    }
+
+    #[test]
+    fn profile_flag_is_parsed() {
+        let a = Args::parse_from(["--profile"]).unwrap();
+        assert!(a.profile);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   every figure binary uses;
 //! * [`analysis`] — applying the FB predictor (Eq. 3) to epoch records,
 //!   the standard HB predictor zoo (`1-MA`, `10-MA`, EWMA, HW, each with
-//!   and without LSO), per-trace RMSRE evaluation, and dataset caching.
+//!   and without LSO), per-trace RMSRE evaluation, and dataset caching;
+//! * [`profile`] — telemetry-enabled generation (`--profile` /
+//!   `perf_report`) and the `BENCH_gen_<preset>.json` perf report.
 //!
 //! Figure binaries print plain-text series/tables (via
 //! [`tputpred_stats::render`]) so the output is diff- and grep-friendly;
@@ -21,6 +23,8 @@
 
 pub mod analysis;
 pub mod cli;
+pub mod profile;
 
 pub use analysis::*;
 pub use cli::Args;
+pub use profile::{PerfReport, StageTiming};

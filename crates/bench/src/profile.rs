@@ -1,0 +1,312 @@
+//! Profiled dataset generation and the `BENCH_gen_<preset>.json` report.
+//!
+//! `gen_dataset --profile` and the `perf_report` binary both route
+//! through [`profile_generation`]: generation runs under
+//! [`tputpred_obs::with_profiling`] (telemetry enabled for exactly that
+//! call), and the raw [`TelemetryReport`] is distilled into a
+//! [`PerfReport`] — stage wall-clock timings, simulator event rates, and
+//! the parallel speedup actually achieved — then written as JSON.
+//!
+//! Telemetry is observation-only (DESIGN.md §11): the dataset produced
+//! under profiling is bit-identical to an unprofiled run, so the profiled
+//! generation is also saved to the normal cache location for the other
+//! figure binaries to reuse.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::cli::Args;
+use serde::{Deserialize, Serialize};
+use tputpred_obs::{self as obs, TelemetryReport};
+use tputpred_testbed::{generate, Dataset};
+
+/// Wall-clock summary of one named timing scope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Scope name as registered (e.g. `stage.transfer`).
+    pub name: String,
+    /// Times the scope ran.
+    pub calls: u64,
+    /// Summed wall time across calls (seconds).
+    pub total_s: f64,
+    /// Mean wall time per call (seconds).
+    pub mean_s: f64,
+    /// Fastest single call (seconds).
+    pub min_s: f64,
+    /// Slowest single call (seconds).
+    pub max_s: f64,
+}
+
+/// Wall time spent simulating one path's traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathTiming {
+    /// Path name from the catalog (e.g. `lossy-tight`).
+    pub path: String,
+    /// Traces of this path that were simulated.
+    pub traces: u64,
+    /// Summed wall time across those traces (seconds).
+    pub total_s: f64,
+}
+
+/// One event/packet/fault counter, carried over verbatim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterLine {
+    /// Counter name (e.g. `netsim.packets_dropped`).
+    pub name: String,
+    /// Final count.
+    pub count: u64,
+}
+
+/// The `BENCH_gen_<preset>.json` payload: what a generation run cost and
+/// where the time went. Schema documented in DESIGN.md §11.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Preset that was generated.
+    pub preset: String,
+    /// Behavior hash of the simulation code that ran.
+    pub behavior_hash: String,
+    /// Worker threads the generation pool used.
+    pub workers: u64,
+    /// Traces simulated.
+    pub traces: u64,
+    /// Epochs simulated (including degraded ones).
+    pub epochs: u64,
+    /// End-to-end wall time of `generate()` (seconds).
+    pub generate_wall_s: f64,
+    /// Summed per-trace wall time across all workers (seconds).
+    pub trace_wall_total_s: f64,
+    /// `trace_wall_total_s / generate_wall_s`: how many traces ran
+    /// concurrently on average. 1.0 on a sequential run.
+    pub parallel_speedup: f64,
+    /// `parallel_speedup / workers`: fraction of the pool kept busy.
+    pub worker_utilization: f64,
+    /// Simulator events dispatched across all traces.
+    pub events: u64,
+    /// Events per wall-clock second of `generate()`.
+    pub events_per_wall_s: f64,
+    /// Per-stage wall-clock breakdown, sorted by total descending.
+    pub stages: Vec<StageTiming>,
+    /// Per-path wall-clock breakdown, sorted by total descending.
+    pub paths: Vec<PathTiming>,
+    /// All counters from the run, sorted by name.
+    pub counters: Vec<CounterLine>,
+}
+
+/// Runs `generate(&args.preset)` with telemetry enabled, saves the
+/// dataset to the cache path `args` resolves to, and returns the dataset
+/// with its distilled [`PerfReport`].
+///
+/// The cache is bypassed on the way in — profiling a cache hit would
+/// time `serde_json`, not the simulator — but refreshed on the way out.
+pub fn profile_generation(args: &Args) -> io::Result<(Dataset, PerfReport)> {
+    let (dataset, telemetry) = obs::with_profiling(|| generate(&args.preset));
+    let cache = args.dataset_path();
+    dataset.save(&cache)?;
+    eprintln!("# profiled generation cached -> {}", cache.display());
+    let report = distill(&args.preset.name, &telemetry);
+    Ok((dataset, report))
+}
+
+/// Where the perf report for `preset_name` is written: the current
+/// working directory, named `BENCH_gen_<preset>.json`.
+pub fn perf_report_path(preset_name: &str) -> PathBuf {
+    PathBuf::from(format!("BENCH_gen_{preset_name}.json"))
+}
+
+/// Serializes `report` as JSON to `path`.
+pub fn write_perf_report(report: &PerfReport, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(report).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Distills a raw telemetry snapshot into the [`PerfReport`] schema.
+pub fn distill(preset_name: &str, t: &TelemetryReport) -> PerfReport {
+    let generate_wall_s = t
+        .timer_total_s("testbed.generate_wall")
+        .max(f64::MIN_POSITIVE);
+    let trace_wall_total_s = t.timer_total_s("testbed.trace_wall");
+    let workers = t.gauge("testbed.workers").unwrap_or(1.0).max(1.0);
+    let parallel_speedup = trace_wall_total_s / generate_wall_s;
+    let events = t.counter("netsim.events").unwrap_or(0);
+
+    let mut stages: Vec<StageTiming> = t
+        .timers
+        .iter()
+        .filter(|e| !e.name.starts_with("path_wall."))
+        .map(|e| StageTiming {
+            name: e.name.clone(),
+            calls: e.count,
+            total_s: e.total_s,
+            mean_s: e.mean_s(),
+            min_s: e.min_s,
+            max_s: e.max_s,
+        })
+        .collect();
+    stages.sort_by(|a, b| b.total_s.total_cmp(&a.total_s));
+
+    let mut paths: Vec<PathTiming> = t
+        .timers
+        .iter()
+        .filter_map(|e| {
+            let path = e.name.strip_prefix("path_wall.")?;
+            Some(PathTiming {
+                path: path.to_string(),
+                traces: e.count,
+                total_s: e.total_s,
+            })
+        })
+        .collect();
+    paths.sort_by(|a, b| b.total_s.total_cmp(&a.total_s));
+
+    let counters: Vec<CounterLine> = t
+        .counters
+        .iter()
+        .map(|c| CounterLine {
+            name: c.name.clone(),
+            count: c.count,
+        })
+        .collect();
+
+    PerfReport {
+        preset: preset_name.to_string(),
+        behavior_hash: tputpred_testbed::data::BEHAVIOR_HASH.to_string(),
+        workers: workers as u64,
+        traces: t.counter("testbed.traces").unwrap_or(0),
+        epochs: t.counter("testbed.epochs").unwrap_or(0),
+        generate_wall_s,
+        trace_wall_total_s,
+        parallel_speedup,
+        worker_utilization: parallel_speedup / workers,
+        events,
+        events_per_wall_s: events as f64 / generate_wall_s,
+        stages,
+        paths,
+        counters,
+    }
+}
+
+/// Renders the report as the fixed-width text block the binaries print.
+pub fn render_perf_report(r: &PerfReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# perf: preset={} hash={}", r.preset, r.behavior_hash);
+    let _ = writeln!(
+        out,
+        "# wall={:.2}s traces={} epochs={} events={} ({:.0} events/s)",
+        r.generate_wall_s, r.traces, r.epochs, r.events, r.events_per_wall_s
+    );
+    let _ = writeln!(
+        out,
+        "# workers={} speedup={:.2}x utilization={:.0}%",
+        r.workers,
+        r.parallel_speedup,
+        r.worker_utilization * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "calls", "total_s", "mean_s", "min_s", "max_s"
+    );
+    for s in &r.stages {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>10.4} {:>10.6} {:>10.6} {:>10.6}",
+            s.name, s.calls, s.total_s, s.mean_s, s.min_s, s.max_s
+        );
+    }
+    if !r.paths.is_empty() {
+        let _ = writeln!(out, "{:<28} {:>8} {:>10}", "path", "traces", "total_s");
+        for p in &r.paths {
+            let _ = writeln!(out, "{:<28} {:>8} {:>10.4}", p.path, p.traces, p.total_s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tputpred_obs::{CounterEntry, GaugeEntry, TimerEntry};
+
+    fn fake_telemetry() -> TelemetryReport {
+        let mut t = TelemetryReport::empty();
+        t.counters = vec![
+            CounterEntry {
+                name: "netsim.events".into(),
+                count: 5_000,
+            },
+            CounterEntry {
+                name: "testbed.epochs".into(),
+                count: 12,
+            },
+            CounterEntry {
+                name: "testbed.traces".into(),
+                count: 4,
+            },
+        ];
+        t.gauges = vec![GaugeEntry {
+            name: "testbed.workers".into(),
+            value: 2.0,
+        }];
+        t.timers = vec![
+            TimerEntry {
+                name: "path_wall.lossy".into(),
+                count: 2,
+                total_s: 1.5,
+                min_s: 0.5,
+                max_s: 1.0,
+            },
+            TimerEntry {
+                name: "testbed.generate_wall".into(),
+                count: 1,
+                total_s: 2.0,
+                min_s: 2.0,
+                max_s: 2.0,
+            },
+            TimerEntry {
+                name: "testbed.trace_wall".into(),
+                count: 4,
+                total_s: 3.0,
+                min_s: 0.25,
+                max_s: 1.5,
+            },
+        ];
+        t
+    }
+
+    #[test]
+    fn distill_computes_speedup_and_rates() {
+        let r = distill("quick", &fake_telemetry());
+        assert_eq!(r.preset, "quick");
+        assert_eq!(r.workers, 2);
+        assert_eq!(r.traces, 4);
+        assert_eq!(r.epochs, 12);
+        assert_eq!(r.events, 5_000);
+        assert!((r.parallel_speedup - 1.5).abs() < 1e-12);
+        assert!((r.worker_utilization - 0.75).abs() < 1e-12);
+        assert!((r.events_per_wall_s - 2_500.0).abs() < 1e-9);
+        // path_wall.* timers become the per-path table, not stages.
+        assert!(r.stages.iter().all(|s| !s.name.starts_with("path_wall.")));
+        assert_eq!(r.paths.len(), 1);
+        assert_eq!(r.paths[0].path, "lossy");
+        assert_eq!(r.paths[0].traces, 2);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = distill("tiny", &fake_telemetry());
+        let json = serde_json::to_string(&r).expect("serializes");
+        let back: PerfReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn render_names_every_stage() {
+        let r = distill("tiny", &fake_telemetry());
+        let text = render_perf_report(&r);
+        for s in &r.stages {
+            assert!(text.contains(&s.name), "missing stage {}", s.name);
+        }
+        assert!(text.contains("speedup=1.50x"));
+    }
+}

@@ -194,6 +194,16 @@ impl FbPredictor {
     /// Out-of-domain values yield [`PredictError::InvalidEstimate`] naming
     /// the offending field, never a NaN.
     pub fn try_predict(&self, est: &PartialEstimates) -> Result<f64, PredictError> {
+        let out = self.try_predict_inner(est);
+        // Observation-only tallies; no-ops unless profiling is enabled.
+        match &out {
+            Ok(_) => tputpred_obs::add("core.fb.predictions", 1),
+            Err(_) => tputpred_obs::add("core.fb.refusals", 1),
+        }
+        out
+    }
+
+    fn try_predict_inner(&self, est: &PartialEstimates) -> Result<f64, PredictError> {
         let rtt = est.rtt.ok_or(PredictError::MissingRtt)?;
         if !rtt.is_finite() || rtt <= 0.0 {
             return Err(PredictError::InvalidEstimate("rtt"));

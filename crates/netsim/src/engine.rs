@@ -120,6 +120,34 @@ struct Scheduled {
     kind: EventKind,
 }
 
+/// Deterministic engine-level tallies, maintained inline by the event
+/// loop (plain integers — no atomics, no clocks) so they are a pure
+/// function of the simulation inputs. Harvested by the telemetry layer
+/// *after* a run; the engine itself never reads them back.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Total events dispatched ([`Simulator::step`] calls that popped).
+    pub events: u64,
+    /// Timer callbacks dispatched.
+    pub timer_events: u64,
+    /// Link serializations completed.
+    pub txdone_events: u64,
+    /// Propagation arrivals dispatched.
+    pub arrival_events: u64,
+    /// Packets offered to a link (one per hop entry).
+    pub packets_offered: u64,
+    /// Offers that started transmitting immediately.
+    pub packets_tx_started: u64,
+    /// Offers that entered a link queue.
+    pub packets_queued: u64,
+    /// Offers dropped at a full buffer (droptail/RED).
+    pub packets_dropped: u64,
+    /// Packets delivered to a destination endpoint.
+    pub packets_delivered: u64,
+    /// Endpoint commands applied (sends + timer arms).
+    pub commands_applied: u64,
+}
+
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -176,7 +204,7 @@ pub struct Simulator {
     endpoints: Vec<Option<Box<dyn Endpoint>>>,
     rng: StdRng,
     scratch: Vec<Command>,
-    events_processed: u64,
+    counters: EngineCounters,
 }
 
 impl Simulator {
@@ -190,7 +218,7 @@ impl Simulator {
             endpoints: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             scratch: Vec::new(),
-            events_processed: 0,
+            counters: EngineCounters::default(),
         }
     }
 
@@ -224,7 +252,18 @@ impl Simulator {
 
     /// Total events dispatched so far (engine-throughput benchmarks).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.counters.events
+    }
+
+    /// Deterministic engine-level tallies (events by kind, packet
+    /// offer outcomes, commands applied).
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+
+    /// All links, in id order (telemetry aggregates per-link stats).
+    pub fn links(&self) -> &[Link] {
+        &self.links
     }
 
     /// Arms a timer on `endpoint` from outside the simulation (drivers use
@@ -248,12 +287,14 @@ impl Simulator {
         };
         debug_assert!(ev.at >= self.now, "event heap went backwards");
         self.now = ev.at;
-        self.events_processed += 1;
+        self.counters.events += 1;
         match ev.kind {
             EventKind::Timer { endpoint, token } => {
+                self.counters.timer_events += 1;
                 self.call_endpoint(endpoint, |ep, ctx| ep.on_timer(ctx, token));
             }
             EventKind::TxDone { link, packet } => {
+                self.counters.txdone_events += 1;
                 let l = &mut self.links[link.0 as usize];
                 let next = l.finish_tx(&packet, self.now);
                 let delay = l.delay();
@@ -271,6 +312,7 @@ impl Simulator {
                 self.push(self.now + delay, EventKind::Arrival { packet: sent });
             }
             EventKind::Arrival { packet } => {
+                self.counters.arrival_events += 1;
                 self.route_packet(packet);
             }
         }
@@ -299,9 +341,11 @@ impl Simulator {
     fn route_packet(&mut self, packet: Packet) {
         match packet.next_hop() {
             Some(link_id) => {
+                self.counters.packets_offered += 1;
                 let link = &mut self.links[link_id.0 as usize];
                 match link.offer(packet, self.now) {
                     Offer::StartTx => {
+                        self.counters.packets_tx_started += 1;
                         let done = link.begin_tx(&packet, self.now);
                         self.push(
                             done,
@@ -311,10 +355,16 @@ impl Simulator {
                             },
                         );
                     }
-                    Offer::Queued | Offer::Dropped => {}
+                    Offer::Queued => {
+                        self.counters.packets_queued += 1;
+                    }
+                    Offer::Dropped => {
+                        self.counters.packets_dropped += 1;
+                    }
                 }
             }
             None => {
+                self.counters.packets_delivered += 1;
                 let dst = packet.dst;
                 self.call_endpoint(dst, |ep, ctx| ep.on_packet(ctx, packet));
             }
@@ -342,6 +392,7 @@ impl Simulator {
             f(ep.as_mut(), &mut ctx);
         }
         self.endpoints[slot] = Some(ep);
+        self.counters.commands_applied += commands.len() as u64;
         for cmd in commands.drain(..) {
             match cmd {
                 Command::Send(packet) => self.route_packet(packet),
@@ -518,6 +569,30 @@ mod tests {
             a
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn engine_counters_reconcile_with_link_stats() {
+        // Burst of 5 into a 2-deep buffer: 1 starts tx, 2 queue, 2 drop.
+        let (mut sim, link, arrivals) = world(12e6, 5, 2, 5, 1500);
+        sim.run_to_quiescence();
+        let c = sim.counters();
+        assert_eq!(c.packets_offered, 5);
+        assert_eq!(c.packets_tx_started, 1);
+        assert_eq!(c.packets_queued, 2);
+        assert_eq!(c.packets_dropped, 2);
+        assert_eq!(c.packets_dropped, sim.link(link).stats().drops);
+        assert_eq!(c.packets_delivered, arrivals.borrow().len() as u64);
+        assert_eq!(c.txdone_events, sim.link(link).stats().packets_out);
+        assert_eq!(
+            c.events,
+            c.timer_events + c.txdone_events + c.arrival_events
+        );
+        assert_eq!(c.events, sim.events_processed());
+        // Replay: counters are part of the deterministic output.
+        let (mut sim2, _, _) = world(12e6, 5, 2, 5, 1500);
+        sim2.run_to_quiescence();
+        assert_eq!(sim2.counters(), c);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod schedule;
 pub mod sources;
 pub mod time;
 
-pub use engine::{Command, Ctx, Endpoint, EndpointId, Simulator};
+pub use engine::{Command, Ctx, Endpoint, EndpointId, EngineCounters, Simulator};
 pub use link::{Link, LinkConfig, LinkId, LinkStats};
 pub use packet::{Packet, Payload, ProbeMeta, Route, TcpMeta, MAX_HOPS};
 pub use schedule::RateSchedule;

@@ -50,6 +50,10 @@ struct Burst {
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RateSchedule {
     segments: Vec<Segment>,
+    /// Sorted by start and pairwise disjoint: [`RateSchedule::with_burst`]
+    /// carves each new burst's span out of whatever it overlaps
+    /// (latest-added wins), so lookup can binary-search instead of
+    /// scanning — schedules are sampled at every packet emission.
     bursts: Vec<Burst>,
 }
 
@@ -93,15 +97,46 @@ impl RateSchedule {
     pub fn with_burst(mut self, start: Time, end: Time, level: f64) -> Self {
         assert!(start < end, "empty burst");
         assert!(level >= 0.0, "negative burst level");
-        self.bursts.push(Burst { start, end, level });
+        // Keep the interval set sorted and disjoint: trim or split any
+        // existing burst the new span overlaps (so the newest burst wins
+        // on the overlap, exactly the old last-match-scanning-backwards
+        // semantics), then insert the new one in start order.
+        let mut kept: Vec<Burst> = Vec::with_capacity(self.bursts.len() + 2);
+        for b in self.bursts.drain(..) {
+            if b.end <= start || b.start >= end {
+                kept.push(b);
+                continue;
+            }
+            if b.start < start {
+                kept.push(Burst {
+                    start: b.start,
+                    end: start,
+                    level: b.level,
+                });
+            }
+            if b.end > end {
+                kept.push(Burst {
+                    start: end,
+                    end: b.end,
+                    level: b.level,
+                });
+            }
+        }
+        kept.push(Burst { start, end, level });
+        kept.sort_by_key(|b| b.start);
+        self.bursts = kept;
         self
     }
 
     /// The multiplier in effect at time `t`. Bursts take precedence over
     /// the base level; overlapping bursts resolve to the latest-added.
     pub fn multiplier_at(&self, t: Time) -> f64 {
-        for b in self.bursts.iter().rev() {
-            if t >= b.start && t < b.end {
+        // Bursts are sorted and disjoint (`with_burst` carves overlaps),
+        // so the only candidate is the last interval starting ≤ t.
+        let idx = self.bursts.partition_point(|b| b.start <= t);
+        if idx > 0 {
+            let b = self.bursts[idx - 1];
+            if t < b.end {
                 return b.level;
             }
         }
@@ -119,7 +154,9 @@ impl RateSchedule {
         self.segments.len().saturating_sub(1)
     }
 
-    /// Number of bursts.
+    /// Number of disjoint burst intervals. Overlapping `with_burst`
+    /// calls may split earlier bursts, so this can exceed the number of
+    /// calls.
     pub fn burst_count(&self) -> usize {
         self.bursts.len()
     }
@@ -215,6 +252,73 @@ mod tests {
             .with_burst(Time::from_secs(15), Time::from_secs(16), 0.0);
         assert_eq!(s.multiplier_at(Time::from_millis(15_500)), 0.0);
         assert_eq!(s.multiplier_at(Time::from_secs(17)), 3.0);
+    }
+
+    #[test]
+    fn overlapping_bursts_resolve_to_latest_added() {
+        // New burst fully inside an old one: splits it.
+        let s = RateSchedule::constant(1.0)
+            .with_burst(Time::from_secs(10), Time::from_secs(20), 2.0)
+            .with_burst(Time::from_secs(13), Time::from_secs(15), 7.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(11)), 2.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(14)), 7.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(17)), 2.0);
+        assert_eq!(s.burst_count(), 3, "the old burst split around the new");
+
+        // New burst covering an old one entirely: replaces it.
+        let s = RateSchedule::constant(1.0)
+            .with_burst(Time::from_secs(13), Time::from_secs(15), 7.0)
+            .with_burst(Time::from_secs(10), Time::from_secs(20), 2.0);
+        for secs in 10..20 {
+            assert_eq!(s.multiplier_at(Time::from_secs(secs)), 2.0);
+        }
+        assert_eq!(s.burst_count(), 1);
+
+        // Partial overlap on each side: old bursts are trimmed.
+        let s = RateSchedule::constant(1.0)
+            .with_burst(Time::from_secs(0), Time::from_secs(10), 3.0)
+            .with_burst(Time::from_secs(20), Time::from_secs(30), 4.0)
+            .with_burst(Time::from_secs(5), Time::from_secs(25), 9.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(4)), 3.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(5)), 9.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(24)), 9.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(25)), 4.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(30)), 1.0);
+    }
+
+    #[test]
+    fn binary_search_lookup_matches_brute_force_reference() {
+        // Pin the sorted/disjoint representation against a reference
+        // that replays the with_burst call sequence and scans it
+        // backwards (the latest-added-wins contract, stated directly).
+        let calls: [(u64, u64, f64); 6] = [
+            (100, 200, 2.0),
+            (150, 160, 5.0),
+            (90, 120, 3.0),
+            (500, 700, 0.5),
+            (650, 800, 6.0),
+            (10, 900, 1.5), // swallows everything before it
+        ];
+        let mut s = RateSchedule::constant(1.0).with_shift(Time::from_secs(300), 2.5);
+        for &(a, b, lvl) in &calls {
+            s = s.with_burst(Time::from_secs(a), Time::from_secs(b), lvl);
+        }
+        let reference = |t: Time| -> f64 {
+            for &(a, b, lvl) in calls.iter().rev() {
+                if t >= Time::from_secs(a) && t < Time::from_secs(b) {
+                    return lvl;
+                }
+            }
+            if t >= Time::from_secs(300) {
+                2.5
+            } else {
+                1.0
+            }
+        };
+        for ms in (0..1_000_000).step_by(997) {
+            let t = Time::from_millis(ms);
+            assert_eq!(s.multiplier_at(t), reference(t), "at {ms} ms");
+        }
     }
 
     #[test]

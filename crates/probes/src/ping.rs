@@ -118,6 +118,14 @@ impl PingStats {
     pub fn total_sent(&self) -> usize {
         self.records.len()
     }
+
+    /// Probes whose echo never came back (replies lost, in-flight
+    /// replies included until they land). Telemetry reads this once a
+    /// trace is over; it is not a per-window loss estimate — use
+    /// [`PingStats::summarize`] for that.
+    pub fn replies_lost(&self) -> usize {
+        self.records.iter().filter(|r| r.rtt.is_none()).count()
+    }
 }
 
 /// Shared handle to a prober's records.

@@ -9,6 +9,38 @@
 use crate::quantile::quantile_sorted;
 use serde::{Deserialize, Serialize};
 
+/// Why a [`Cdf`] could not be built from a sample.
+///
+/// Fault injection (DESIGN.md §10) makes empty samples a *reachable*
+/// state for figure binaries — a preset with heavy faults can refuse
+/// every epoch of a path — so construction offers a fallible path
+/// ([`Cdf::try_from_samples`]) and callers decide whether to filter,
+/// refuse, or panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdfError {
+    /// The sample contained no values at all.
+    Empty,
+    /// The sample contained at least this many non-finite values
+    /// (`NaN` or `±inf`), which have no place in an empirical CDF.
+    NonFinite {
+        /// How many of the samples were non-finite.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for CdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CdfError::Empty => write!(f, "empirical CDF of an empty sample"),
+            CdfError::NonFinite { count } => {
+                write!(f, "empirical CDF sample has {count} non-finite value(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdfError {}
+
 /// An empirical CDF over a set of `f64` samples.
 ///
 /// Construction sorts the sample once; lookups are `O(log n)`.
@@ -31,12 +63,43 @@ impl Cdf {
     ///
     /// # Panics
     ///
-    /// Panics if the sample is empty or contains `NaN`.
+    /// Panics if the sample is empty or contains non-finite values.
+    /// Callers whose sample may legitimately be degenerate (fault
+    /// injection, DESIGN.md §10) should use [`Cdf::try_from_samples`].
     pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        match Self::try_from_samples(samples) {
+            Ok(cdf) => cdf,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds an empirical CDF, reporting degenerate samples as a typed
+    /// [`CdfError`] instead of panicking.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tputpred_stats::{Cdf, CdfError};
+    /// assert_eq!(Cdf::try_from_samples([]).unwrap_err(), CdfError::Empty);
+    /// assert_eq!(
+    ///     Cdf::try_from_samples([1.0, f64::NAN]).unwrap_err(),
+    ///     CdfError::NonFinite { count: 1 },
+    /// );
+    /// assert!(Cdf::try_from_samples([1.0, 2.0]).is_ok());
+    /// ```
+    pub fn try_from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Result<Self, CdfError> {
         let mut sorted: Vec<f64> = samples.into_iter().collect();
-        assert!(!sorted.is_empty(), "empirical CDF of an empty sample");
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF sample"));
-        Cdf { sorted }
+        if sorted.is_empty() {
+            return Err(CdfError::Empty);
+        }
+        let bad = sorted.iter().filter(|v| !v.is_finite()).count();
+        if bad > 0 {
+            return Err(CdfError::NonFinite { count: bad });
+        }
+        // All values are finite, so total_cmp agrees with the usual
+        // partial order and never has to arbitrate NaN.
+        sorted.sort_by(f64::total_cmp);
+        Ok(Cdf { sorted })
     }
 
     /// Number of samples.
@@ -127,6 +190,35 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_sample_panics() {
         let _ = Cdf::from_samples(std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_sample_panics() {
+        let _ = Cdf::from_samples([1.0, f64::NAN, 2.0]);
+    }
+
+    #[test]
+    fn try_from_samples_reports_degenerate_inputs() {
+        assert_eq!(Cdf::try_from_samples([]).unwrap_err(), CdfError::Empty);
+        assert_eq!(
+            Cdf::try_from_samples([f64::NAN, 1.0, f64::INFINITY]).unwrap_err(),
+            CdfError::NonFinite { count: 2 },
+        );
+        assert_eq!(
+            Cdf::try_from_samples([f64::NEG_INFINITY]).unwrap_err(),
+            CdfError::NonFinite { count: 1 },
+        );
+        let ok = Cdf::try_from_samples([2.0, 1.0]).expect("finite sample");
+        assert_eq!(ok.samples(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn cdf_error_messages_name_the_problem() {
+        assert!(CdfError::Empty.to_string().contains("empty"));
+        assert!(CdfError::NonFinite { count: 3 }
+            .to_string()
+            .contains("3 non-finite"));
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   prints the same rows/series the paper plots.
 //!
 //! All routines treat `NaN` as a programming error and say so in their docs;
-//! the simulator never produces `NaN` measurements.
+//! the simulator never produces `NaN` measurements. Fault injection
+//! (DESIGN.md §10) *can* leave a figure binary with an empty sample,
+//! so [`Cdf::try_from_samples`] reports degenerate inputs as a typed
+//! [`CdfError`] instead of panicking, and the figure binaries filter or
+//! refuse accordingly.
 
 pub mod cdf;
 pub mod corr;
@@ -27,7 +31,7 @@ pub mod quantile;
 pub mod render;
 pub mod summary;
 
-pub use cdf::Cdf;
+pub use cdf::{Cdf, CdfError};
 pub use corr::{pearson, spearman};
 pub use histogram::{Binning, Histogram};
 pub use quantile::{median, quantile};

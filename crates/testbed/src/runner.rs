@@ -23,6 +23,7 @@ use rayon::prelude::*;
 use tputpred_netsim::link::LinkConfig;
 use tputpred_netsim::sources::{ParetoOnOffSource, PoissonSource, Reflector, Sink, SourceConfig};
 use tputpred_netsim::{LinkId, RateSchedule, Route, Simulator, Time};
+use tputpred_obs as obs;
 use tputpred_probes::ping::{PingProber, PingSummary, ProbeMask};
 use tputpred_probes::{BulkTransfer, Pathload, PathloadConfig};
 use tputpred_tcp::{connect, TcpConfig};
@@ -190,6 +191,79 @@ fn summary_measurements(s: &PingSummary) -> (Option<f64>, Option<f64>) {
     }
 }
 
+/// Tallies one epoch's fault classes into the telemetry registry.
+/// Observation-only (and a no-op unless profiling is enabled): nothing
+/// here feeds back into the epoch loop.
+fn tally_epoch_faults(faults: &EpochFaults) {
+    obs::add("testbed.epochs", 1);
+    if !faults.is_clean() {
+        obs::add("testbed.epochs_degraded", 1);
+    }
+    let classes: [(&str, bool); 6] = [
+        ("testbed.faults.node_down", faults.node_down),
+        ("testbed.faults.pathload_failed", faults.pathload_failed),
+        ("testbed.faults.ping_outage", faults.ping_outage),
+        ("testbed.faults.reply_loss_burst", faults.reply_loss_burst),
+        (
+            "testbed.faults.transfer_truncated",
+            faults.transfer_truncated,
+        ),
+        ("testbed.faults.transfer_failed", faults.transfer_failed),
+    ];
+    for (name, hit) in classes {
+        if hit {
+            obs::add(name, 1);
+        }
+    }
+}
+
+/// Folds one finished transfer's flow statistics into the telemetry
+/// registry (segments, retransmissions, RTO firings, cwnd samples).
+fn tally_flow(stats: &tputpred_tcp::FlowStats) {
+    obs::add("tcp.transfers", 1);
+    obs::add("tcp.segments_sent", stats.segments_sent);
+    obs::add("tcp.retransmits", stats.retransmits);
+    obs::add("tcp.fast_retransmits", stats.fast_retransmits);
+    obs::add("tcp.rto_firings", stats.timeouts);
+    let cwnd = &stats.cwnd_bytes;
+    obs::record_summary(
+        "tcp.cwnd_bytes",
+        cwnd.count(),
+        cwnd.mean() * cwnd.count() as f64,
+        cwnd.min(),
+        cwnd.max(),
+    );
+}
+
+/// Folds a trace's engine, link, and probe tallies into the telemetry
+/// registry once the epoch loop is over — the hot event loop itself
+/// touches only the engine's plain local counters.
+fn flush_trace_telemetry(world: &TraceWorld, trace_len: Time) {
+    if !obs::enabled() {
+        return;
+    }
+    let c = world.sim.counters();
+    obs::add("netsim.events", c.events);
+    obs::add("netsim.timer_events", c.timer_events);
+    obs::add("netsim.txdone_events", c.txdone_events);
+    obs::add("netsim.arrival_events", c.arrival_events);
+    obs::add("netsim.packets_offered", c.packets_offered);
+    obs::add("netsim.packets_tx_started", c.packets_tx_started);
+    obs::add("netsim.packets_queued", c.packets_queued);
+    obs::add("netsim.packets_dropped", c.packets_dropped);
+    obs::add("netsim.packets_delivered", c.packets_delivered);
+    obs::add("netsim.commands_applied", c.commands_applied);
+    let fwd = world.sim.link(world.fwd).stats();
+    obs::add("netsim.fwd.packets_out", fwd.packets_out);
+    obs::add("netsim.fwd.bytes_out", fwd.bytes_out);
+    obs::add("netsim.fwd.drops", fwd.drops);
+    obs::record("netsim.fwd.drop_rate", fwd.drop_rate());
+    obs::record("netsim.fwd.utilization", fwd.utilization(trace_len));
+    let ping = world.ping.borrow();
+    obs::add("probes.ping.sent", ping.total_sent() as u64);
+    obs::add("probes.ping.replies_lost", ping.replies_lost() as u64);
+}
+
 /// What the dataset records about one epoch's faults, from its plan.
 fn epoch_faults(plan: &EpochFaultPlan) -> EpochFaults {
     if plan.missing {
@@ -216,6 +290,12 @@ fn epoch_faults(plan: &EpochFaultPlan) -> EpochFaults {
 /// probabilities zero this function is call-for-call identical to a
 /// build without the fault layer (the replay test pins this).
 pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceData {
+    let _trace_scope = obs::time_scope("testbed.trace_wall");
+    let _path_scope = if obs::enabled() {
+        obs::time_scope(&format!("path_wall.{}", path.name))
+    } else {
+        obs::time_scope("path_wall.disabled")
+    };
     let mut world = build_trace(path, trace_idx, preset);
     let plan = FaultPlan::draw(
         &preset.faults,
@@ -226,9 +306,11 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
     let mut records = Vec::with_capacity(preset.epochs_per_trace);
 
     for epoch in 0..preset.epochs_per_trace {
+        let _epoch_scope = obs::time_scope("testbed.epoch_wall");
         let t0 = Time::from_nanos(preset.epoch_len().as_nanos() * epoch as u64);
         let fault = plan.epoch(epoch);
         let faults = epoch_faults(&fault);
+        tally_epoch_faults(&faults);
 
         // --- Phase 1: pathload avail-bw measurement -------------------
         // A failed run still injects its probe streams (the abort is in
@@ -243,7 +325,18 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
             )
         });
         let ping_window_start = t0 + preset.pathload_slot;
-        world.sim.run_until(ping_window_start);
+        {
+            let _s = obs::time_scope("stage.pathload_slot");
+            world.sim.run_until(ping_window_start);
+        }
+        if let Some(p) = &pathload {
+            let r = p.borrow();
+            obs::add("probes.pathload.runs", 1);
+            obs::add("probes.pathload.streams_used", r.streams_used as u64);
+            if r.done {
+                obs::add("probes.pathload.converged", 1);
+            }
+        }
         let a_hat = match &pathload {
             Some(p) if !fault.pathload_fail => {
                 Some(p.borrow().best_guess().unwrap_or(path.capacity_bps))
@@ -255,7 +348,10 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
         //     capacity over it ------------------------------------------
         let busy_before = world.sim.link(world.fwd).stats().busy;
         let transfer_start = ping_window_start + preset.pre_ping;
-        world.sim.run_until(transfer_start);
+        {
+            let _s = obs::time_scope("stage.ping_window");
+            world.sim.run_until(transfer_start);
+        }
         let busy_after = world.sim.link(world.fwd).stats().busy;
         let util = (busy_after - busy_before).as_secs_f64() / preset.pre_ping.as_secs_f64();
         let true_avail_bw = path.capacity_bps * (1.0 - util).max(0.0);
@@ -274,6 +370,7 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
         let mut r_prefix_half = None;
         let mut flow_stats = (0_u64, 0.0, 0.0);
         let launch_main = !fault.missing && fault.transfer != TransferFault::Failed;
+        let _transfer_scope = obs::time_scope("stage.transfer");
         if launch_main {
             let stop = match fault.transfer {
                 TransferFault::Truncated(frac) => {
@@ -310,17 +407,20 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
             }
             flow_stats = {
                 let s = transfer.stats().borrow();
+                tally_flow(&s);
                 (s.loss_events(), s.retransmit_rate(), s.rtt.mean())
             };
         } else {
             world.sim.run_until(transfer_end);
         }
+        drop(_transfer_scope);
         let (flow_loss_events, flow_retx_rate, flow_rtt) = flow_stats;
 
         // --- Phase 4 (optional): the window-limited transfer -----------
         let mut r_small = None;
         let mut cursor = transfer_end + preset.epoch_gap;
         if preset.with_small_window {
+            let _s = obs::time_scope("stage.small_transfer");
             world.sim.run_until(cursor);
             let small_end = cursor + preset.transfer;
             if !fault.missing {
@@ -333,6 +433,7 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
                     small_end,
                 );
                 world.sim.run_until(small_end);
+                tally_flow(&small.stats().borrow());
                 r_small = Some(small.throughput().max(r_floor));
             } else {
                 world.sim.run_until(small_end);
@@ -343,6 +444,7 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
 
         // --- Summarize the ping windows (reply-safe: the epoch gap has
         //     passed, so all echoes are in) ------------------------------
+        let _summarize_scope = obs::time_scope("stage.summarize");
         let (t_hat, p_hat, t_tilde, p_tilde) = if fault.missing {
             (None, None, None, None)
         } else {
@@ -386,6 +488,7 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
             true_avail_bw,
         });
     }
+    flush_trace_telemetry(&world, preset.trace_len());
     TraceData { records }
 }
 
@@ -408,10 +511,14 @@ pub fn generate(preset: &Preset) -> Dataset {
     let jobs: Vec<(usize, usize)> = (0..catalog.len())
         .flat_map(|p| (0..preset.traces_per_path).map(move |t| (p, t)))
         .collect();
+    obs::gauge_set("testbed.workers", rayon::current_num_threads() as f64);
+    obs::add("testbed.traces", jobs.len() as u64);
+    let mut gen_scope = obs::time_scope("testbed.generate_wall");
     let mut results: Vec<((usize, usize), TraceData)> = jobs
         .par_iter()
         .map(|&(p, t)| ((p, t), run_trace(&catalog[p], t, preset)))
         .collect();
+    gen_scope.stop();
     results.sort_by_key(|&(key, _)| key);
     let mut paths: Vec<PathData> = catalog
         .into_iter()

@@ -1,0 +1,12 @@
+// Fixture: sound, justified suppressions — the shape real crates use.
+// Not compiled.
+fn good(x: f64) -> bool {
+    // lint:allow(float-eq): 0.0 is an exact sentinel written by this module, never computed
+    x == 0.0
+}
+
+fn also_good() -> u64 {
+    let v = vec![1u64];
+    // lint:allow(no-unwrap): builder invariant — the vec is seeded one line above
+    *v.first().unwrap()
+}

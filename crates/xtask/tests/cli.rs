@@ -84,6 +84,21 @@ fn rules_lists_the_registry() {
 }
 
 #[test]
+fn justified_and_used_allows_pass_clean() {
+    // The positive counterpart of `bad_allow.rs`: directives with a
+    // justification that suppress a real violation produce no findings
+    // — neither from the suppressed rule nor from the lint-allow
+    // meta-rule.
+    let out = xtask()
+        .args(["check", &fixture("good_allow.rs")])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.is_empty(), "{stdout}");
+}
+
+#[test]
 fn bad_allowlist_fixture_trips_the_meta_rule() {
     let out = xtask()
         .args(["check", &fixture("bad_allow.rs")])

@@ -2,20 +2,44 @@
 //!
 //! Implements the one pattern this workspace uses —
 //! `slice.par_iter().map(f).collect::<Vec<_>>()` — with plain
-//! `std::thread::scope` fan-out: the slice is split into one contiguous
-//! chunk per available core, each chunk is mapped on its own thread, and
-//! results are reassembled in input order. On a single-core machine it
+//! `std::thread::scope` fan-out. Jobs are handed out *dynamically*: the
+//! workers pull indices from a shared atomic cursor, so a run of slow
+//! jobs (all traces of a lossy path, say) spreads across cores instead
+//! of landing in one worker's contiguous chunk and dominating the wall
+//! clock. Results are reassembled in input order regardless of which
+//! worker ran what. On a single-core machine the whole thing
 //! degenerates to a sequential map with no thread spawns.
 //!
 //! Order preservation matters here: `testbed::generate` sorts its output
 //! anyway, but keeping input order makes the stub a drop-in for the real
 //! crate's deterministic `collect`.
+//!
+//! A worker panic is propagated to the caller via
+//! [`std::panic::resume_unwind`], preserving the original payload (a
+//! panicking trace names its path and index instead of `Any { .. }`).
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     //! The traits a `use rayon::prelude::*` caller expects.
     pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of worker threads `collect` will use, mirroring the real
+/// crate's global-pool accessor of the same name: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive
+/// integer, the detected core count otherwise.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
 }
 
 /// `par_iter()` over `&self`, mirroring rayon's trait of the same name.
@@ -68,31 +92,69 @@ pub struct ParMap<'a, T, F> {
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
     /// Evaluates the map across threads and collects the results in
     /// input order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (via [`std::panic::resume_unwind`]) the first worker
+    /// panic observed, with its original payload.
     pub fn collect<U, C>(self) -> C
     where
         F: Fn(&'a T) -> U + Sync,
         U: Send,
         C: FromIterator<U>,
     {
-        let threads = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(self.slice.len().max(1));
+        let threads = current_num_threads().min(self.slice.len().max(1));
+        self.collect_with_threads(threads)
+    }
+
+    /// `collect` with an explicit worker count (tests pin this to
+    /// exercise the multi-threaded path on any machine).
+    fn collect_with_threads<U, C>(self, threads: usize) -> C
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+        C: FromIterator<U>,
+    {
         if threads <= 1 {
             return self.slice.iter().map(&self.f).collect();
         }
-        let chunk_len = self.slice.len().div_ceil(threads);
+        let n = self.slice.len();
         let f = &self.f;
-        let mut chunks: Vec<Vec<U>> = Vec::new();
+        let slice = self.slice;
+        // Dynamic job pull: each worker claims the next unclaimed index
+        // until the cursor passes the end. Tagging results with their
+        // index lets any worker run any job while `collect` still
+        // returns them in input order.
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, U)> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .slice
-                .chunks(chunk_len)
-                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>()))
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut part: Vec<(usize, U)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            part.push((i, f(&slice[i])));
+                        }
+                        part
+                    })
+                })
                 .collect();
-            chunks = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => tagged.extend(part),
+                    // Propagate the worker's own payload: the panic a
+                    // caller sees names the failing job, not Any{..}.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
         });
-        chunks.into_iter().flatten().collect()
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
+        tagged.into_iter().map(|(_, v)| v).collect()
     }
 }
 
@@ -108,6 +170,24 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_scheduling_preserves_order_across_many_workers() {
+        // Pin a worker count well above the core count and give early
+        // indices the longest work, so job completion order inverts
+        // submission order — collect must still return input order.
+        let xs: Vec<u64> = (0..257).collect();
+        let out: Vec<u64> = xs
+            .par_iter()
+            .map(|&x| {
+                if x < 8 {
+                    std::thread::sleep(std::time::Duration::from_millis(20 - 2 * x));
+                }
+                x * x
+            })
+            .collect_with_threads(8);
+        assert_eq!(out, (0..257).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn empty_and_single_inputs_work() {
         let empty: Vec<u32> = Vec::new();
         let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
@@ -115,5 +195,74 @@ mod tests {
         let one = [7u32];
         let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_the_caller() {
+        let xs: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = xs
+                .par_iter()
+                .map(|&x| {
+                    assert!(x != 13, "job 13 exploded");
+                    x
+                })
+                .collect_with_threads(4);
+        });
+        let payload = caught.expect_err("a worker panicked");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("job 13 exploded"),
+            "payload must survive the join: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    /// Not a correctness test — a manual A/B of scheduling policy. Run
+    /// with `cargo test -p rayon --release -- --ignored --nocapture`:
+    /// prints wall clock for static contiguous chunks vs the dynamic
+    /// pull above on a deliberately imbalanced (sleep-based) job mix.
+    #[test]
+    #[ignore = "timing demo, run manually"]
+    fn imbalanced_sleep_jobs_demo() {
+        use std::time::{Duration, Instant};
+        const THREADS: usize = 4;
+        // 16 jobs; the first 4 are 8x slower than the rest — the shape
+        // of a slow lossy path's traces landing consecutively.
+        let cost = |i: usize| Duration::from_millis(if i < 4 { 160 } else { 20 });
+        let jobs: Vec<usize> = (0..16).collect();
+
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in jobs.chunks(jobs.len().div_ceil(THREADS)) {
+                scope.spawn(move || {
+                    for &i in chunk {
+                        std::thread::sleep(cost(i));
+                    }
+                });
+            }
+        });
+        let static_wall = t0.elapsed();
+
+        let t0 = Instant::now();
+        let _: Vec<usize> = jobs
+            .par_iter()
+            .map(|&i| {
+                std::thread::sleep(cost(i));
+                i
+            })
+            .collect_with_threads(THREADS);
+        let dynamic_wall = t0.elapsed();
+
+        println!("static chunks: {static_wall:?}  dynamic pull: {dynamic_wall:?}");
+        assert!(dynamic_wall < static_wall, "dynamic must beat static here");
     }
 }
