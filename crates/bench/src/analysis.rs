@@ -7,7 +7,9 @@ use tputpred_core::hb::{Ewma, HoltWinters, MovingAverage, Predictor};
 use tputpred_core::lso::{Lso, LsoConfig};
 use tputpred_core::metrics::{self, relative_error_floored};
 use tputpred_stats::{Cdf, CdfError};
-use tputpred_testbed::{generate, CompleteEpoch, Dataset, EpochRecord, Preset};
+use tputpred_testbed::{
+    load_or_generate_sharded, CompleteEpoch, Dataset, EpochRecord, Preset, ShardStats,
+};
 
 /// Builds the CDF a figure series needs from a possibly degraded sample.
 ///
@@ -50,27 +52,54 @@ pub type PredictorCtor = fn() -> BoxedPredictor;
 /// A labelled predictor line-up, as the figure binaries tabulate them.
 pub type PredictorZoo = Vec<(&'static str, PredictorCtor)>;
 
-/// Loads the cached dataset for `args`, generating (and caching) it on
-/// first use — or whenever the cache's embedded behavior hash shows it
-/// was generated by different simulation code (see
-/// `tputpred_testbed::behavior_hash`). Generation parallelizes across
-/// cores; progress goes to stderr so figure output on stdout stays
-/// clean.
+/// Loads the dataset for `args` from the per-path shard cache
+/// (`<data_dir>/<preset>/`), regenerating only the shards the running
+/// binary no longer trusts — missing, corrupt, or written by different
+/// simulation code or a different (preset, config) (see
+/// `tputpred_testbed::behavior_hash` and DESIGN.md §9). Regeneration
+/// parallelizes across cores; progress goes to stderr so figure output
+/// on stdout stays clean.
 pub fn load_dataset(args: &Args) -> Dataset {
-    let path = args.dataset_path();
-    Dataset::load_or_generate(&path, || {
-        eprintln!(
-            "# generating dataset '{}' ({} paths x {} traces x {} epochs) -> {}",
-            args.preset.name,
-            args.preset.paths,
-            args.preset.traces_per_path,
-            args.preset.epochs_per_trace,
-            path.display()
-        );
-        generate(&args.preset)
-    })
-    .unwrap_or_else(|e| panic!("dataset at {}: {e}", path.display()))
+    load_dataset_with_shards(args).0
 }
+
+/// [`load_dataset`] plus the shard reuse counts, for binaries that
+/// report cache effectiveness (`gen_dataset`, `perf_report`).
+pub fn load_dataset_with_shards(args: &Args) -> (Dataset, ShardStats) {
+    let dir = args.shard_dir();
+    load_or_generate_sharded(&dir, &args.preset)
+        .unwrap_or_else(|e| panic!("dataset at {}: {e}", dir.display()))
+}
+
+/// The column set of the epoch CSV export (`export_csv`), in order.
+/// The committed `results/epochs_<preset>.csv` files follow this
+/// schema; `crates/bench/tests/results_schema.rs` fails when they drift
+/// from it.
+pub const EPOCH_CSV_COLUMNS: &[&str] = &[
+    "path",
+    "trace",
+    "epoch",
+    "status",
+    "capacity_bps",
+    "base_rtt_s",
+    "buffer_pkts",
+    "utilization",
+    "elastic_flows",
+    "a_hat_bps",
+    "t_hat_s",
+    "p_hat",
+    "t_tilde_s",
+    "p_tilde",
+    "r_large_bps",
+    "r_small_bps",
+    "r_prefix_quarter_bps",
+    "r_prefix_half_bps",
+    "flow_loss_events",
+    "flow_retx_rate",
+    "flow_rtt_s",
+    "true_avail_bw_bps",
+    "fb_error",
+];
 
 /// The FB configuration matching the preset's large-window transfers.
 pub fn fb_config(preset: &Preset) -> FbConfig {

@@ -5,7 +5,7 @@
 //! cargo run --release -p tputpred-bench --bin export_csv -- --preset quick > epochs.csv
 //! ```
 
-use tputpred_bench::{fb_config, fb_error, load_dataset, Args};
+use tputpred_bench::{fb_config, fb_error, load_dataset, Args, EPOCH_CSV_COLUMNS};
 use tputpred_core::fb::FbPredictor;
 
 /// Missing measurements (degraded/missing epochs) export as empty cells.
@@ -18,12 +18,7 @@ fn main() {
     let ds = load_dataset(&args);
     let fb = FbPredictor::new(fb_config(&ds.preset));
 
-    println!(
-        "path,trace,epoch,status,capacity_bps,base_rtt_s,buffer_pkts,utilization,elastic_flows,\
-         a_hat_bps,t_hat_s,p_hat,t_tilde_s,p_tilde,r_large_bps,r_small_bps,\
-         r_prefix_quarter_bps,r_prefix_half_bps,flow_loss_events,flow_retx_rate,\
-         flow_rtt_s,true_avail_bw_bps,fb_error"
-    );
+    println!("{}", EPOCH_CSV_COLUMNS.join(","));
     for p in ds.paths.iter() {
         for (ti, t) in p.traces.iter().enumerate() {
             for (ei, r) in t.records.iter().enumerate() {

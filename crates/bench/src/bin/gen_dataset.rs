@@ -1,18 +1,22 @@
-//! Generates (or refreshes) the dataset cache for a preset, printing a
-//! compact sanity summary. Run this once before the figure binaries to
-//! pay the simulation cost up front:
+//! Generates (or refreshes) the sharded dataset cache for a preset,
+//! printing a compact sanity summary. Run this once before the figure
+//! binaries to pay the simulation cost up front:
 //!
 //! ```text
 //! cargo run --release -p tputpred-bench --bin gen_dataset -- --preset quick
 //! ```
 //!
-//! With `--profile`, generation bypasses the cache, runs with telemetry
-//! enabled, and writes a `BENCH_gen_<preset>.json` perf report next to
-//! the working directory (stage timings, event rates, parallel speedup;
-//! DESIGN.md §11). The generated dataset is bit-identical either way and
-//! still lands in the cache.
+//! The cache is per-path shards under `data/<preset>/` (DESIGN.md §9):
+//! only missing, corrupt, or out-of-date shards are regenerated, and the
+//! shard reuse counts are reported either way. With `--profile`, the
+//! load runs with telemetry enabled and writes a `BENCH_gen_<preset>.json`
+//! perf report to the working directory (stage timings, event rates,
+//! parallel speedup, shard counts; DESIGN.md §11). The dataset is
+//! bit-identical with or without profiling.
 
-use tputpred_bench::{a_priori, fb_config, is_lossy, load_dataset, profile, require_cdf, Args};
+use tputpred_bench::{
+    a_priori, fb_config, is_lossy, load_dataset_with_shards, profile, require_cdf, Args,
+};
 use tputpred_core::fb::FbPredictor;
 use tputpred_core::metrics::relative_error_floored;
 use tputpred_stats::render;
@@ -29,7 +33,15 @@ fn main() {
         eprintln!("# perf report -> {}", out.display());
         ds
     } else {
-        load_dataset(&args)
+        let (ds, shards) = load_dataset_with_shards(&args);
+        eprintln!(
+            "# shards: hit={} missing={} stale={} regenerated={}",
+            shards.hits,
+            shards.missing,
+            shards.stale,
+            shards.regenerated()
+        );
+        ds
     };
     println!(
         "# dataset: {} ({} epochs)",

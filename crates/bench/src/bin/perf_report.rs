@@ -1,15 +1,17 @@
-//! Profiles dataset generation end to end and emits
+//! Profiles the sharded dataset load end to end and emits
 //! `BENCH_gen_<preset>.json` (DESIGN.md §11):
 //!
 //! ```text
 //! cargo run --release -p tputpred-bench --bin perf_report -- --preset quick
 //! ```
 //!
-//! Generation always runs fresh with telemetry enabled (a cache hit
-//! would time JSON parsing, not the simulator); the resulting dataset is
-//! saved to the normal cache path, so a following figure binary reuses
-//! it. Stdout gets the human-readable stage/path tables; the JSON report
-//! lands in the working directory.
+//! The load runs with telemetry enabled against the per-path shard
+//! cache `data/<preset>/` (DESIGN.md §9), so the report reflects what a
+//! figure binary would pay: a cold cache profiles the simulator, a warm
+//! one profiles shard deserialization, and the `shards_*` counters say
+//! which case ran. Delete `data/<preset>/` first for a full simulator
+//! profile. Stdout gets the human-readable stage/path tables; the JSON
+//! report lands in the working directory.
 
 use tputpred_bench::{profile, Args};
 

@@ -5,8 +5,9 @@
 //! * `--preset <paper|quick|tiny|quick-2006>` — experiment scale
 //!   (default `quick`);
 //! * `--data <dir>` — dataset cache directory (default `data/`): the
-//!   first binary to run generates `<dir>/<preset>.json`, later ones
-//!   reuse it;
+//!   first binary to run populates the per-path shard cache
+//!   `<dir>/<preset>/` (DESIGN.md §9), later ones reuse it —
+//!   regenerating only shards the running binary no longer trusts;
 //! * `--profile` — regenerate the dataset with telemetry enabled and
 //!   write a `BENCH_gen_<preset>.json` perf report (see
 //!   [`crate::profile`]; honored by `gen_dataset`, implied by
@@ -82,9 +83,10 @@ impl Args {
         }
     }
 
-    /// The cache file this argument set resolves to.
-    pub fn dataset_path(&self) -> PathBuf {
-        self.data_dir.join(format!("{}.json", self.preset.name))
+    /// The shard-cache directory this argument set resolves to
+    /// (`<data_dir>/<preset>/`, one `path-<id>.json` per catalog path).
+    pub fn shard_dir(&self) -> PathBuf {
+        self.data_dir.join(&self.preset.name)
     }
 }
 
@@ -97,14 +99,14 @@ mod tests {
         let a = Args::parse_from(Vec::<String>::new()).unwrap();
         assert_eq!(a.preset.name, "quick");
         assert_eq!(a.data_dir, PathBuf::from("data"));
-        assert_eq!(a.dataset_path(), PathBuf::from("data/quick.json"));
+        assert_eq!(a.shard_dir(), PathBuf::from("data/quick"));
     }
 
     #[test]
     fn flags_are_parsed() {
         let a = Args::parse_from(["--preset", "tiny", "--data", "/tmp/x"]).unwrap();
         assert_eq!(a.preset.name, "tiny");
-        assert_eq!(a.dataset_path(), PathBuf::from("/tmp/x/tiny.json"));
+        assert_eq!(a.shard_dir(), PathBuf::from("/tmp/x/tiny"));
         assert!(!a.profile);
     }
 

@@ -1,16 +1,17 @@
 //! Profiled dataset generation and the `BENCH_gen_<preset>.json` report.
 //!
 //! `gen_dataset --profile` and the `perf_report` binary both route
-//! through [`profile_generation`]: generation runs under
-//! [`tputpred_obs::with_profiling`] (telemetry enabled for exactly that
-//! call), and the raw [`TelemetryReport`] is distilled into a
-//! [`PerfReport`] — stage wall-clock timings, simulator event rates, and
-//! the parallel speedup actually achieved — then written as JSON.
+//! through [`profile_generation`]: the sharded dataset load (DESIGN.md
+//! §9) runs under [`tputpred_obs::with_profiling`] (telemetry enabled
+//! for exactly that call), and the raw [`TelemetryReport`] is distilled
+//! into a [`PerfReport`] — stage wall-clock timings, simulator event
+//! rates, the parallel speedup actually achieved, and the shard cache's
+//! hit/miss/regen counts — then written as JSON.
 //!
 //! Telemetry is observation-only (DESIGN.md §11): the dataset produced
-//! under profiling is bit-identical to an unprofiled run, so the profiled
-//! generation is also saved to the normal cache location for the other
-//! figure binaries to reuse.
+//! under profiling is bit-identical to an unprofiled run, and the shards
+//! it writes land in the normal cache location for the other figure
+//! binaries to reuse.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -18,7 +19,7 @@ use std::path::{Path, PathBuf};
 use crate::cli::Args;
 use serde::{Deserialize, Serialize};
 use tputpred_obs::{self as obs, TelemetryReport};
-use tputpred_testbed::{generate, Dataset};
+use tputpred_testbed::{load_or_generate_sharded, Dataset};
 
 /// Wall-clock summary of one named timing scope.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,6 +85,15 @@ pub struct PerfReport {
     pub events: u64,
     /// Events per wall-clock second of `generate()`.
     pub events_per_wall_s: f64,
+    /// Cache shards reused as-is (hash and fingerprint matched).
+    pub shards_hit: u64,
+    /// Cache shards absent from disk.
+    pub shards_missing: u64,
+    /// Cache shards present but untrusted (stale hash/fingerprint or
+    /// unparseable).
+    pub shards_stale: u64,
+    /// Cache shards regenerated this run (`missing + stale`).
+    pub shards_regenerated: u64,
     /// Per-stage wall-clock breakdown, sorted by total descending.
     pub stages: Vec<StageTiming>,
     /// Per-path wall-clock breakdown, sorted by total descending.
@@ -92,17 +102,20 @@ pub struct PerfReport {
     pub counters: Vec<CounterLine>,
 }
 
-/// Runs `generate(&args.preset)` with telemetry enabled, saves the
-/// dataset to the cache path `args` resolves to, and returns the dataset
-/// with its distilled [`PerfReport`].
+/// Runs the sharded dataset load for `args` with telemetry enabled and
+/// returns the dataset with its distilled [`PerfReport`].
 ///
-/// The cache is bypassed on the way in — profiling a cache hit would
-/// time `serde_json`, not the simulator — but refreshed on the way out.
+/// Profiles the load as the figure binaries experience it: a cold cache
+/// times the simulator, a warm one times shard deserialization, and a
+/// partially stale one times exactly the regenerated slice — the
+/// `shards_*` counters say which case ran (a CI smoke step asserts on
+/// them). Delete `data/<preset>/` first to force a full simulator
+/// profile.
 pub fn profile_generation(args: &Args) -> io::Result<(Dataset, PerfReport)> {
-    let (dataset, telemetry) = obs::with_profiling(|| generate(&args.preset));
-    let cache = args.dataset_path();
-    dataset.save(&cache)?;
-    eprintln!("# profiled generation cached -> {}", cache.display());
+    let dir = args.shard_dir();
+    let (result, telemetry) = obs::with_profiling(|| load_or_generate_sharded(&dir, &args.preset));
+    let (dataset, _) = result?;
+    eprintln!("# profiled shard cache -> {}", dir.display());
     let report = distill(&args.preset.name, &telemetry);
     Ok((dataset, report))
 }
@@ -179,6 +192,10 @@ pub fn distill(preset_name: &str, t: &TelemetryReport) -> PerfReport {
         worker_utilization: parallel_speedup / workers,
         events,
         events_per_wall_s: events as f64 / generate_wall_s,
+        shards_hit: t.counter("testbed.shards.hit").unwrap_or(0),
+        shards_missing: t.counter("testbed.shards.missing").unwrap_or(0),
+        shards_stale: t.counter("testbed.shards.stale").unwrap_or(0),
+        shards_regenerated: t.counter("testbed.shards.regenerated").unwrap_or(0),
         stages,
         paths,
         counters,
@@ -201,6 +218,11 @@ pub fn render_perf_report(r: &PerfReport) -> String {
         r.workers,
         r.parallel_speedup,
         r.worker_utilization * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "# shards: hit={} missing={} stale={} regenerated={}",
+        r.shards_hit, r.shards_missing, r.shards_stale, r.shards_regenerated
     );
     let _ = writeln!(
         out,
@@ -242,6 +264,22 @@ mod tests {
             CounterEntry {
                 name: "testbed.traces".into(),
                 count: 4,
+            },
+            CounterEntry {
+                name: "testbed.shards.hit".into(),
+                count: 3,
+            },
+            CounterEntry {
+                name: "testbed.shards.missing".into(),
+                count: 1,
+            },
+            CounterEntry {
+                name: "testbed.shards.stale".into(),
+                count: 2,
+            },
+            CounterEntry {
+                name: "testbed.shards.regenerated".into(),
+                count: 3,
             },
         ];
         t.gauges = vec![GaugeEntry {
@@ -285,6 +323,10 @@ mod tests {
         assert!((r.parallel_speedup - 1.5).abs() < 1e-12);
         assert!((r.worker_utilization - 0.75).abs() < 1e-12);
         assert!((r.events_per_wall_s - 2_500.0).abs() < 1e-9);
+        assert_eq!(r.shards_hit, 3);
+        assert_eq!(r.shards_missing, 1);
+        assert_eq!(r.shards_stale, 2);
+        assert_eq!(r.shards_regenerated, 3);
         // path_wall.* timers become the per-path table, not stages.
         assert!(r.stages.iter().all(|s| !s.name.starts_with("path_wall.")));
         assert_eq!(r.paths.len(), 1);
@@ -308,5 +350,6 @@ mod tests {
             assert!(text.contains(&s.name), "missing stage {}", s.name);
         }
         assert!(text.contains("speedup=1.50x"));
+        assert!(text.contains("shards: hit=3 missing=1 stale=2 regenerated=3"));
     }
 }

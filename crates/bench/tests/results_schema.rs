@@ -1,0 +1,82 @@
+//! Staleness guard for the committed CSV exports: `results/epochs_*.csv`
+//! must match the schema `export_csv` writes today
+//! ([`tputpred_bench::EPOCH_CSV_COLUMNS`]). The committed file went
+//! stale once before (PR 2); this fails the build instead of leaving it
+//! to review.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tputpred_bench::EPOCH_CSV_COLUMNS;
+
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Every committed epoch CSV, by file name. At least `epochs_quick.csv`
+/// must exist — a silently empty glob would make the guard vacuous.
+fn committed_epoch_csvs() -> Vec<PathBuf> {
+    let dir = results_dir();
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("results dir {}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("epochs_") && n.ends_with(".csv"))
+        })
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "no epochs_*.csv committed under {} — the schema guard has nothing to check",
+        dir.display()
+    );
+    files
+}
+
+#[test]
+fn committed_epoch_csvs_match_the_export_schema() {
+    for file in committed_epoch_csvs() {
+        let text =
+            fs::read_to_string(&file).unwrap_or_else(|e| panic!("reading {}: {e}", file.display()));
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        assert_eq!(
+            header,
+            EPOCH_CSV_COLUMNS.join(","),
+            "{}: header drifted from export_csv's schema — regenerate with \
+             `cargo run --release -p tputpred-bench --bin export_csv`",
+            file.display()
+        );
+        let status_col = EPOCH_CSV_COLUMNS
+            .iter()
+            .position(|&c| c == "status")
+            .expect("schema declares a status column");
+
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(
+                fields.len(),
+                EPOCH_CSV_COLUMNS.len(),
+                "{} row {}: {} fields for {} columns",
+                file.display(),
+                i + 2,
+                fields.len(),
+                EPOCH_CSV_COLUMNS.len()
+            );
+            let status = fields[status_col];
+            assert!(
+                matches!(status, "Ok" | "Degraded" | "Missing"),
+                "{} row {}: unknown status '{}'",
+                file.display(),
+                i + 2,
+                status
+            );
+        }
+    }
+}

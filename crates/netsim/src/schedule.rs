@@ -322,6 +322,67 @@ mod tests {
     }
 
     #[test]
+    fn burst_boundaries_are_start_inclusive_end_exclusive() {
+        // The exact-boundary semantics of `partition_point(|b| b.start
+        // <= t)`: at t == start the burst is live (partition_point
+        // includes the equal element, so idx-1 is this burst); at
+        // t == end the `t < b.end` guard falls through to the base
+        // level. One nanosecond to either side flips each case.
+        let s = RateSchedule::constant(1.0).with_burst(Time::from_secs(5), Time::from_secs(6), 9.0);
+        let ns = Time::from_nanos(1);
+        assert_eq!(s.multiplier_at(Time::from_secs(5) - ns), 1.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(5)), 9.0, "start-inclusive");
+        assert_eq!(s.multiplier_at(Time::from_secs(6) - ns), 9.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(6)), 1.0, "end-exclusive");
+        assert_eq!(s.multiplier_at(Time::from_secs(6) + ns), 1.0);
+    }
+
+    #[test]
+    fn burst_at_time_zero_is_live_immediately() {
+        // t == 0 with a burst starting at 0: idx is 1, not 0, so the
+        // `idx > 0` guard must not mask the first burst.
+        let s = RateSchedule::constant(1.0).with_burst(Time::ZERO, Time::from_secs(1), 4.0);
+        assert_eq!(s.multiplier_at(Time::ZERO), 4.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn carved_seams_hand_off_to_the_latest_added_burst() {
+        // An old burst carved by a newer overlapping one leaves seams at
+        // the newer burst's start and end. Exactly at each seam the
+        // newer burst's half-open interval must win — its [start, end)
+        // owns both boundary instants it touches.
+        let s = RateSchedule::constant(1.0)
+            .with_burst(Time::from_secs(10), Time::from_secs(20), 2.0)
+            .with_burst(Time::from_secs(13), Time::from_secs(15), 7.0);
+        let ns = Time::from_nanos(1);
+        assert_eq!(s.multiplier_at(Time::from_secs(13) - ns), 2.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(13)), 7.0, "seam start");
+        assert_eq!(s.multiplier_at(Time::from_secs(15) - ns), 7.0);
+        assert_eq!(
+            s.multiplier_at(Time::from_secs(15)),
+            2.0,
+            "seam end returns to the carved remainder, not the base"
+        );
+        assert_eq!(s.multiplier_at(Time::from_secs(20)), 1.0);
+    }
+
+    #[test]
+    fn adjacent_bursts_share_a_boundary_without_a_gap() {
+        // Two bursts meeting exactly: the shared instant belongs to the
+        // later interval (end-exclusive/start-inclusive), with no
+        // one-sample flash of the base level in between.
+        let s = RateSchedule::constant(1.0)
+            .with_burst(Time::from_secs(2), Time::from_secs(4), 3.0)
+            .with_burst(Time::from_secs(4), Time::from_secs(6), 8.0);
+        let ns = Time::from_nanos(1);
+        assert_eq!(s.multiplier_at(Time::from_secs(4) - ns), 3.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(4)), 8.0);
+        assert_eq!(s.multiplier_at(Time::from_secs(4) + ns), 8.0);
+        assert_eq!(s.burst_count(), 2, "touching bursts do not merge or carve");
+    }
+
+    #[test]
     #[should_panic(expected = "strictly increasing")]
     fn out_of_order_shift_rejected() {
         let _ = RateSchedule::constant(1.0)

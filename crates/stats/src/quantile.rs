@@ -51,8 +51,13 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
         return sorted[0];
     }
     let h = q * (n - 1) as f64;
-    let lo = h.floor() as usize;
-    let hi = h.ceil() as usize;
+    // Defensive clamp: for q ≤ 1 the product cannot exceed n-1 exactly
+    // (n-1 is representable and rounding is monotone), but the index
+    // math must stay in bounds even if a caller's q arrives at 1.0 via
+    // an expression like `1.0 - 1e-16` (== 1.0 in f64) — the estimator
+    // then degrades to the max order statistic rather than panicking.
+    let lo = (h.floor() as usize).min(n - 1);
+    let hi = (h.ceil() as usize).min(n - 1);
     if lo == hi {
         sorted[lo]
     } else {
@@ -128,6 +133,25 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn out_of_range_level_panics() {
         let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn near_one_levels_never_index_out_of_bounds() {
+        // `1.0 - 1e-16` rounds to `1 - 2^-53`, the largest f64 below
+        // 1.0 (the half-ulp of 1.0 is ~1.1e-16). `h = q * (n-1)` then
+        // lands a fraction of an ulp under n-1, so `h.ceil()` hits the
+        // last index exactly — the edge the clamp guards. Every case
+        // must stay in bounds and return a value in the top
+        // interpolation cell, never panic.
+        let q_below_one: f64 = 1.0 - 1e-16;
+        assert_eq!(q_below_one, f64::from_bits(1.0f64.to_bits() - 1));
+        for n in [2usize, 3, 5, 7, 100, 513, 1000] {
+            let sorted: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let max = (n - 1) as f64;
+            let v = quantile_sorted(&sorted, q_below_one);
+            assert!(v <= max && v > max - 1.0, "n={n}: {v}");
+            assert_eq!(quantile_sorted(&sorted, 1.0), max, "n={n}");
+        }
     }
 
     #[test]

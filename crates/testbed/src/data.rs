@@ -7,6 +7,16 @@
 //! embedded hash differs from the one compiled into the running binary.
 //! A cached dataset is a pure function of (preset, seed, simulator
 //! code); the hash makes the third input explicit.
+//!
+//! The production cache is **sharded per path** (DESIGN.md §9): one
+//! `path-<id>.json` per catalog path under `data/<preset>/`, plus a
+//! `manifest.json`. Each shard embeds the behavior hash *and* a
+//! fingerprint of (preset, path config), so
+//! [`Dataset::load_or_generate_sharded`] can reuse every shard the
+//! running binary still trusts and regenerate only the stale, missing,
+//! or corrupt ones — the merged dataset is bit-identical to a
+//! from-scratch generation (pinned by
+//! `crates/testbed/tests/shard_pin.rs`).
 
 use crate::path::PathConfig;
 use crate::preset::Preset;
@@ -290,27 +300,12 @@ impl Dataset {
     /// run to trip over.
     #[doc(hidden)]
     pub fn save_with_hash(&self, path: &FsPath, behavior_hash: &str) -> io::Result<()> {
-        let dir = path.parent().unwrap_or(FsPath::new("."));
-        fs::create_dir_all(dir)?;
         let file = DatasetFile {
             behavior_hash: behavior_hash.to_string(),
             dataset: self.clone(),
         };
         let json = serde_json::to_string(&file).map_err(io::Error::other)?;
-        // Per-process temp name: concurrent generators on the same cache
-        // each write their own temp file; last rename wins, and both
-        // outcomes are complete files with identical content (generation
-        // is deterministic).
-        let file_name = path.file_name().unwrap_or_default().to_string_lossy();
-        let tmp = dir.join(format!(".{}.tmp.{}", file_name, std::process::id()));
-        fs::write(&tmp, json)?;
-        match fs::rename(&tmp, path) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = fs::remove_file(&tmp);
-                Err(e)
-            }
-        }
+        write_atomic(path, &json)
     }
 
     /// Loads a dataset saved by [`Dataset::save`], regardless of the
@@ -337,6 +332,11 @@ impl Dataset {
         path: &FsPath,
         generate: F,
     ) -> io::Result<Self> {
+        // A crash between the atomic save's write and rename leaks a
+        // `.{name}.tmp.{pid}` file; load is the natural sweep point.
+        if let Some(dir) = path.parent() {
+            sweep_stale_temps(dir);
+        }
         match Self::load_with_hash(path) {
             Ok((hash, ds)) if hash == BEHAVIOR_HASH => return Ok(ds),
             Ok((hash, _)) => {
@@ -360,6 +360,353 @@ impl Dataset {
         ds.save(path)?;
         Ok(ds)
     }
+
+    /// Shard-aware cache: loads `data/<preset>/path-<id>.json` shards,
+    /// regenerates only the stale, missing, or corrupt ones through
+    /// `regenerate`, and merges everything in catalog order. A shard is
+    /// reused only when its embedded [`BEHAVIOR_HASH`] matches this
+    /// binary *and* its config fingerprint matches
+    /// [`shard_fingerprint`] of the current (preset, path config) —
+    /// so simulation-code edits invalidate every shard (the behavior
+    /// hash covers the whole source tree) while preset or catalog
+    /// changes and cache damage invalidate only the affected shards.
+    ///
+    /// `regenerate` receives the catalog indices of the shards to
+    /// rebuild (ascending) and must return one [`PathData`] per index,
+    /// in that order. The merged dataset is bit-identical to a
+    /// from-scratch generation; `crates/testbed/tests/shard_pin.rs`
+    /// pins this.
+    ///
+    /// Housekeeping on every load: orphaned atomic-write temp files are
+    /// swept, shards beyond the catalog (a shrunk preset) are removed,
+    /// the manifest is rewritten when out of date, and a legacy
+    /// monolithic `<dir>.json` cache — fully superseded, never trusted
+    /// — is deleted once the sharded cache is in place.
+    pub fn load_or_generate_sharded<F>(
+        dir: &FsPath,
+        preset: &Preset,
+        catalog: &[PathConfig],
+        regenerate: F,
+    ) -> io::Result<(Self, ShardStats)>
+    where
+        F: FnOnce(&[usize]) -> Vec<PathData>,
+    {
+        fs::create_dir_all(dir)?;
+        sweep_stale_temps(dir);
+        remove_orphan_shards(dir, catalog.len());
+
+        let mut stats = ShardStats::default();
+        let mut slots: Vec<Option<PathData>> = Vec::with_capacity(catalog.len());
+        for (id, config) in catalog.iter().enumerate() {
+            let shard_path = dir.join(shard_file_name(id));
+            let expected = shard_fingerprint(preset, config);
+            match load_shard(&shard_path) {
+                Ok(shard)
+                    if shard.behavior_hash == BEHAVIOR_HASH
+                        && shard.config_fingerprint == expected =>
+                {
+                    stats.hits += 1;
+                    slots.push(Some(shard.path));
+                }
+                Ok(_) => {
+                    // Present but generated by different simulation
+                    // code or a different (preset, config).
+                    stats.stale += 1;
+                    slots.push(None);
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    stats.missing += 1;
+                    slots.push(None);
+                }
+                Err(_) => {
+                    // Unparseable or truncated: same as stale.
+                    stats.stale += 1;
+                    slots.push(None);
+                }
+            }
+        }
+
+        let stale_ids: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.is_none().then_some(id))
+            .collect();
+        if !stale_ids.is_empty() {
+            eprintln!(
+                "# dataset '{}': {} shard(s) reused, regenerating {} \
+                 ({} missing, {} stale) -> {}",
+                preset.name,
+                stats.hits,
+                stale_ids.len(),
+                stats.missing,
+                stats.stale,
+                dir.display()
+            );
+            let fresh = regenerate(&stale_ids);
+            if fresh.len() != stale_ids.len() {
+                return Err(io::Error::other(format!(
+                    "shard regeneration returned {} paths for {} stale shards",
+                    fresh.len(),
+                    stale_ids.len()
+                )));
+            }
+            for (&id, data) in stale_ids.iter().zip(fresh) {
+                save_shard(dir, id, preset, &data)?;
+                slots[id] = Some(data);
+            }
+        }
+        write_manifest_if_changed(dir, preset, catalog)?;
+
+        let paths: Vec<PathData> = slots.into_iter().flatten().collect();
+        if paths.len() != catalog.len() {
+            return Err(io::Error::other(
+                "sharded load assembled fewer paths than the catalog",
+            ));
+        }
+
+        // Migration: a monolithic `<dir>.json` cache predates the shard
+        // format and is treated as fully stale — its contents were
+        // never consulted above; drop it now that shards cover it.
+        let legacy = dir.with_extension("json");
+        if legacy.is_file() {
+            eprintln!(
+                "# dataset '{}': removing legacy monolithic cache {}",
+                preset.name,
+                legacy.display()
+            );
+            let _ = fs::remove_file(&legacy);
+        }
+
+        Ok((
+            Dataset {
+                preset: preset.clone(),
+                paths,
+            },
+            stats,
+        ))
+    }
+}
+
+// --- Sharded per-path persistence (DESIGN.md §9) ------------------------
+
+/// File name of the shard manifest inside a shard directory.
+pub const SHARD_MANIFEST: &str = "manifest.json";
+
+/// File name of the shard holding catalog path `id`.
+pub fn shard_file_name(id: usize) -> String {
+    format!("path-{id}.json")
+}
+
+/// Per-shard outcome counts of one [`Dataset::load_or_generate_sharded`]
+/// call: how much of the cache was reusable and why the rest was not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shards loaded from disk (behavior hash and fingerprint matched).
+    pub hits: usize,
+    /// Shards with no file on disk.
+    pub missing: usize,
+    /// Shards present but untrusted: behavior-hash or fingerprint
+    /// mismatch, or unparseable JSON.
+    pub stale: usize,
+}
+
+impl ShardStats {
+    /// Shards that had to be regenerated (`missing + stale`).
+    pub fn regenerated(&self) -> usize {
+        self.missing + self.stale
+    }
+
+    /// Total shards considered (`hits + regenerated`).
+    pub fn total(&self) -> usize {
+        self.hits + self.regenerated()
+    }
+}
+
+/// The on-disk envelope of one shard: one path's data plus everything
+/// needed to decide whether this binary can trust it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardFile {
+    /// [`BEHAVIOR_HASH`] at generation time.
+    behavior_hash: String,
+    /// [`shard_fingerprint`] of the (preset, path config) that
+    /// generated this shard.
+    config_fingerprint: String,
+    /// The payload.
+    path: PathData,
+}
+
+/// One manifest line: which shard file covers which catalog path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ManifestEntry {
+    /// Catalog index.
+    id: usize,
+    /// Shard file name ([`shard_file_name`]).
+    file: String,
+    /// Expected [`shard_fingerprint`] of the shard.
+    config_fingerprint: String,
+}
+
+/// `manifest.json`: a human-readable index of the shard directory.
+/// Validity is decided per shard (each shard self-describes); the
+/// manifest records what the directory *should* contain so a partially
+/// written or hand-edited cache is easy to diagnose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Manifest {
+    /// [`BEHAVIOR_HASH`] at the last (re)generation.
+    behavior_hash: String,
+    /// The preset the shards belong to.
+    preset: Preset,
+    /// One entry per catalog path, in catalog order.
+    shards: Vec<ManifestEntry>,
+}
+
+/// FNV-1a, 64-bit — same digest family as the behavior hash.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of everything *besides* simulation code that decides a
+/// shard's contents: the full preset (epoch counts, durations, fault
+/// rates, seed) and the path's own configuration. Hashed over the
+/// serialized JSON of both, so any field change — however small —
+/// invalidates exactly the shards it affects.
+pub fn shard_fingerprint(preset: &Preset, config: &PathConfig) -> String {
+    let preset_json = serde_json::to_string(preset).unwrap_or_default();
+    let config_json = serde_json::to_string(config).unwrap_or_default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h = fnv1a(h, preset_json.as_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, config_json.as_bytes());
+    h = fnv1a(h, &[0]);
+    format!("{h:016x}")
+}
+
+/// Loads one shard envelope.
+fn load_shard(path: &FsPath) -> io::Result<ShardFile> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+/// Saves one shard atomically, embedding the current behavior hash and
+/// the (preset, config) fingerprint.
+fn save_shard(dir: &FsPath, id: usize, preset: &Preset, data: &PathData) -> io::Result<()> {
+    let shard = ShardFile {
+        behavior_hash: BEHAVIOR_HASH.to_string(),
+        config_fingerprint: shard_fingerprint(preset, &data.config),
+        path: data.clone(),
+    };
+    let json = serde_json::to_string(&shard).map_err(io::Error::other)?;
+    write_atomic(&dir.join(shard_file_name(id)), &json)
+}
+
+/// Rewrites `manifest.json` when its expected content differs from
+/// what is on disk (first generation, behavior-hash change, catalog
+/// change, or a deleted/hand-edited manifest).
+fn write_manifest_if_changed(
+    dir: &FsPath,
+    preset: &Preset,
+    catalog: &[PathConfig],
+) -> io::Result<()> {
+    let manifest = Manifest {
+        behavior_hash: BEHAVIOR_HASH.to_string(),
+        preset: preset.clone(),
+        shards: catalog
+            .iter()
+            .enumerate()
+            .map(|(id, config)| ManifestEntry {
+                id,
+                file: shard_file_name(id),
+                config_fingerprint: shard_fingerprint(preset, config),
+            })
+            .collect(),
+    };
+    let json = serde_json::to_string(&manifest).map_err(io::Error::other)?;
+    let path = dir.join(SHARD_MANIFEST);
+    if fs::read_to_string(&path).is_ok_and(|on_disk| on_disk == json) {
+        return Ok(());
+    }
+    write_atomic(&path, &json)
+}
+
+/// Removes `path-<id>.json` shards beyond the catalog — left behind
+/// when a preset shrinks its path count. Best-effort.
+fn remove_orphan_shards(dir: &FsPath, path_count: usize) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let id = name
+            .strip_prefix("path-")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<usize>().ok());
+        if id.is_some_and(|id| id >= path_count) {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Writes `json` to `path` atomically: a temp file in the destination
+/// directory, then rename, so an interrupted save can never leave a
+/// truncated cache behind. The temp name embeds the process id so
+/// concurrent generators each write their own temp file; last rename
+/// wins, and both outcomes are complete files with identical content
+/// (generation is deterministic).
+fn write_atomic(path: &FsPath, json: &str) -> io::Result<()> {
+    let dir = path.parent().unwrap_or(FsPath::new("."));
+    fs::create_dir_all(dir)?;
+    let file_name = path.file_name().unwrap_or_default().to_string_lossy();
+    let tmp = dir.join(format!(".{}.tmp.{}", file_name, std::process::id()));
+    fs::write(&tmp, json)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Sweeps orphaned atomic-write temp files (`.{name}.tmp.{pid}`) left
+/// behind by a crash between [`write_atomic`]'s write and rename. Only
+/// temps **no newer than the cache file they shadow** are removed: a
+/// concurrent writer's in-flight temp is strictly newer than the cache
+/// it is about to replace, while a crash leftover is older than the
+/// cache some later save renamed into place. A leftover with no cache
+/// file at all is kept for now — the shard it shadows is about to
+/// regenerate, after which the next load sweeps it. Best-effort: IO
+/// errors leave the temp for the next load.
+fn sweep_stale_temps(dir: &FsPath) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(target) = temp_target_name(&name) else {
+            continue;
+        };
+        let temp_path = entry.path();
+        let target_mtime = fs::metadata(dir.join(target)).and_then(|m| m.modified());
+        let temp_mtime = fs::metadata(&temp_path).and_then(|m| m.modified());
+        if let (Ok(temp_m), Ok(target_m)) = (temp_mtime, target_mtime) {
+            if temp_m <= target_m {
+                let _ = fs::remove_file(&temp_path);
+            }
+        }
+    }
+}
+
+/// Parses an atomic-write temp file name: `.{name}.tmp.{pid}` yields
+/// `Some(name)`, anything else `None`.
+fn temp_target_name(file_name: &str) -> Option<&str> {
+    let rest = file_name.strip_prefix('.')?;
+    let (target, pid) = rest.rsplit_once(".tmp.")?;
+    (!target.is_empty() && !pid.is_empty() && pid.bytes().all(|b| b.is_ascii_digit()))
+        .then_some(target)
 }
 
 #[cfg(test)]
@@ -612,5 +959,279 @@ mod tests {
     fn behavior_hash_is_a_hex_digest() {
         assert_eq!(BEHAVIOR_HASH.len(), 16);
         assert!(BEHAVIOR_HASH.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    /// A unique scratch directory per test (tests share one process, so
+    /// the pid alone does not discriminate).
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tputpred-{}-{}", tag, std::process::id()))
+    }
+
+    #[test]
+    fn stale_temp_file_is_swept_on_load() {
+        let dir = scratch("temp-sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("ds.json");
+        // Plant the crash leftover *before* the cache exists, then save:
+        // the temp's mtime is <= the cache's, exactly the state a crash
+        // between write and rename leaves after a later successful save.
+        let temp = dir.join(format!(".ds.json.tmp.{}", std::process::id() + 1));
+        std::fs::write(&temp, "{\"partial\":").unwrap();
+        dataset().save(&file).unwrap();
+        assert!(temp.is_file(), "precondition: leftover planted");
+        let loaded = Dataset::load_or_generate(&file, || panic!("cached")).unwrap();
+        assert_eq!(loaded, dataset());
+        assert!(!temp.exists(), "stale temp must be swept on load");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_newer_than_cache_survives_the_sweep() {
+        let dir = scratch("temp-keep");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("ds.json");
+        dataset().save(&file).unwrap();
+        // Rewind the cache's mtime so the temp planted next is strictly
+        // newer — the signature of a concurrent writer's in-flight file.
+        let old = std::fs::FileTimes::new()
+            .set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(1));
+        std::fs::File::options()
+            .append(true)
+            .open(&file)
+            .unwrap()
+            .set_times(old)
+            .unwrap();
+        let temp = dir.join(format!(".ds.json.tmp.{}", std::process::id() + 1));
+        std::fs::write(&temp, "{\"in-flight\":").unwrap();
+        let _ = Dataset::load_or_generate(&file, || panic!("cached")).unwrap();
+        assert!(temp.is_file(), "an in-flight temp must not be swept");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_target_name_parses_only_atomic_temp_names() {
+        assert_eq!(temp_target_name(".ds.json.tmp.1234"), Some("ds.json"));
+        assert_eq!(temp_target_name(".path-3.json.tmp.9"), Some("path-3.json"));
+        // Name with an interior `.tmp.`: the *last* one is the marker.
+        assert_eq!(temp_target_name(".a.tmp.b.tmp.77"), Some("a.tmp.b"));
+        assert_eq!(temp_target_name("ds.json"), None, "no leading dot");
+        assert_eq!(
+            temp_target_name(".ds.json.tmp.12x"),
+            None,
+            "pid not numeric"
+        );
+        assert_eq!(temp_target_name(".ds.json.tmp."), None, "empty pid");
+        assert_eq!(temp_target_name(".tmp.123"), None, "empty target");
+        assert_eq!(temp_target_name(".hidden-file"), None);
+    }
+
+    fn shard_catalog() -> Vec<PathConfig> {
+        catalog_2004(3, 1)
+    }
+
+    fn path_data(config: &PathConfig, r: f64) -> PathData {
+        PathData {
+            config: config.clone(),
+            traces: vec![TraceData {
+                records: vec![record(r)],
+            }],
+        }
+    }
+
+    /// The canonical fake regeneration: path `i` gets throughput
+    /// `(i+1) MHz` so shards are distinguishable.
+    fn regen(catalog: &[PathConfig]) -> impl FnOnce(&[usize]) -> Vec<PathData> + '_ {
+        |ids| {
+            ids.iter()
+                .map(|&i| path_data(&catalog[i], (i as f64 + 1.0) * 1e6))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn sharded_cold_load_generates_then_warm_load_hits() {
+        let dir = scratch("shard-cold");
+        let _ = std::fs::remove_dir_all(&dir);
+        let preset = Preset::tiny();
+        let catalog = shard_catalog();
+        let (ds, stats) =
+            Dataset::load_or_generate_sharded(&dir, &preset, &catalog, regen(&catalog)).unwrap();
+        assert_eq!(
+            stats,
+            ShardStats {
+                hits: 0,
+                missing: 3,
+                stale: 0
+            }
+        );
+        assert_eq!(stats.regenerated(), 3);
+        assert_eq!(ds.paths.len(), 3);
+        for id in 0..3 {
+            assert!(dir.join(shard_file_name(id)).is_file());
+        }
+        assert!(dir.join(SHARD_MANIFEST).is_file());
+        let (warm, warm_stats) =
+            Dataset::load_or_generate_sharded(&dir, &preset, &catalog, |_| panic!("cached"))
+                .unwrap();
+        assert_eq!(
+            warm_stats,
+            ShardStats {
+                hits: 3,
+                missing: 0,
+                stale: 0
+            }
+        );
+        assert_eq!(ds, warm, "warm load reassembles the identical dataset");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_shard_regenerates_only_itself() {
+        let dir = scratch("shard-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let preset = Preset::tiny();
+        let catalog = shard_catalog();
+        Dataset::load_or_generate_sharded(&dir, &preset, &catalog, regen(&catalog)).unwrap();
+        std::fs::write(dir.join(shard_file_name(1)), "{\"trunc").unwrap();
+        let mut asked = Vec::new();
+        let (ds, stats) = Dataset::load_or_generate_sharded(&dir, &preset, &catalog, |ids| {
+            asked = ids.to_vec();
+            ids.iter()
+                .map(|&i| path_data(&catalog[i], (i as f64 + 1.0) * 1e6))
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(asked, vec![1], "only the damaged shard regenerates");
+        assert_eq!(
+            stats,
+            ShardStats {
+                hits: 2,
+                missing: 0,
+                stale: 1
+            }
+        );
+        assert_eq!(ds.paths.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deleted_shard_counts_missing_and_regenerates() {
+        let dir = scratch("shard-missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        let preset = Preset::tiny();
+        let catalog = shard_catalog();
+        Dataset::load_or_generate_sharded(&dir, &preset, &catalog, regen(&catalog)).unwrap();
+        std::fs::remove_file(dir.join(shard_file_name(2))).unwrap();
+        let (_, stats) =
+            Dataset::load_or_generate_sharded(&dir, &preset, &catalog, regen(&catalog)).unwrap();
+        assert_eq!(
+            stats,
+            ShardStats {
+                hits: 2,
+                missing: 1,
+                stale: 0
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_change_invalidates_only_that_shard() {
+        let dir = scratch("shard-config");
+        let _ = std::fs::remove_dir_all(&dir);
+        let preset = Preset::tiny();
+        let mut catalog = shard_catalog();
+        Dataset::load_or_generate_sharded(&dir, &preset, &catalog, regen(&catalog)).unwrap();
+        catalog[2].capacity_bps *= 2.0;
+        let mut asked = Vec::new();
+        let (_, stats) = Dataset::load_or_generate_sharded(&dir, &preset, &catalog, |ids| {
+            asked = ids.to_vec();
+            ids.iter()
+                .map(|&i| path_data(&catalog[i], (i as f64 + 1.0) * 1e6))
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(asked, vec![2]);
+        assert_eq!(
+            stats,
+            ShardStats {
+                hits: 2,
+                missing: 0,
+                stale: 1
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn preset_change_invalidates_every_shard() {
+        let dir = scratch("shard-preset");
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = shard_catalog();
+        Dataset::load_or_generate_sharded(&dir, &Preset::tiny(), &catalog, regen(&catalog))
+            .unwrap();
+        let changed = Preset {
+            seed: Preset::tiny().seed + 1,
+            ..Preset::tiny()
+        };
+        let (_, stats) =
+            Dataset::load_or_generate_sharded(&dir, &changed, &catalog, regen(&catalog)).unwrap();
+        assert_eq!(
+            stats,
+            ShardStats {
+                hits: 0,
+                missing: 0,
+                stale: 3
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_shards_beyond_the_catalog_are_removed() {
+        let dir = scratch("shard-orphan");
+        let _ = std::fs::remove_dir_all(&dir);
+        let preset = Preset::tiny();
+        let catalog = shard_catalog();
+        Dataset::load_or_generate_sharded(&dir, &preset, &catalog, regen(&catalog)).unwrap();
+        let orphan = dir.join(shard_file_name(7));
+        std::fs::write(&orphan, "{}").unwrap();
+        Dataset::load_or_generate_sharded(&dir, &preset, &catalog, |_| panic!("cached")).unwrap();
+        assert!(!orphan.exists(), "shards past the catalog must be removed");
+        assert!(dir.join(shard_file_name(2)).is_file(), "live shards stay");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_monolithic_cache_is_removed_after_sharded_load() {
+        let base = scratch("shard-legacy");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let dir = base.join("tiny");
+        let legacy = base.join("tiny.json");
+        dataset().save(&legacy).unwrap();
+        let catalog = shard_catalog();
+        let (ds, stats) =
+            Dataset::load_or_generate_sharded(&dir, &Preset::tiny(), &catalog, regen(&catalog))
+                .unwrap();
+        assert_eq!(stats.regenerated(), 3, "legacy cache is never consulted");
+        assert_eq!(ds.paths.len(), 3);
+        assert!(!legacy.exists(), "superseded monolith must be removed");
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn shard_fingerprint_separates_presets_and_configs() {
+        let catalog = shard_catalog();
+        let tiny = Preset::tiny();
+        let quick = Preset::quick();
+        let fp = shard_fingerprint(&tiny, &catalog[0]);
+        assert_eq!(fp.len(), 16);
+        assert!(fp.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(fp, shard_fingerprint(&tiny, &catalog[0]), "deterministic");
+        assert_ne!(fp, shard_fingerprint(&tiny, &catalog[1]));
+        assert_ne!(fp, shard_fingerprint(&quick, &catalog[0]));
     }
 }

@@ -34,14 +34,15 @@
 
 /// Behavior hashing: a digest of the source trees (netsim, tcp,
 /// probes, testbed) whose code decides what a generated dataset
-/// contains. `data/<preset>.json` caches are pure functions of
-/// (preset, seed, simulator code); the first two are embedded in the
-/// file, and this digest fingerprints the third so
-/// [`data::Dataset::load_or_generate`] regenerates caches produced by
-/// different simulation code — replacing the old "remember to delete
-/// `data/*.json` after touching netsim/tcp/probes/testbed" convention
-/// with a mechanical check. `build.rs` `include!`s this module to bake
-/// the current hash in as [`data::BEHAVIOR_HASH`].
+/// contains. Cached datasets are pure functions of (preset, seed,
+/// simulator code); the first two are fingerprinted per shard, and
+/// this digest covers the third so
+/// [`data::Dataset::load_or_generate_sharded`] (and the legacy
+/// monolithic [`data::Dataset::load_or_generate`]) regenerates caches
+/// produced by different simulation code — replacing the old "remember
+/// to delete `data/*` after touching netsim/tcp/probes/testbed"
+/// convention with a mechanical check. `build.rs` `include!`s this
+/// module to bake the current hash in as [`data::BEHAVIOR_HASH`].
 pub mod behavior_hash;
 pub mod data;
 pub mod faults;
@@ -50,9 +51,9 @@ pub mod preset;
 pub mod runner;
 
 pub use data::{
-    CompleteEpoch, Dataset, EpochFaults, EpochRecord, EpochStatus, PathData, TraceData,
+    CompleteEpoch, Dataset, EpochFaults, EpochRecord, EpochStatus, PathData, ShardStats, TraceData,
 };
 pub use faults::{EpochFaultPlan, FaultConfig, FaultPlan, TransferFault};
 pub use path::{catalog_2004, catalog_2006, CrossProfile, PathConfig};
 pub use preset::Preset;
-pub use runner::{catalog_for, generate, run_trace};
+pub use runner::{catalog_for, generate, generate_paths, load_or_generate_sharded, run_trace};

@@ -502,14 +502,23 @@ pub fn catalog_for(preset: &Preset) -> Vec<PathConfig> {
     }
 }
 
-/// Generates a complete dataset for `preset`, running traces in parallel
-/// across CPU cores. Deterministic: the result depends only on the
-/// preset (every trace derives its seed from the path seed and trace
-/// index).
-pub fn generate(preset: &Preset) -> Dataset {
-    let catalog = catalog_for(preset);
-    let jobs: Vec<(usize, usize)> = (0..catalog.len())
-        .flat_map(|p| (0..preset.traces_per_path).map(move |t| (p, t)))
+/// Generates the [`PathData`] for a subset of `catalog` (the paths at
+/// `indices`, in the given order), running traces in parallel across
+/// CPU cores. Deterministic: each trace's seed derives from its path's
+/// seed and trace index, never from which subset it was generated in —
+/// so generating paths one at a time and merging is bit-identical to
+/// one full pass (`tests/shard_pin.rs` pins this).
+///
+/// This is the regeneration entry point of the sharded cache
+/// ([`load_or_generate_sharded`]); [`generate`] is the
+/// whole-catalog special case.
+pub fn generate_paths(preset: &Preset, catalog: &[PathConfig], indices: &[usize]) -> Vec<PathData> {
+    if indices.is_empty() {
+        return Vec::new();
+    }
+    let jobs: Vec<(usize, usize)> = indices
+        .iter()
+        .flat_map(|&p| (0..preset.traces_per_path).map(move |t| (p, t)))
         .collect();
     obs::gauge_set("testbed.workers", rayon::current_num_threads() as f64);
     obs::add("testbed.traces", jobs.len() as u64);
@@ -520,20 +529,63 @@ pub fn generate(preset: &Preset) -> Dataset {
         .collect();
     gen_scope.stop();
     results.sort_by_key(|&(key, _)| key);
-    let mut paths: Vec<PathData> = catalog
-        .into_iter()
-        .map(|config| PathData {
-            config,
+    let mut paths: Vec<PathData> = indices
+        .iter()
+        .map(|&p| PathData {
+            config: catalog[p].clone(),
             traces: Vec::with_capacity(preset.traces_per_path),
         })
         .collect();
     for ((p, _), trace) in results {
-        paths[p].traces.push(trace);
+        // `results` is sorted by (path, trace) and `indices` is the job
+        // order, so the slot is found by position in `indices`.
+        if let Some(slot) = indices.iter().position(|&i| i == p) {
+            paths[slot].traces.push(trace);
+        }
     }
+    paths
+}
+
+/// Generates a complete dataset for `preset`, running traces in parallel
+/// across CPU cores. Deterministic: the result depends only on the
+/// preset (every trace derives its seed from the path seed and trace
+/// index).
+pub fn generate(preset: &Preset) -> Dataset {
+    let catalog = catalog_for(preset);
+    let indices: Vec<usize> = (0..catalog.len()).collect();
+    let paths = generate_paths(preset, &catalog, &indices);
     Dataset {
         preset: preset.clone(),
         paths,
     }
+}
+
+/// Loads `preset`'s dataset from the sharded cache at `dir`
+/// (`data/<preset>/`), regenerating only the stale, missing, or corrupt
+/// shards via [`generate_paths`]. Returns the merged dataset — bit
+/// identical to [`generate`] — and the shard reuse counts.
+///
+/// Telemetry (observation-only, recorded when profiling is enabled):
+/// `testbed.shards.hit` / `.missing` / `.stale` / `.regenerated`
+/// counters and a `testbed.shard_cache_wall` scope around the whole
+/// load-or-regenerate pass.
+pub fn load_or_generate_sharded(
+    dir: &std::path::Path,
+    preset: &Preset,
+) -> std::io::Result<(Dataset, crate::data::ShardStats)> {
+    let mut scope = obs::time_scope("testbed.shard_cache_wall");
+    let catalog = catalog_for(preset);
+    let result = Dataset::load_or_generate_sharded(dir, preset, &catalog, |stale| {
+        generate_paths(preset, &catalog, stale)
+    });
+    scope.stop();
+    if let Ok((_, stats)) = &result {
+        obs::add("testbed.shards.hit", stats.hits as u64);
+        obs::add("testbed.shards.missing", stats.missing as u64);
+        obs::add("testbed.shards.stale", stats.stale as u64);
+        obs::add("testbed.shards.regenerated", stats.regenerated() as u64);
+    }
+    result
 }
 
 #[cfg(test)]

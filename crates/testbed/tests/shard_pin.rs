@@ -1,0 +1,161 @@
+//! The sharded cache's correctness guard (DESIGN.md §9): a dataset
+//! assembled from per-path shards must be **bit-identical** to a
+//! from-scratch `generate()` — whether the shards were written cold in
+//! one pass, reloaded warm, or partially regenerated after targeted
+//! damage. Compared both as structured values and as serialized JSON,
+//! so a float that survives `PartialEq` but differs in bits would still
+//! be caught.
+//!
+//! Faults are enabled so the degraded/missing epoch paths shard and
+//! merge correctly too.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tputpred_netsim::Time;
+use tputpred_testbed::data::{shard_file_name, SHARD_MANIFEST};
+use tputpred_testbed::{
+    catalog_for, generate, generate_paths, load_or_generate_sharded, FaultConfig, Preset,
+    ShardStats,
+};
+
+fn pin_preset() -> Preset {
+    Preset {
+        name: "shardpin".into(),
+        paths: 4,
+        traces_per_path: 1,
+        epochs_per_trace: 2,
+        pathload_slot: Time::from_secs(6),
+        pre_ping: Time::from_secs(5),
+        transfer: Time::from_secs(4),
+        epoch_gap: Time::from_secs(2),
+        w_large: 1 << 20,
+        w_small: 20 * 1024,
+        with_small_window: true,
+        ping_interval: Time::from_millis(100),
+        seed: 4321,
+        // Faults on: Option-valued measurements must survive the shard
+        // round trip bit-for-bit as well.
+        faults: FaultConfig::default(),
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tputpred-shardpin-{}-{}", tag, std::process::id()))
+}
+
+#[test]
+fn sharded_load_is_bit_identical_to_from_scratch_generation() {
+    let preset = pin_preset();
+    let reference = generate(&preset);
+    let reference_json = serde_json::to_string(&reference).expect("dataset serializes");
+    let dir = scratch("main");
+    let _ = fs::remove_dir_all(&dir);
+
+    // Cold: every shard generated, then merged in catalog order.
+    let (cold, cold_stats) = load_or_generate_sharded(&dir, &preset).expect("cold load");
+    assert_eq!(
+        cold_stats,
+        ShardStats {
+            hits: 0,
+            missing: preset.paths,
+            stale: 0
+        }
+    );
+    assert_eq!(cold, reference, "cold sharded generation diverged");
+    assert_eq!(
+        serde_json::to_string(&cold).expect("serializes"),
+        reference_json,
+        "cold sharded generation changed serialized bytes"
+    );
+    assert!(dir.join(SHARD_MANIFEST).is_file(), "manifest written");
+
+    // Warm: pure reload from shards.
+    let (warm, warm_stats) = load_or_generate_sharded(&dir, &preset).expect("warm load");
+    assert_eq!(
+        warm_stats,
+        ShardStats {
+            hits: preset.paths,
+            missing: 0,
+            stale: 0
+        }
+    );
+    assert_eq!(
+        serde_json::to_string(&warm).expect("serializes"),
+        reference_json,
+        "warm sharded reload changed serialized bytes"
+    );
+
+    // Targeted damage: corrupt one shard, delete another — only those
+    // two regenerate, and the merge is still bit-identical.
+    fs::write(dir.join(shard_file_name(1)), "{\"truncated").expect("corrupt shard");
+    fs::remove_file(dir.join(shard_file_name(3))).expect("delete shard");
+    let (patched, patched_stats) = load_or_generate_sharded(&dir, &preset).expect("patched load");
+    assert_eq!(
+        patched_stats,
+        ShardStats {
+            hits: preset.paths - 2,
+            missing: 1,
+            stale: 1
+        }
+    );
+    assert_eq!(
+        serde_json::to_string(&patched).expect("serializes"),
+        reference_json,
+        "partially regenerated dataset changed serialized bytes"
+    );
+
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn per_path_generation_matches_the_full_pass_slice_for_slice() {
+    // generate_paths() on an arbitrary subset must reproduce exactly the
+    // slices of the full pass — trace seeds depend only on (path, trace
+    // index), never on which batch a path was generated in.
+    let preset = pin_preset();
+    let catalog = catalog_for(&preset);
+    let full = generate(&preset);
+    let subset = generate_paths(&preset, &catalog, &[2, 0]);
+    assert_eq!(subset.len(), 2);
+    assert_eq!(subset[0], full.paths[2], "path 2 diverged in subset run");
+    assert_eq!(subset[1], full.paths[0], "path 0 diverged in subset run");
+    assert!(
+        generate_paths(&preset, &catalog, &[]).is_empty(),
+        "empty subset generates nothing"
+    );
+}
+
+#[test]
+fn legacy_monolithic_cache_migrates_to_shards() {
+    let preset = pin_preset();
+    let base = scratch("legacy");
+    let _ = fs::remove_dir_all(&base);
+    fs::create_dir_all(&base).expect("scratch dir");
+    let dir = base.join(&preset.name);
+    let legacy = base.join(format!("{}.json", preset.name));
+
+    // A monolithic cache from the pre-shard format — even one written by
+    // this very binary — is fully superseded: every shard regenerates
+    // and the monolith is removed.
+    let reference = generate(&preset);
+    reference.save(&legacy).expect("write legacy cache");
+    let (migrated, stats) = load_or_generate_sharded(&dir, &preset).expect("migrating load");
+    assert_eq!(
+        stats,
+        ShardStats {
+            hits: 0,
+            missing: preset.paths,
+            stale: 0
+        },
+        "legacy cache is treated as fully stale"
+    );
+    assert_eq!(migrated, reference);
+    assert!(!legacy.exists(), "monolithic cache removed after migration");
+    assert!(
+        dir.join(shard_file_name(0)).is_file(),
+        "sharded cache in place"
+    );
+
+    fs::remove_dir_all(&base).expect("cleanup");
+}

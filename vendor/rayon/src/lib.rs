@@ -26,15 +26,34 @@ pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
+/// Upper bound on a `RAYON_NUM_THREADS` override. The stub spawns one
+/// OS thread per worker with no pooling, so honoring an absurd value
+/// (`RAYON_NUM_THREADS=1000000`) would attempt that many `spawn`s and
+/// abort on resource exhaustion; the real crate clamps similarly.
+/// Values above this fall back to the detected core count.
+const MAX_THREADS: usize = 256;
+
+/// Parses a `RAYON_NUM_THREADS` value: a positive integer no larger
+/// than [`MAX_THREADS`], with surrounding whitespace tolerated. `None`
+/// (fall back to the core count) for `0`, non-numeric input, and
+/// absurdly large values.
+fn threads_from_env(raw: &str) -> Option<usize> {
+    raw.trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| (1..=MAX_THREADS).contains(&n))
+}
+
 /// Number of worker threads `collect` will use, mirroring the real
 /// crate's global-pool accessor of the same name: the
-/// `RAYON_NUM_THREADS` environment variable when set to a positive
-/// integer, the detected core count otherwise.
+/// `RAYON_NUM_THREADS` environment variable when set to a sane positive
+/// integer (a value in `1..=MAX_THREADS`; anything else — zero,
+/// garbage, absurdly large — is ignored), the detected core count
+/// otherwise.
 pub fn current_num_threads() -> usize {
     std::env::var("RAYON_NUM_THREADS")
         .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
+        .and_then(|s| threads_from_env(&s))
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(NonZeroUsize::get)
@@ -224,6 +243,35 @@ mod tests {
     #[test]
     fn current_num_threads_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn env_override_accepts_sane_values_only() {
+        // Pure-function tests: `std::env::set_var` is unsafe (and racy
+        // across test threads), so the parser is tested directly and
+        // `current_num_threads` only via whatever the ambient env is.
+        use super::{threads_from_env, MAX_THREADS};
+        assert_eq!(threads_from_env("4"), Some(4));
+        assert_eq!(threads_from_env("1"), Some(1));
+        assert_eq!(threads_from_env(" 8 "), Some(8), "whitespace tolerated");
+        assert_eq!(
+            threads_from_env(&MAX_THREADS.to_string()),
+            Some(MAX_THREADS)
+        );
+        // Fallback cases: zero workers, garbage, and absurd values must
+        // all yield None (→ detected core count), never a panic.
+        assert_eq!(threads_from_env("0"), None);
+        assert_eq!(threads_from_env(""), None);
+        assert_eq!(threads_from_env("abc"), None);
+        assert_eq!(threads_from_env("-2"), None);
+        assert_eq!(threads_from_env("3.5"), None);
+        assert_eq!(threads_from_env(&(MAX_THREADS + 1).to_string()), None);
+        assert_eq!(threads_from_env("1000000"), None);
+        assert_eq!(
+            threads_from_env("99999999999999999999999999"),
+            None,
+            "overflow"
+        );
     }
 
     /// Not a correctness test — a manual A/B of scheduling policy. Run
