@@ -60,7 +60,9 @@ pub struct Ctx<'a> {
 
 impl Ctx<'_> {
     /// Sends a packet of `size` bytes along `route` to `dst`.
+    // lint:hot-path
     pub fn send(&mut self, route: Route, dst: EndpointId, size: u32, payload: Payload) {
+        // lint:allow(hot-path-alloc): scratch command buffer retains capacity across callbacks
         self.commands.push(Command::Send(Packet {
             size,
             src: self.self_id,
@@ -72,7 +74,9 @@ impl Ctx<'_> {
     }
 
     /// Arms a timer to fire at absolute time `at`.
+    // lint:hot-path
     pub fn set_timer(&mut self, token: u64, at: Time) {
+        // lint:allow(hot-path-alloc): same retained scratch command buffer as send
         self.commands.push(Command::SetTimer { token, at });
     }
 
@@ -274,13 +278,16 @@ impl Simulator {
         self.push(at, EventKind::Timer { endpoint, token });
     }
 
+    // lint:hot-path
     fn push(&mut self, at: Time, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
+        // lint:allow(hot-path-alloc): BinaryHeap retains capacity after pops (pooling: ROADMAP 1)
         self.heap.push(Reverse(Scheduled { at, seq, kind }));
     }
 
     /// Dispatches a single event. Returns `false` when the heap is empty.
+    // lint:hot-path
     pub fn step(&mut self) -> bool {
         let Some(Reverse(ev)) = self.heap.pop() else {
             return false;
@@ -338,6 +345,7 @@ impl Simulator {
     }
 
     /// Offers `packet` to the next link on its route, or delivers it.
+    // lint:hot-path
     fn route_packet(&mut self, packet: Packet) {
         match packet.next_hop() {
             Some(link_id) => {
@@ -373,6 +381,7 @@ impl Simulator {
 
     /// Invokes an endpoint callback with a fresh [`Ctx`], then applies the
     /// commands it issued.
+    // lint:hot-path
     fn call_endpoint<F>(&mut self, id: EndpointId, f: F)
     where
         F: FnOnce(&mut dyn Endpoint, &mut Ctx<'_>),

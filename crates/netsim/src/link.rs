@@ -259,6 +259,7 @@ impl Link {
     }
 
     /// Offers a packet to the link at time `now`.
+    // lint:hot-path
     pub fn offer(&mut self, packet: Packet, now: Time) -> Offer {
         self.stats.offered += 1;
         if !self.busy && self.queue.is_empty() {
@@ -271,6 +272,7 @@ impl Link {
             Offer::Dropped
         } else if self.queue.len() < self.config.buffer_packets as usize {
             self.queued_bytes += packet.size;
+            // lint:allow(hot-path-alloc): VecDeque is bounded by buffer_packets, keeps capacity
             self.queue.push_back(Queued {
                 packet,
                 enqueued_at: now,
@@ -284,9 +286,11 @@ impl Link {
 
     /// Starts serializing `packet` (after [`Offer::StartTx`]); returns
     /// when serialization completes.
+    // lint:hot-path
     pub fn begin_tx(&mut self, packet: &Packet, now: Time) -> Time {
         debug_assert!(!self.busy, "begin_tx on a busy link");
         self.busy = true;
+        // lint:allow(hot-path-alloc): Summary::push is constant-size streaming arithmetic, no heap
         self.stats.queue_delay.push(0.0);
         now + Time::tx_time(packet.size, self.config.rate_bps)
     }
@@ -294,6 +298,7 @@ impl Link {
     /// Completes the current serialization at time `now`; accounts the
     /// transmitted packet and, if more packets wait, dequeues the next and
     /// returns it with its serialization-completion time.
+    // lint:hot-path
     pub fn finish_tx(&mut self, sent: &Packet, now: Time) -> Option<(Packet, Time)> {
         debug_assert!(self.busy, "finish_tx on an idle link");
         self.stats.packets_out += 1;
@@ -303,9 +308,9 @@ impl Link {
         if let Some(next) = self.queue.pop_front() {
             self.queued_bytes -= next.packet.size;
             self.busy = true;
-            self.stats
-                .queue_delay
-                .push((now - next.enqueued_at).as_secs_f64());
+            let delay_s = (now - next.enqueued_at).as_secs_f64();
+            // lint:allow(hot-path-alloc): Summary::push is constant-size streaming arithmetic
+            self.stats.queue_delay.push(delay_s);
             let done = now + Time::tx_time(next.packet.size, self.config.rate_bps);
             Some((next.packet, done))
         } else {

@@ -82,25 +82,25 @@ pub fn apply(
 
     for (i, dir) in directives.iter().enumerate() {
         if dir.justification.is_empty() {
-            out.push(Diagnostic {
-                file: file.to_path_buf(),
-                line: dir.line,
-                col: 1,
-                rule: "lint-allow",
-                message: "allowlist directive has no justification; write \
-                          `// lint:allow(rule): why this is sound`"
+            out.push(Diagnostic::error(
+                file.to_path_buf(),
+                dir.line,
+                1,
+                "lint-allow",
+                "allowlist directive has no justification; write \
+                 `// lint:allow(rule): why this is sound`"
                     .to_string(),
-            });
+            ));
         }
         for r in &dir.rules {
             if !known_rules.contains(&r.as_str()) {
-                out.push(Diagnostic {
-                    file: file.to_path_buf(),
-                    line: dir.line,
-                    col: 1,
-                    rule: "lint-allow",
-                    message: format!("allowlist names unknown rule `{r}`"),
-                });
+                out.push(Diagnostic::error(
+                    file.to_path_buf(),
+                    dir.line,
+                    1,
+                    "lint-allow",
+                    format!("allowlist names unknown rule `{r}`"),
+                ));
             }
         }
         if !used[i] && dir.justification.is_empty() {
@@ -108,16 +108,16 @@ pub fn apply(
             continue;
         }
         if !used[i] {
-            out.push(Diagnostic {
-                file: file.to_path_buf(),
-                line: dir.line,
-                col: 1,
-                rule: "lint-allow",
-                message: format!(
+            out.push(Diagnostic::error(
+                file.to_path_buf(),
+                dir.line,
+                1,
+                "lint-allow",
+                format!(
                     "allowlist directive for ({}) suppresses nothing — remove it",
                     dir.rules.join(", ")
                 ),
-            });
+            ));
         }
     }
     out
@@ -129,13 +129,7 @@ mod tests {
     use crate::classify::classify;
 
     fn diag(line: usize, rule: &'static str) -> Diagnostic {
-        Diagnostic {
-            file: "x.rs".into(),
-            line,
-            col: 1,
-            rule,
-            message: "m".into(),
-        }
+        Diagnostic::error("x.rs".into(), line, 1, rule, "m".into())
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! Diagnostics: what a rule reports and how it prints.
+//! Diagnostics: what a rule reports and how it prints — as
+//! `file:line:col` text for humans, or as structured JSON for CI
+//! (`--format json`), so findings can be diffed and archived.
 
 use std::fmt;
 use std::path::PathBuf;
@@ -14,8 +16,41 @@ pub struct Diagnostic {
     pub col: usize,
     /// The rule that fired.
     pub rule: &'static str,
+    /// How serious the finding is. Every current rule reports `error`
+    /// (the exit code and CI gate key off it); the field exists so the
+    /// JSON schema can grow advisory levels without breaking consumers.
+    pub severity: &'static str,
     /// Human-readable explanation with the offending token named.
     pub message: String,
+    /// A short suggestion for fixing the finding, when the rule has one.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// An `error`-severity diagnostic without a fix hint.
+    pub fn error(
+        file: PathBuf,
+        line: usize,
+        col: usize,
+        rule: &'static str,
+        message: String,
+    ) -> Self {
+        Diagnostic {
+            file,
+            line,
+            col,
+            rule,
+            severity: "error",
+            message,
+            hint: None,
+        }
+    }
+
+    /// Attaches a fix hint.
+    pub fn with_hint(mut self, hint: &str) -> Self {
+        self.hint = Some(hint.to_string());
+        self
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -32,22 +67,96 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as the stable `--format json` document:
+///
+/// ```text
+/// { "version": 1,
+///   "diagnostics": [
+///     { "rule": "...", "severity": "error", "file": "...",
+///       "line": 1, "col": 1, "message": "...", "hint": "..."|null },
+///     ... ] }
+/// ```
+///
+/// Hand-rolled (std-only crate); the schema is pinned by a CLI test.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"version\":1,\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let hint = match &d.hint {
+            Some(h) => format!("\"{}\"", json_escape(h)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\
+             \"message\":\"{}\",\"hint\":{}}}",
+            json_escape(d.rule),
+            json_escape(d.severity),
+            json_escape(&d.file.display().to_string().replace('\\', "/")),
+            d.line,
+            d.col,
+            json_escape(&d.message),
+            hint,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn display_is_file_line_col_rule_message() {
-        let d = Diagnostic {
-            file: "crates/netsim/src/engine.rs".into(),
-            line: 12,
-            col: 5,
-            rule: "nondeterminism",
-            message: "forbidden identifier `Instant`".into(),
-        };
+        let d = Diagnostic::error(
+            "crates/netsim/src/engine.rs".into(),
+            12,
+            5,
+            "nondeterminism",
+            "forbidden identifier `Instant`".into(),
+        );
         assert_eq!(
             d.to_string(),
             "crates/netsim/src/engine.rs:12:5: [nondeterminism] forbidden identifier `Instant`"
         );
+    }
+
+    #[test]
+    fn json_document_has_version_and_escaped_fields() {
+        let d = Diagnostic::error("a.rs".into(), 1, 2, "units", "bad \"quote\"".into())
+            .with_hint("use `_bps`");
+        let j = to_json(std::slice::from_ref(&d));
+        assert!(j.starts_with("{\"version\":1,\"diagnostics\":["));
+        assert!(j.contains("\"rule\":\"units\""));
+        assert!(j.contains("\"severity\":\"error\""));
+        assert!(j.contains("\\\"quote\\\""));
+        assert!(j.contains("\"hint\":\"use `_bps`\""));
+        let none = to_json(&[]);
+        assert_eq!(none, "{\"version\":1,\"diagnostics\":[]}");
+    }
+
+    #[test]
+    fn json_hint_is_null_when_absent() {
+        let d = Diagnostic::error("a.rs".into(), 1, 2, "units", "m".into());
+        assert!(to_json(std::slice::from_ref(&d)).contains("\"hint\":null"));
     }
 }

@@ -1,0 +1,192 @@
+//! `hot-path-alloc`: heap allocation inside `// lint:hot-path` fns.
+//!
+//! ROADMAP item 1 (the netsim hot-path overhaul) needs the per-event
+//! and per-packet paths to stay allocation-free; this rule makes that
+//! a checked property instead of a review note. A function opts in by
+//! carrying a `// lint:hot-path` tag on its signature line or in the
+//! attribute/comment run directly above it ([`crate::model`] resolves
+//! the tag). Inside a tagged function the rule flags:
+//!
+//! * allocating macros (`format!`, `vec!`);
+//! * constructors of owning containers (`Vec::new`, `Box::new`,
+//!   `String::with_capacity`, `BinaryHeap::from`, ...);
+//! * allocation-shaped adaptors (`.collect()`, `.to_string()`,
+//!   `.to_vec()`, `.to_owned()`);
+//! * growth calls (`.push`, `.push_back`, `.insert`, `.extend`,
+//!   `.append`) on anything *except* a bare `self` receiver — a tagged
+//!   engine method calling its own `self.push(...)` API is dispatch,
+//!   not allocation, but `self.heap.push(...)` grows a container.
+//!
+//! Growth calls on retained-capacity containers are often fine in
+//! steady state; that judgement is exactly what a justified
+//! `lint:allow(hot-path-alloc)` records (DESIGN.md §8).
+
+use crate::classify::ClassifiedLine;
+use crate::diag::Diagnostic;
+use crate::model::FileModel;
+use std::path::Path;
+
+/// Macros that allocate on every expansion.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Owning-container types whose constructors allocate (or arm an
+/// allocation on first growth).
+const ALLOC_TYPES: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "Rc",
+    "Arc",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+];
+
+/// Constructor names that pair with [`ALLOC_TYPES`].
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Method calls that materialize a new owned value.
+const ALLOC_ADAPTORS: &[&str] = &["collect", "to_string", "to_vec", "to_owned"];
+
+/// Method calls that grow a container (allocate when capacity is
+/// exhausted).
+const GROWTH_CALLS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "append",
+];
+
+const HINT: &str = "hoist the allocation out of the hot path or reuse a retained buffer; \
+                    a deliberate steady-state growth call needs a justified \
+                    lint:allow(hot-path-alloc)";
+
+/// Entry point: builds the file model and checks tagged functions.
+pub fn check(path: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnostic> {
+    let fm = FileModel::build(path, lines);
+    let mut out = Vec::new();
+    for f in &fm.fns {
+        if !f.hot_path || f.is_test {
+            continue;
+        }
+        let diag = |line: usize, col: usize, what: String| {
+            Diagnostic::error(
+                fm.path.clone(),
+                line,
+                col,
+                "hot-path-alloc",
+                format!("{what} inside hot-path fn `{}`", f.qualified()),
+            )
+            .with_hint(HINT)
+        };
+        for m in &f.macros {
+            if ALLOC_MACROS.contains(&m.name.as_str()) {
+                out.push(diag(
+                    m.line,
+                    m.col,
+                    format!("allocating macro `{}!`", m.name),
+                ));
+            }
+        }
+        for c in &f.calls {
+            let name = c.name.as_str();
+            if ALLOC_CTORS.contains(&name)
+                && c.path
+                    .last()
+                    .map(|p| ALLOC_TYPES.contains(&p.as_str()))
+                    .unwrap_or(false)
+            {
+                out.push(diag(
+                    c.line,
+                    c.col,
+                    format!("allocating constructor `{}::{}`", c.path.join("::"), c.name),
+                ));
+                continue;
+            }
+            if !c.is_method {
+                continue;
+            }
+            if ALLOC_ADAPTORS.contains(&name) {
+                out.push(diag(
+                    c.line,
+                    c.col,
+                    format!("allocating call `.{}()`", c.name),
+                ));
+                continue;
+            }
+            if GROWTH_CALLS.contains(&name) && c.receiver.as_deref() != Some("self") {
+                out.push(diag(
+                    c.line,
+                    c.col,
+                    format!("container growth call `.{}(..)`", c.name),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(Path::new("crates/netsim/src/hp.rs"), &classify(src))
+    }
+
+    #[test]
+    fn untagged_fns_are_never_checked() {
+        let out = run("fn f() { let v = Vec::new(); format!(\"{v:?}\"); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn tagged_fn_flags_macros_ctors_and_adaptors() {
+        let out = run(
+            "// lint:hot-path\nfn f() {\n    let s = format!(\"x\");\n    \
+             let v = Vec::new();\n    let w: Vec<u8> = it.collect();\n}\n",
+        );
+        let msgs: Vec<&str> = out.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(out.len(), 3, "{msgs:?}");
+        assert!(msgs[0].contains("`format!`"));
+        assert!(msgs[1].contains("`Vec::new`"));
+        assert!(msgs[2].contains("`.collect()`"));
+        assert!(out.iter().all(|d| d.hint.is_some()));
+    }
+
+    #[test]
+    fn self_api_calls_pass_but_field_growth_flags() {
+        let out = run(
+            "impl Sim {\n    // lint:hot-path\n    fn step(&mut self) {\n        \
+             self.push(1);\n        self.heap.push(2);\n        q.push_back(3);\n    }\n}\n",
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("`.push(..)`"));
+        assert!(out[0].message.contains("Sim::step"));
+        assert!(out[1].message.contains("`.push_back(..)`"));
+    }
+
+    #[test]
+    fn test_region_fns_are_exempt() {
+        let out = run(
+            "#[cfg(test)]\nmod tests {\n    // lint:hot-path\n    fn t() { \
+             let v = Vec::new(); }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn non_alloc_calls_in_tagged_fns_are_clean() {
+        let out = run(
+            "// lint:hot-path\nfn f(&mut self) {\n    self.count += 1;\n    \
+             let t = self.now.max(other);\n    helper(t);\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,252 @@
+//! A small Rust tokenizer over the classified *code* channel.
+//!
+//! The line rules in [`crate::rules`] operate on raw channel text; the
+//! semantic rules (`unit-flow`, `wall-clock-reach`, `hot-path-alloc`)
+//! need a token stream they can walk structurally — balanced groups,
+//! paths, call sites. This lexer is deliberately small: it runs *after*
+//! [`crate::classify`], so string and comment contents are already
+//! blanked and it only has to split identifiers, numbers, and
+//! punctuation while preserving (line, col) positions for diagnostics.
+
+use crate::classify::ClassifiedLine;
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`let`, `fn`, `rtt_s`, ...).
+    Ident,
+    /// A numeric literal (lexed wholesale; `1.5e6` is one token).
+    Number,
+    /// Punctuation, including multi-byte operators (`::`, `->`, `==`).
+    Punct,
+    /// A string/char delimiter left behind by classification (contents
+    /// are blanked, so only the quote bytes survive).
+    Quote,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 0-based line index.
+    pub line: usize,
+    /// 0-based byte column.
+    pub col: usize,
+    /// The token text (for `Quote`, just the delimiter byte).
+    pub text: String,
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// Whether this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// Whether this token is the identifier/keyword `id`.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// Multi-byte operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+    "%=", "&&", "||", "..", "<<", ">>", "&=", "|=", "^=",
+];
+
+/// Tokenizes the code channel of classified lines.
+pub fn tokenize(lines: &[ClassifiedLine]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (li, cl) in lines.iter().enumerate() {
+        let bytes = cl.code.as_bytes();
+        let n = bytes.len();
+        let mut i = 0;
+        while i < n {
+            let b = bytes[i];
+            if b == b' ' || b == b'\t' {
+                i += 1;
+                continue;
+            }
+            if b.is_ascii_alphabetic() || b == b'_' {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    line: li,
+                    col: start,
+                    text: cl.code[start..i].to_string(),
+                    kind: TokKind::Ident,
+                });
+                continue;
+            }
+            if b.is_ascii_digit() {
+                let start = i;
+                // Lex the whole numeric literal (digits, `_`, `.` between
+                // digits, exponent letters) so `1e6` never yields `e6`.
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || (bytes[i] == b'.'
+                            && i + 1 < n
+                            && bytes[i + 1].is_ascii_digit()
+                            && !cl.code[start..i].contains('.')))
+                {
+                    i += 1;
+                }
+                out.push(Tok {
+                    line: li,
+                    col: start,
+                    text: cl.code[start..i].to_string(),
+                    kind: TokKind::Number,
+                });
+                continue;
+            }
+            if b == b'"' || b == b'\'' {
+                out.push(Tok {
+                    line: li,
+                    col: i,
+                    text: (b as char).to_string(),
+                    kind: TokKind::Quote,
+                });
+                i += 1;
+                continue;
+            }
+            if let Some(p) = MULTI_PUNCT.iter().find(|p| cl.code[i..].starts_with(*p)) {
+                out.push(Tok {
+                    line: li,
+                    col: i,
+                    text: (*p).to_string(),
+                    kind: TokKind::Punct,
+                });
+                i += p.len();
+                continue;
+            }
+            out.push(Tok {
+                line: li,
+                col: i,
+                text: (b as char).to_string(),
+                kind: TokKind::Punct,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Index of the token matching the opening group delimiter at `open`
+/// (`(`, `[`, or `{`), or `None` if unbalanced.
+pub fn matching_close(toks: &[Tok], open: usize) -> Option<usize> {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Index of the token matching the closing group delimiter at `close`,
+/// scanning backwards, or `None` if unbalanced.
+pub fn matching_open(toks: &[Tok], close: usize) -> Option<usize> {
+    let (o, c) = match toks[close].text.as_str() {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        "}" => ("{", "}"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for j in (0..=close).rev() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            if t.text == c {
+                depth += 1;
+            } else if t.text == o {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(&classify(src))
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts_split_with_positions() {
+        let t = toks("let rtt_s = 0.05 + x1;");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["let", "rtt_s", "=", "0.05", "+", "x1", ";"]);
+        assert_eq!(t[1].col, 4);
+        assert_eq!(t[1].kind, TokKind::Ident);
+        assert_eq!(t[3].kind, TokKind::Number);
+    }
+
+    #[test]
+    fn multibyte_operators_lex_as_one_token() {
+        let t = toks("a::b -> c => d == e != f += g ..= h");
+        let puncts: Vec<&str> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["::", "->", "=>", "==", "!=", "+=", "..="]);
+    }
+
+    #[test]
+    fn scientific_literals_stay_whole() {
+        let t = toks("x = 1.5e6 + 2e-3;");
+        assert!(t.iter().any(|t| t.text == "1.5e6"));
+        // `2e` then `-` then `3`: the exponent sign splits, which is fine
+        // — numbers are unitless either way.
+        assert!(t.iter().all(|t| t.text != "e6"));
+    }
+
+    #[test]
+    fn strings_are_already_blanked() {
+        let t = toks(r#"let s = "Instant::now";"#);
+        assert!(t.iter().all(|t| t.text != "Instant"));
+        assert!(t.iter().any(|t| t.kind == TokKind::Quote));
+    }
+
+    #[test]
+    fn group_matching_works_both_ways() {
+        let t = toks("f(a, (b + c)[0]) + g");
+        let open = t.iter().position(|t| t.is_punct("(")).unwrap();
+        let close = matching_close(&t, open).unwrap();
+        assert!(t[close].is_punct(")"));
+        assert_eq!(matching_open(&t, close), Some(open));
+        // The matched close is the outer one (after `[0]`).
+        assert!(t[close + 1].is_punct("+"));
+    }
+
+    #[test]
+    fn positions_span_lines() {
+        let t = toks("let a = 1;\nlet b_ns = 2;");
+        let b = t.iter().find(|t| t.text == "b_ns").unwrap();
+        assert_eq!(b.line, 1);
+        assert_eq!(b.col, 4);
+    }
+}

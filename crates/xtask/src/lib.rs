@@ -11,16 +11,28 @@
 //! `// lint:allow(rule): justification` — the justification is
 //! mandatory, and a directive that suppresses nothing is itself an
 //! error, so the allowlist cannot silently rot.
+//!
+//! On top of the line rules sits a small semantic model
+//! ([`lexer`] → [`model`] → [`graph`]) powering three deeper rules:
+//! `unit-flow` (unit-dimension dataflow), `wall-clock-reach`
+//! (call-graph reachability to nondeterminism sinks), and
+//! `hot-path-alloc` (allocation in `// lint:hot-path` functions).
 
 pub mod allow;
 pub mod classify;
 pub mod diag;
+pub mod graph;
+pub mod hot_path;
+pub mod lexer;
+pub mod model;
 pub mod rules;
 pub mod scan;
+pub mod unit_flow;
 
 use diag::Diagnostic;
+use std::collections::BTreeMap;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Lints one file's contents, applying every applicable rule and the
 /// file's allowlist directives. Rule scope filters (e.g. units only in
@@ -74,16 +86,66 @@ fn check_source_inner(
     out
 }
 
-/// Lints every workspace source under `root`. Returns diagnostics in
+/// Lints every workspace source under `root`. Per-file rules run file
+/// by file; workspace rules (`wall-clock-reach`) run once over the
+/// whole file set so call chains cross crate boundaries. Allow
+/// directives apply uniformly to both kinds. Returns diagnostics in
 /// stable (path, line, col) order.
 pub fn check_workspace(root: &Path, only_rule: Option<&str>) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
+    let registry = rules::registry();
+    let known: Vec<&str> = registry.iter().map(|r| r.name).collect();
+
+    let mut classified: Vec<(PathBuf, Vec<classify::ClassifiedLine>)> = Vec::new();
     for rel in scan::rust_sources(root) {
         let Ok(source) = fs::read_to_string(root.join(&rel)) else {
             continue;
         };
-        out.extend(check_source(&rel, &source, only_rule));
+        classified.push((rel, classify::classify(&source)));
     }
+
+    let mut by_file: BTreeMap<PathBuf, Vec<Diagnostic>> = BTreeMap::new();
+    for (rel, lines) in &classified {
+        let mut diags = Vec::new();
+        for rule in &registry {
+            if rule.workspace {
+                continue; // runs once, below
+            }
+            if let Some(only) = only_rule {
+                if rule.name != only {
+                    continue;
+                }
+            }
+            if !(rule.applies)(rel) {
+                continue;
+            }
+            diags.extend((rule.check)(rel, lines));
+        }
+        by_file.insert(rel.clone(), diags);
+    }
+
+    // The cross-file pass: every file is a node source, simulation
+    // crates are the roots (graph.rs decides), obs is the gateway.
+    if only_rule.map(|o| o == "wall-clock-reach").unwrap_or(true) {
+        let models: Vec<model::FileModel> = classified
+            .iter()
+            .map(|(rel, lines)| model::FileModel::build(rel, lines))
+            .collect();
+        for d in graph::check(&models, false) {
+            by_file.entry(d.file.clone()).or_default().push(d);
+        }
+    }
+
+    let mut out = Vec::new();
+    for (rel, lines) in &classified {
+        let directives = allow::collect(lines);
+        let diags = by_file.remove(rel).unwrap_or_default();
+        let mut kept = allow::apply(rel, &directives, diags, &known);
+        if let Some(only) = only_rule {
+            kept.retain(|d| d.rule == only);
+        }
+        out.extend(kept);
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     out
 }
 

@@ -1,7 +1,7 @@
 //! CLI for the workspace invariant linter.
 //!
 //! ```text
-//! cargo run -p tputpred-xtask -- check [--rule NAME] [PATH...]
+//! cargo run -p tputpred-xtask -- check [--rule NAME] [--format text|json] [PATH...]
 //! cargo run -p tputpred-xtask -- rules
 //! ```
 //!
@@ -9,10 +9,12 @@
 //! errors. With no PATH it lints the whole workspace (located from this
 //! crate's manifest dir so it works from any cwd), respecting each
 //! rule's scope; explicitly-named PATHs are checked against every rule.
+//! `--format json` emits the structured document from
+//! [`tputpred_xtask::diag::to_json`] for CI archival and gating.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use tputpred_xtask::{check_source_all_rules, check_workspace, rules};
+use tputpred_xtask::{check_source_all_rules, check_workspace, diag, rules};
 
 fn workspace_root() -> PathBuf {
     // crates/xtask -> workspace root, two levels up.
@@ -20,7 +22,7 @@ fn workspace_root() -> PathBuf {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: tputpred-xtask <check [--rule NAME] [PATH...] | rules>");
+    eprintln!("usage: tputpred-xtask <check [--rule NAME] [--format text|json] [PATH...] | rules>");
     ExitCode::from(2)
 }
 
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
         }
         Some("check") => {
             let mut only_rule: Option<String> = None;
+            let mut json = false;
             let mut paths: Vec<PathBuf> = Vec::new();
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
@@ -46,6 +49,11 @@ fn main() -> ExitCode {
                     "--rule" => match it.next() {
                         Some(name) => only_rule = Some(name.clone()),
                         None => return usage(),
+                    },
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("json") => json = true,
+                        Some("text") => json = false,
+                        _ => return usage(),
                     },
                     _ => paths.push(PathBuf::from(arg)),
                 }
@@ -76,8 +84,12 @@ fn main() -> ExitCode {
                 out
             };
 
-            for d in &diags {
-                println!("{d}");
+            if json {
+                println!("{}", diag::to_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
             }
             if diags.is_empty() {
                 eprintln!("xtask check: clean");

@@ -1,11 +1,14 @@
 //! The rule registry and the built-in rules.
 //!
-//! Rules are token/line-level checks over [`ClassifiedLine`]s — cheap,
-//! dependency-free, and aimed at the invariants DESIGN.md records in
-//! prose: determinism, panic-free degradation, unit discipline, float
-//! comparisons, and rustdoc citation escaping. Each rule documents
-//! exactly what it matches so a `lint:allow` reviewer can judge a
-//! suppression.
+//! The original rules are token/line-level checks over
+//! [`ClassifiedLine`]s — cheap, dependency-free, and aimed at the
+//! invariants DESIGN.md records in prose: determinism, panic-free
+//! degradation, unit discipline, float comparisons, and rustdoc
+//! citation escaping. The semantic rules (`unit-flow`,
+//! `wall-clock-reach`, `hot-path-alloc`) live in their own modules on
+//! top of [`crate::model`] and register here alongside them. Each rule
+//! documents exactly what it matches so a `lint:allow` reviewer can
+//! judge a suppression.
 
 use crate::classify::ClassifiedLine;
 use crate::diag::Diagnostic;
@@ -19,8 +22,13 @@ pub struct Rule {
     pub summary: &'static str,
     /// Whether the rule applies to a given workspace-relative path.
     pub applies: fn(&Path) -> bool,
-    /// The check itself.
+    /// The check itself. For workspace rules this is the *single-file*
+    /// fallback used when the CLI is pointed at explicit paths.
     pub check: fn(&Path, &[ClassifiedLine]) -> Vec<Diagnostic>,
+    /// Workspace rules need every file at once (the call graph); in
+    /// `check_workspace` they run as one cross-file pass instead of
+    /// per file.
+    pub workspace: bool,
 }
 
 /// All rules, in reporting order.
@@ -32,6 +40,7 @@ pub fn registry() -> Vec<Rule> {
                       in simulation crates",
             applies: in_simulation_crates,
             check: check_nondeterminism,
+            workspace: false,
         },
         Rule {
             name: "units",
@@ -39,6 +48,15 @@ pub fn registry() -> Vec<Rule> {
                       suffixes (_bps, _s, _ns, _bytes) and not mix units across +/-",
             applies: in_library_sources,
             check: check_units,
+            workspace: false,
+        },
+        Rule {
+            name: "unit-flow",
+            summary: "unit-dimension dataflow: lets, assignments, returns, and additive \
+                      arithmetic must not mix _s/_ns/_bps/_bytes dimensions",
+            applies: in_library_sources,
+            check: crate::unit_flow::check,
+            workspace: false,
         },
         Rule {
             name: "no-unwrap",
@@ -46,20 +64,48 @@ pub fn registry() -> Vec<Rule> {
                       via Option/Result instead of panicking on faulty measurements",
             applies: in_simulation_crates,
             check: check_no_unwrap,
+            workspace: false,
+        },
+        Rule {
+            name: "wall-clock-reach",
+            summary: "pub simulation fns must not reach wall clocks, OS entropy, threads, \
+                      or env reads through the call graph; obs is the one gateway",
+            applies: in_simulation_crates,
+            check: check_wall_clock_reach_single,
+            workspace: true,
+        },
+        Rule {
+            name: "hot-path-alloc",
+            summary: "no heap allocation (format!/vec!, Vec::new, .collect, container \
+                      growth) inside fns tagged // lint:hot-path",
+            applies: all_rust_sources,
+            check: crate::hot_path::check,
+            workspace: false,
         },
         Rule {
             name: "float-eq",
             summary: "no ==/!= against float literals; compare with a tolerance",
             applies: all_rust_sources,
             check: check_float_eq,
+            workspace: false,
         },
         Rule {
             name: "rustdoc-citation",
             summary: "citation brackets like [26] in doc comments must be escaped \\[26\\]",
             applies: all_rust_sources,
             check: check_rustdoc_citation,
+            workspace: false,
         },
     ]
+}
+
+/// Single-file fallback for `wall-clock-reach`: direct sinks and
+/// intra-file chains only. When the file lies outside the simulation
+/// crates (a fixture named on the CLI), every pub fn is a root.
+fn check_wall_clock_reach_single(path: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnostic> {
+    let fm = crate::model::FileModel::build(path, lines);
+    let force = !crate::graph::in_simulation_src(path);
+    crate::graph::check(std::slice::from_ref(&fm), force)
 }
 
 fn all_rust_sources(_: &Path) -> bool {
@@ -175,13 +221,13 @@ fn check_nondeterminism(file: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnostic
     let mut out = Vec::new();
     for (li, col, id) in idents(lines) {
         if let Some((_, why)) = FORBIDDEN_IDENTS.iter().find(|(w, _)| *w == id) {
-            out.push(Diagnostic {
-                file: file.to_path_buf(),
-                line: li + 1,
-                col: col + 1,
-                rule: "nondeterminism",
-                message: format!("forbidden identifier `{id}`: {why}"),
-            });
+            out.push(Diagnostic::error(
+                file.to_path_buf(),
+                li + 1,
+                col + 1,
+                "nondeterminism",
+                format!("forbidden identifier `{id}`: {why}"),
+            ));
         }
     }
     out
@@ -212,17 +258,17 @@ fn check_no_unwrap(file: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnostic> {
         if !rest.starts_with('(') {
             continue; // e.g. a path like `Option::unwrap` in a turbofish-free ref
         }
-        out.push(Diagnostic {
-            file: file.to_path_buf(),
-            line: li + 1,
-            col: col + 1,
-            rule: "no-unwrap",
-            message: format!(
+        out.push(Diagnostic::error(
+            file.to_path_buf(),
+            li + 1,
+            col + 1,
+            "no-unwrap",
+            format!(
                 "`.{id}()` in simulation code; propagate the absence \
                  (Option/Result, unwrap_or*) so faulty measurements degrade \
                  instead of panicking"
             ),
-        });
+        ));
     }
     out
 }
@@ -272,13 +318,13 @@ fn check_units(file: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnostic> {
         };
         for (col, id) in it {
             if let Some(reason) = noncanonical_unit(id) {
-                out.push(Diagnostic {
-                    file: file.to_path_buf(),
-                    line: li + 1,
-                    col: col + 1,
-                    rule: "units",
-                    message: format!("non-canonical unit suffix on `{id}`: {reason}"),
-                });
+                out.push(Diagnostic::error(
+                    file.to_path_buf(),
+                    li + 1,
+                    col + 1,
+                    "units",
+                    format!("non-canonical unit suffix on `{id}`: {reason}"),
+                ));
             }
             toks.push((col, id));
         }
@@ -297,16 +343,16 @@ fn check_units(file: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnostic> {
             let between = &cl.code[c1 + id1.len()..c2];
             let trimmed = between.trim();
             if trimmed == "+" || trimmed == "-" || trimmed == "+=" || trimmed == "-=" {
-                out.push(Diagnostic {
-                    file: file.to_path_buf(),
-                    line: li + 1,
-                    col: c1 + 1,
-                    rule: "units",
-                    message: format!(
+                out.push(Diagnostic::error(
+                    file.to_path_buf(),
+                    li + 1,
+                    c1 + 1,
+                    "units",
+                    format!(
                         "`{id1}` ({u1}) and `{id2}` ({u2}) mixed across `{trimmed}`; \
                          additive arithmetic requires matching units"
                     ),
-                });
+                ));
             }
         }
     }
@@ -379,16 +425,16 @@ fn check_float_eq(file: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnostic> {
             let rhs = token_right(code, i + 2);
             if is_float_literal(lhs) || is_float_literal(rhs) {
                 let lit = if is_float_literal(lhs) { lhs } else { rhs };
-                out.push(Diagnostic {
-                    file: file.to_path_buf(),
-                    line: li + 1,
-                    col: i + 1,
-                    rule: "float-eq",
-                    message: format!(
+                out.push(Diagnostic::error(
+                    file.to_path_buf(),
+                    li + 1,
+                    i + 1,
+                    "float-eq",
+                    format!(
                         "`{two}` against float literal `{lit}`; compare with a tolerance \
                          or justify exactness"
                     ),
-                });
+                ));
             }
             i += 2;
         }
@@ -447,18 +493,18 @@ fn check_rustdoc_citation(file: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnost
             if rest.get(digits + 1) == Some(&b'(') {
                 continue;
             }
-            out.push(Diagnostic {
-                file: file.to_path_buf(),
-                line: li + 1,
-                col: j + 1,
-                rule: "rustdoc-citation",
-                message: format!(
+            out.push(Diagnostic::error(
+                file.to_path_buf(),
+                li + 1,
+                j + 1,
+                "rustdoc-citation",
+                format!(
                     "unescaped citation `{}` in doc comment; rustdoc reads it as an \
                      intra-doc link — write `\\{}`",
                     &cleaned[j..j + digits + 2],
                     &cleaned[j..j + digits + 2],
                 ),
-            });
+            ));
         }
     }
     out

@@ -1,21 +1,42 @@
 //! Workspace file discovery.
 //!
-//! Walks the repository for Rust sources the lint pass should see,
-//! skipping `vendor/` (stub crates are not held to simulation
-//! invariants), `target/`, and the linter's own `fixtures/` (those files
-//! violate rules on purpose).
+//! Walks the repository for Rust sources the lint pass should see. A
+//! path is excluded when **any** component — at any depth, not just the
+//! root — names a skipped directory: `vendor/` (stub crates are not
+//! held to simulation invariants), `target/` (generated), the linter's
+//! own `fixtures/` (those files violate rules on purpose), `.git/`,
+//! and the `data/`/`results/` output trees. Everything else is in:
+//! `src/`, `src/bin/`, and notably each crate's `examples/` and
+//! `tests/` directories, which carry the same invariants as the code
+//! they exercise.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Directory names never descended into.
+/// Directory names never descended into, wherever they appear.
 const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git", "data", "results"];
 
+/// Whether any component of `path` names a skipped directory. Public so
+/// tests can assert the policy directly.
+pub fn has_skipped_component(path: &Path) -> bool {
+    path.components().any(|c| {
+        c.as_os_str()
+            .to_str()
+            .map(|s| SKIP_DIRS.contains(&s))
+            .unwrap_or(false)
+    })
+}
+
 /// Returns every `.rs` file under `root` that the lint pass covers,
-/// sorted so diagnostics come out in a stable order.
+/// workspace-relative and sorted so diagnostics come out in a stable
+/// order.
 pub fn rust_sources(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     walk(root, root, &mut out);
+    // The walk already prunes skipped directories; this re-filter makes
+    // the by-component policy hold even for paths that arrive through
+    // links or future walk changes.
+    out.retain(|p| !has_skipped_component(p));
     out.sort();
     out
 }
@@ -72,5 +93,38 @@ mod tests {
         let mut sorted = files.clone();
         sorted.sort();
         assert_eq!(files, sorted);
+    }
+
+    #[test]
+    fn examples_and_tests_dirs_are_covered() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = rust_sources(&root);
+        assert!(
+            files
+                .iter()
+                .any(|f| f.to_string_lossy().contains("/tests/")),
+            "crate tests/ dirs must be linted"
+        );
+    }
+
+    #[test]
+    fn skip_policy_is_by_path_component_at_any_depth() {
+        assert!(has_skipped_component(Path::new("vendor/serde/src/lib.rs")));
+        assert!(has_skipped_component(Path::new(
+            "crates/netsim/target/debug/gen.rs"
+        )));
+        assert!(has_skipped_component(Path::new("deep/nested/vendor/x.rs")));
+        assert!(has_skipped_component(Path::new(
+            "crates/xtask/tests/fixtures/unit_flow_bad.rs"
+        )));
+        assert!(!has_skipped_component(Path::new(
+            "crates/netsim/examples/one_link.rs"
+        )));
+        assert!(!has_skipped_component(Path::new(
+            "crates/tcp/tests/tcp_properties.rs"
+        )));
+        // A *file* named like a skip dir is not a directory component
+        // match problem we care about, but the policy is uniform anyway.
+        assert!(!has_skipped_component(Path::new("crates/core/src/lso.rs")));
     }
 }

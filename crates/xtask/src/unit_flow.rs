@@ -1,0 +1,628 @@
+//! `unit-flow`: unit-dimension dataflow over expressions.
+//!
+//! The line-level `units` rule sees `a_bps + b_bytes` only when the two
+//! identifiers are adjacent on one line, and it lumps `_s` and `_ns`
+//! into one "time" class. This rule works on the token stream of each
+//! function body ([`crate::model::FileModel`]) and checks *dataflow*:
+//!
+//! * additive arithmetic between operands of different dimensions,
+//!   through field chains, calls, parens, and indexing
+//!   (`t1_ns - t0.as_secs_f64()` is a finding; so is `x_ns - y_s`,
+//!   which the old rule considered same-class);
+//! * `let` bindings whose suffix contradicts the initializer
+//!   (`let dt_ns = a_s - b_s;`);
+//! * assignments (`x_bytes = y_bps;`, `acc_s += d_ns;`);
+//! * returns from a unit-suffixed function (`fn avail_bw_bps` returning
+//!   a `_bytes` expression).
+//!
+//! Inference is deliberately conservative: multiplicative operators,
+//! casts, struct literals, and control flow make an expression
+//! *opaque*, and opaque never fires. Conversion helpers are
+//! whitelisted — `as_secs_f64()` yields seconds, `Time::from_millis`
+//! yields an opaque `Time` — so explicit conversions silence the rule
+//! by construction. Dimension grammar: DESIGN.md §8.
+
+use crate::classify::ClassifiedLine;
+use crate::diag::Diagnostic;
+use crate::lexer::{matching_close, matching_open, Tok, TokKind};
+use crate::model::{dim_of_ident, Dim, FileModel, FnModel};
+use std::path::Path;
+
+/// Conversion helpers: calling one yields the mapped dimension
+/// (`None` = an opaque wrapper type such as `netsim::Time`, which ends
+/// dataflow — the type system takes over from there).
+const CONVERSIONS: &[(&str, Option<Dim>)] = &[
+    ("from_secs", None),
+    ("from_secs_f64", None),
+    ("from_millis", None),
+    ("from_micros", None),
+    ("from_nanos", None),
+    ("tx_time", None),
+    ("as_secs_f64", Some(Dim::Secs)),
+    ("as_secs", Some(Dim::Secs)),
+    ("as_nanos", Some(Dim::Nanos)),
+    ("as_millis", None),
+    ("from_bits", None),
+    ("to_bits", None),
+];
+
+/// Methods that preserve their receiver's dimension.
+const PRESERVING: &[&str] = &[
+    "max",
+    "min",
+    "abs",
+    "clamp",
+    "floor",
+    "ceil",
+    "round",
+    "saturating_add",
+    "saturating_sub",
+    "wrapping_add",
+    "wrapping_sub",
+];
+
+const HINT_CONVERT: &str =
+    "insert an explicit conversion (Time::from_*, as_secs_f64, …) or align the suffixes";
+const HINT_RENAME: &str =
+    "rename the binding or convert the value; canonical suffixes are load-bearing (DESIGN.md §8)";
+
+/// Entry point: builds the file model and checks every function.
+pub fn check(path: &Path, lines: &[ClassifiedLine]) -> Vec<Diagnostic> {
+    let fm = FileModel::build(path, lines);
+    let mut out = Vec::new();
+    for f in &fm.fns {
+        check_fn(&fm, f, &mut out);
+    }
+    out
+}
+
+fn check_fn(fm: &FileModel, f: &FnModel, out: &mut Vec<Diagnostic>) {
+    let toks = &fm.toks[f.body.clone()];
+    check_additive_mixes(fm, toks, out);
+    check_lets(fm, toks, out);
+    check_assignments(fm, toks, out);
+    check_returns(fm, f, toks, out);
+}
+
+/// Renders an operand token slice back to compact source text.
+fn render(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if !s.is_empty()
+            && (t.kind == TokKind::Ident || t.kind == TokKind::Number)
+            && s.chars()
+                .last()
+                .map(|c| c.is_ascii_alphanumeric() || c == '_')
+                .unwrap_or(false)
+        {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+/// The dimension of a *primary* operand (a path, field chain, call, or
+/// indexed/parenthesized expression), inferred from its final segment.
+fn operand_dim(toks: &[Tok]) -> Option<Dim> {
+    let last = toks.last()?;
+    match last.text.as_str() {
+        ")" => {
+            let open = matching_open(toks, toks.len() - 1)?;
+            if open == 0 {
+                // Parenthesized subexpression: analyze as a full expr.
+                return expr_dim(&toks[1..toks.len() - 1]);
+            }
+            let callee = &toks[open - 1];
+            if callee.kind != TokKind::Ident {
+                return None;
+            }
+            if let Some((_, d)) = CONVERSIONS.iter().find(|(n, _)| *n == callee.text) {
+                return *d;
+            }
+            if open >= 2 && toks[open - 2].is_punct(".") {
+                if PRESERVING.contains(&callee.text.as_str()) {
+                    // `x_s.max(y_s)`: the receiver's dimension carries.
+                    return operand_dim(&toks[..open - 2]);
+                }
+                return dim_of_ident(&callee.text);
+            }
+            // Free or path call: the callee's own suffix declares the
+            // return dimension (`avail_bw_bps(...)`).
+            dim_of_ident(&callee.text)
+        }
+        "]" => {
+            // Indexing preserves the element dimension of the base.
+            let open = matching_open(toks, toks.len() - 1)?;
+            operand_dim(&toks[..open])
+        }
+        _ if last.kind == TokKind::Ident => dim_of_ident(&last.text),
+        _ => None,
+    }
+}
+
+/// The dimension of a full expression slice, or `None` when opaque.
+/// Multiplication, division, casts, braces, and `?` all make an
+/// expression opaque — dimension algebra is out of scope by design.
+fn expr_dim(toks: &[Tok]) -> Option<Dim> {
+    if toks.is_empty() {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut operands: Vec<(usize, usize)> = Vec::new(); // (start, end) inclusive
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" | "}" | ";" | "?" | "|" => return None,
+            "as" if t.kind == TokKind::Ident && depth == 0 => return None,
+            "*" | "/" | "%" if depth == 0 && i > 0 && ends_operand(&toks[i - 1]) => return None,
+            "+" | "-" if depth == 0 && i > 0 && ends_operand(&toks[i - 1]) => {
+                operands.push((start, i - 1));
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    operands.push((start, toks.len() - 1));
+    let mut dim: Option<Dim> = None;
+    for (s, e) in operands {
+        if s > e {
+            return None;
+        }
+        let d = operand_dim(&toks[s..=e]);
+        match (dim, d) {
+            (_, None) => {}
+            (None, Some(d)) => dim = Some(d),
+            (Some(a), Some(b)) if a != b => return None, // mixed — reported elsewhere
+            _ => {}
+        }
+    }
+    dim
+}
+
+/// Whether a token can end an operand (making a following `+`/`-`
+/// binary rather than unary).
+fn ends_operand(t: &Tok) -> bool {
+    t.kind == TokKind::Ident && !is_keyword(&t.text)
+        || t.kind == TokKind::Number
+        || matches!(t.text.as_str(), ")" | "]" | "\"" | "'")
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return"
+            | "if"
+            | "else"
+            | "match"
+            | "in"
+            | "as"
+            | "let"
+            | "mut"
+            | "break"
+            | "continue"
+            | "while"
+            | "for"
+            | "loop"
+            | "move"
+            | "ref"
+            | "where"
+            | "fn"
+    )
+}
+
+/// Start index (inclusive) of the primary operand ending at `end`.
+fn operand_start(toks: &[Tok], end: usize) -> Option<usize> {
+    let mut start;
+    let mut j = end;
+    loop {
+        match toks[j].text.as_str() {
+            ")" | "]" => {
+                let o = matching_open(&toks[..=j], j)?;
+                start = o;
+                if o > 0 && toks[o - 1].kind == TokKind::Ident && !is_keyword(&toks[o - 1].text) {
+                    start = o - 1; // include the callee / indexed base
+                }
+            }
+            _ if toks[j].kind == TokKind::Ident && !is_keyword(&toks[j].text) => start = j,
+            _ if toks[j].kind == TokKind::Number => start = j,
+            _ => return None,
+        }
+        if start >= 2
+            && (toks[start - 1].is_punct(".") || toks[start - 1].is_punct("::"))
+            && (toks[start - 2].kind == TokKind::Ident
+                || toks[start - 2].kind == TokKind::Number
+                || matches!(toks[start - 2].text.as_str(), ")" | "]"))
+        {
+            j = start - 2;
+            continue;
+        }
+        return Some(start);
+    }
+}
+
+/// End index (inclusive) of the primary operand starting at or after
+/// `begin` (skipping unary prefixes).
+fn operand_end(toks: &[Tok], begin: usize) -> Option<usize> {
+    let mut j = begin;
+    while j < toks.len()
+        && (matches!(toks[j].text.as_str(), "-" | "!" | "&" | "*" | "&&")
+            || toks[j].is_ident("mut"))
+    {
+        j += 1;
+    }
+    let mut end;
+    loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "(" => end = matching_close(toks, j)?,
+            _ if t.kind == TokKind::Ident && !is_keyword(&t.text) => end = j,
+            _ if t.kind == TokKind::Number => end = j,
+            _ => return None,
+        }
+        // Trailing call/index groups bind tighter than any operator.
+        while end + 1 < toks.len() && (toks[end + 1].is_punct("(") || toks[end + 1].is_punct("[")) {
+            end = matching_close(toks, end + 1)?;
+        }
+        if end + 2 < toks.len()
+            && (toks[end + 1].is_punct(".") || toks[end + 1].is_punct("::"))
+            && (toks[end + 2].kind == TokKind::Ident || toks[end + 2].kind == TokKind::Number)
+        {
+            j = end + 2;
+            continue;
+        }
+        return Some(end);
+    }
+}
+
+/// Flags `lhs ± rhs` where both operand dimensions are known and differ.
+fn check_additive_mixes(fm: &FileModel, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || !matches!(t.text.as_str(), "+" | "-") {
+            continue;
+        }
+        if i == 0 || !ends_operand(&toks[i - 1]) {
+            continue; // unary
+        }
+        let Some(ls) = operand_start(toks, i - 1) else {
+            continue;
+        };
+        let Some(re) = operand_end(toks, i + 1) else {
+            continue;
+        };
+        let (lhs, rhs) = (&toks[ls..i], &toks[i + 1..=re]);
+        let (Some(ld), Some(rd)) = (operand_dim(lhs), operand_dim(rhs)) else {
+            continue;
+        };
+        if ld == rd {
+            continue;
+        }
+        out.push(
+            Diagnostic::error(
+                fm.path.clone(),
+                t.line + 1,
+                t.col + 1,
+                "unit-flow",
+                format!(
+                    "`{}` ({}) and `{}` ({}) mixed across `{}`; additive arithmetic requires \
+                     one dimension",
+                    render(lhs),
+                    ld.name(),
+                    render(rhs),
+                    rd.name(),
+                    t.text,
+                ),
+            )
+            .with_hint(HINT_CONVERT),
+        );
+    }
+}
+
+/// Flags `let name_<dim> = expr;` where the initializer's inferred
+/// dimension contradicts the binding's suffix.
+fn check_lets(fm: &FileModel, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).map(|t| t.is_ident("mut")).unwrap_or(false) {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // `let Some(x) = ...`, `let (a, b) = ...`: patterns are skipped.
+        let after = toks.get(j + 1).map(|t| t.text.as_str());
+        if !matches!(after, Some(":") | Some("=")) {
+            i += 1;
+            continue;
+        }
+        let Some(dim) = dim_of_ident(&name.text) else {
+            i += 1;
+            continue;
+        };
+        // Find the `=` (skipping a type annotation) and the closing `;`.
+        let mut k = j + 1;
+        let mut depth = 0i32;
+        let mut eq = None;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "=" if depth == 0 && toks[k].kind == TokKind::Punct => {
+                    eq = Some(k);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(eq) = eq else {
+            i = k + 1;
+            continue;
+        };
+        let mut end = eq + 1;
+        let mut depth = 0i32;
+        while end < toks.len() {
+            match toks[end].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        if let Some(rhs_dim) = expr_dim(&toks[eq + 1..end]) {
+            if rhs_dim != dim {
+                out.push(
+                    Diagnostic::error(
+                        fm.path.clone(),
+                        name.line + 1,
+                        name.col + 1,
+                        "unit-flow",
+                        format!(
+                            "`let {}` declares {} but is initialized from a {} expression \
+                             (`{}`)",
+                            name.text,
+                            dim.name(),
+                            rhs_dim.name(),
+                            render(&toks[eq + 1..end]),
+                        ),
+                    )
+                    .with_hint(HINT_RENAME),
+                );
+            }
+        }
+        i = end + 1;
+    }
+}
+
+/// Flags `lhs = rhs;` / `lhs += rhs;` / `lhs -= rhs;` where the sides'
+/// dimensions are known and differ.
+fn check_assignments(fm: &FileModel, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || !matches!(t.text.as_str(), "=" | "+=" | "-=") {
+            continue;
+        }
+        // Skip `let` initializers (handled above with suffix semantics).
+        let mut b = i;
+        let mut in_let = false;
+        while b > 0 {
+            b -= 1;
+            match toks[b].text.as_str() {
+                ";" | "{" | "}" => break,
+                "let" => {
+                    in_let = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if in_let || i == 0 {
+            continue;
+        }
+        let Some(ls) = operand_start(toks, i - 1) else {
+            continue;
+        };
+        let lhs = &toks[ls..i];
+        let Some(ld) = operand_dim(lhs) else {
+            continue;
+        };
+        let mut end = i + 1;
+        let mut depth = 0i32;
+        while end < toks.len() {
+            match toks[end].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" if depth == 0 => break,
+                ")" | "]" | "}" => depth -= 1,
+                ";" | "," if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        if let Some(rd) = expr_dim(&toks[i + 1..end]) {
+            if rd != ld {
+                out.push(
+                    Diagnostic::error(
+                        fm.path.clone(),
+                        t.line + 1,
+                        t.col + 1,
+                        "unit-flow",
+                        format!(
+                            "`{}` ({}) assigned from a {} expression (`{}`)",
+                            render(lhs),
+                            ld.name(),
+                            rd.name(),
+                            render(&toks[i + 1..end]),
+                        ),
+                    )
+                    .with_hint(HINT_CONVERT),
+                );
+            }
+        }
+    }
+}
+
+/// Flags `return expr;` and simple tail expressions whose dimension
+/// contradicts the function's own name suffix.
+fn check_returns(fm: &FileModel, f: &FnModel, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    let Some(ret) = f.ret_dim else {
+        return;
+    };
+    let report = |expr: &[Tok], line: usize, col: usize, out: &mut Vec<Diagnostic>| {
+        if let Some(d) = expr_dim(expr) {
+            if d != ret {
+                out.push(
+                    Diagnostic::error(
+                        fm.path.clone(),
+                        line,
+                        col,
+                        "unit-flow",
+                        format!(
+                            "fn `{}` returns {} by suffix, but this expression is {} (`{}`)",
+                            f.qualified(),
+                            ret.name(),
+                            d.name(),
+                            render(expr),
+                        ),
+                    )
+                    .with_hint(HINT_RENAME),
+                );
+            }
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("return") {
+            continue;
+        }
+        let mut end = i + 1;
+        let mut depth = 0i32;
+        while end < toks.len() {
+            match toks[end].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        if end > i + 1 {
+            report(&toks[i + 1..end], t.line + 1, t.col + 1, out);
+        }
+    }
+    // Tail expression: everything after the last top-level `;` (or the
+    // whole body), analyzed only when brace-free — control-flow tails
+    // are opaque by design.
+    let mut depth = 0i32;
+    let mut tail_start = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth == 0 => tail_start = i + 1,
+            _ => {}
+        }
+    }
+    let tail = &toks[tail_start.min(toks.len())..];
+    if !tail.is_empty() && !tail.iter().any(|t| matches!(t.text.as_str(), "{" | "}")) {
+        report(tail, tail[0].line + 1, tail[0].col + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(Path::new("crates/netsim/src/uf.rs"), &classify(src))
+    }
+
+    fn run_in_fn(body: &str) -> Vec<Diagnostic> {
+        run(&format!("fn f() {{\n{body}\n}}\n"))
+    }
+
+    #[test]
+    fn ns_minus_s_is_the_canonical_finding() {
+        let out = run_in_fn("let dt = t1_ns - t0_s;");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("nanoseconds"));
+        assert!(out[0].message.contains("seconds"));
+        assert!(out[0].hint.is_some());
+    }
+
+    #[test]
+    fn mixes_reach_through_fields_calls_and_parens() {
+        assert_eq!(run_in_fn("let x = self.cap_bps + cfg.win_bytes;").len(), 1);
+        assert_eq!(run_in_fn("let x = rtt_s() + size_bytes();").len(), 1);
+        assert_eq!(run_in_fn("let x = (a_s + b_s) + c_bytes;").len(), 1);
+        assert_eq!(run_in_fn("let x = arr_s[i] + d_ns;").len(), 1);
+        assert_eq!(run_in_fn("let x = t.as_secs_f64() + d_ns;").len(), 1);
+    }
+
+    #[test]
+    fn same_dim_and_opaque_operands_are_clean() {
+        assert!(run_in_fn("let x_s = a_s + b_s;").is_empty());
+        assert!(run_in_fn("let x = a_s + b;").is_empty());
+        assert!(run_in_fn("let bdp_bytes = cap_bps * rtt_s / 8.0;").is_empty());
+        assert!(run_in_fn("let x_s = y_s.max(z_s);").is_empty());
+        assert!(run_in_fn("let t = Time::from_millis(5) + Time::from_millis(2);").is_empty());
+    }
+
+    #[test]
+    fn let_binding_contradiction_is_flagged() {
+        let out = run_in_fn("let dt_ns = a_s - b_s;");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("let dt_ns"));
+        assert!(out[0].message.contains("nanoseconds"));
+    }
+
+    #[test]
+    fn let_with_conversion_or_cast_is_clean() {
+        assert!(run_in_fn("let dt_ns = ((a_s - b_s) * 1e9) as u64;").is_empty());
+        assert!(run_in_fn("let dt_s = t.as_secs_f64();").is_empty());
+        assert!(run_in_fn("let dt_ns = t.as_nanos();").is_empty());
+        assert!(run_in_fn("let w = Time::from_secs(x_s);").is_empty());
+    }
+
+    #[test]
+    fn assignment_and_compound_assignment_are_checked() {
+        assert_eq!(run_in_fn("x_bytes = y_bps;").len(), 1);
+        assert_eq!(run_in_fn("acc_s += d_ns;").len(), 1);
+        assert!(run_in_fn("acc_s += d_s;").is_empty());
+        assert!(run_in_fn("self.total_bytes += p.size_bytes;").is_empty());
+    }
+
+    #[test]
+    fn return_dimension_must_match_the_fn_suffix() {
+        let out = run("fn avail_bw_bps() -> f64 { window_bytes }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("avail_bw_bps"));
+        let out = run("fn avail_bw_bps(x_bps: f64) -> f64 { x_bps }\n");
+        assert!(out.is_empty(), "{out:?}");
+        let out = run("fn delay_s() -> f64 { return d_ns; }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn control_flow_tails_are_opaque() {
+        assert!(run("fn delay_s(c: bool) -> f64 { if c { a_ns } else { b_ns } }\n").is_empty());
+    }
+
+    #[test]
+    fn generic_bounds_and_unary_minus_do_not_fire() {
+        assert!(run_in_fn("let x = -a_s;").is_empty());
+        assert!(run("fn f<T: Add + Sub>(x: T) {}\n").is_empty());
+        assert!(run_in_fn("let x = f(a_s, -b_ns);").is_empty());
+    }
+}

@@ -75,6 +75,10 @@ fn rules_lists_the_registry() {
     for rule in [
         "nondeterminism",
         "units",
+        "unit-flow",
+        "no-unwrap",
+        "wall-clock-reach",
+        "hot-path-alloc",
         "float-eq",
         "rustdoc-citation",
         "lint-allow",

@@ -1,0 +1,9 @@
+//! Fixture: heap allocation inside a `lint:hot-path`-tagged function.
+
+/// Per-event dispatch must not build strings or grow containers.
+// lint:hot-path
+pub fn dispatch(events: &mut Vec<u64>, seq: u64) {
+    let label = format!("ev-{seq}");
+    let _ = label;
+    events.push(seq);
+}

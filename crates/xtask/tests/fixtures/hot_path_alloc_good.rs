@@ -1,0 +1,13 @@
+//! Fixture: the allocation-free twin — hot paths mutate in place, and
+//! untagged setup code may allocate freely.
+
+/// Tagged, but constant-work: counters and in-place updates only.
+// lint:hot-path
+pub fn dispatch(counter: &mut u64) {
+    *counter += 1;
+}
+
+/// Untagged setup code is outside the rule's reach.
+pub fn cold_setup() -> Vec<u64> {
+    Vec::with_capacity(64)
+}

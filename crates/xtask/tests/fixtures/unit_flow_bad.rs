@@ -1,0 +1,19 @@
+//! Fixture: every function here violates `unit-flow` on purpose.
+
+/// Mixes nanoseconds and seconds across `-` (the old `units` rule lumps
+/// both into one "time" class and misses this).
+pub fn elapsed(t1_ns: u64, t0_s: u64) -> u64 {
+    let dt = t1_ns - t0_s;
+    dt
+}
+
+/// Returns a bits/s expression from a `_bytes`-suffixed fn.
+pub fn window_bytes(rate_bps: f64) -> f64 {
+    rate_bps
+}
+
+/// Declares seconds, initializes from nanoseconds.
+pub fn bind(d_ns: f64) -> f64 {
+    let wait_s = d_ns;
+    wait_s
+}

@@ -1,0 +1,19 @@
+//! Fixture: dimension-correct twins of `unit_flow_bad.rs` — explicit
+//! conversions and matching suffixes keep `unit-flow` quiet.
+
+/// Same-dimension subtraction is fine.
+pub fn elapsed(t1_s: f64, t0_s: f64) -> f64 {
+    let dt_s = t1_s - t0_s;
+    dt_s
+}
+
+/// Multiplicative dimension algebra is opaque by design.
+pub fn window_bytes(rate_bps: f64, rtt_s: f64) -> f64 {
+    rate_bps * rtt_s / 8.0
+}
+
+/// An explicit scale-and-cast conversion ends dataflow.
+pub fn bind(d_s: f64) -> u64 {
+    let wait_ns = (d_s * 1e9) as u64;
+    wait_ns
+}

@@ -1,0 +1,19 @@
+//! Fixture: `wall-clock-reach` violations — a pub fn reaching a wall
+//! clock through a private helper, and a direct environment read.
+
+/// Looks pure, but the helper it calls stamps wall-clock time.
+pub fn run_epoch() {
+    stamp();
+}
+
+fn stamp() {
+    let _t = std::time::Instant::now();
+}
+
+/// Environment reads make datasets depend on the invoking shell.
+pub fn worker_count() -> usize {
+    std::env::var("WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

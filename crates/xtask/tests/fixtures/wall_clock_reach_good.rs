@@ -1,0 +1,12 @@
+//! Fixture: the sanctioned shape — timing goes through the `obs`
+//! gateway (observation-only, DESIGN.md §11), computation stays pure.
+
+/// Telemetry through obs's name-based API is not a sink.
+pub fn run_epoch() {
+    obs::add("epochs", 1);
+    compute();
+}
+
+fn compute() -> u64 {
+    2 + 2
+}

@@ -1,0 +1,45 @@
+//! Discovery-policy test on a synthetic workspace tree: a violation
+//! planted in a crate's `examples/` dir is caught, while identical
+//! violations under nested `target/` and `vendor/` dirs are invisible.
+
+use std::fs;
+use std::path::Path;
+use tputpred_xtask::{check_workspace, scan};
+
+#[test]
+fn planted_violation_in_examples_is_caught_and_skip_dirs_hide_theirs() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("scan_walk_ws");
+    let _ = fs::remove_dir_all(&root);
+    let bad = "fn main() { let x = 1.0; if x == 0.5 { println!(\"never\"); } }\n";
+
+    // The example must be linted...
+    let examples = root.join("crates/netsim/examples");
+    fs::create_dir_all(&examples).unwrap();
+    fs::write(examples.join("planted.rs"), bad).unwrap();
+    // ...while the same bytes under skip dirs (nested, not root-level)
+    // must stay invisible.
+    for hidden in [
+        "crates/netsim/target/debug/build",
+        "crates/probes/vendor/fake",
+        "deep/nested/vendor",
+    ] {
+        let dir = root.join(hidden);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("hidden.rs"), bad).unwrap();
+    }
+
+    let files = scan::rust_sources(&root);
+    assert_eq!(
+        files,
+        vec![Path::new("crates/netsim/examples/planted.rs").to_path_buf()],
+        "only the example survives discovery"
+    );
+
+    let diags = check_workspace(&root, None);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "float-eq");
+    assert!(diags[0]
+        .file
+        .to_string_lossy()
+        .contains("crates/netsim/examples/planted.rs"));
+}

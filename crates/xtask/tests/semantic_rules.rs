@@ -1,0 +1,160 @@
+//! End-to-end tests of the semantic rules (`unit-flow`,
+//! `wall-clock-reach`, `hot-path-alloc`) through the real CLI, driven
+//! by good/bad fixture pairs under `tests/fixtures/`, plus the pinned
+//! `--format json` schema.
+
+use std::path::Path;
+use std::process::Command;
+
+fn xtask() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tputpred-xtask"))
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Runs `check` on one fixture and returns (exit code, stdout).
+fn check(name: &str) -> (i32, String) {
+    let out = xtask().args(["check", &fixture(name)]).output().unwrap();
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8(out.stdout).unwrap(),
+    )
+}
+
+#[test]
+fn unit_flow_bad_fixture_trips_and_good_stays_clean() {
+    let (code, stdout) = check("unit_flow_bad.rs");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[unit-flow]"), "{stdout}");
+    // All three shapes fire: additive mix, return suffix, let binding.
+    assert!(stdout.contains("t1_ns"), "{stdout}");
+    assert!(stdout.contains("window_bytes"), "{stdout}");
+    assert!(stdout.contains("let wait_s"), "{stdout}");
+
+    let (code, stdout) = check("unit_flow_good.rs");
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn wall_clock_reach_bad_fixture_trips_and_good_stays_clean() {
+    let (code, stdout) = check("wall_clock_reach_bad.rs");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[wall-clock-reach]"), "{stdout}");
+    // The indirect chain is spelled out, and the direct env read (which
+    // no line rule covers) is reported too.
+    assert!(stdout.contains("run_epoch -> stamp"), "{stdout}");
+    assert!(stdout.contains("env::var"), "{stdout}");
+
+    let (code, stdout) = check("wall_clock_reach_good.rs");
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn hot_path_alloc_bad_fixture_trips_and_good_stays_clean() {
+    let (code, stdout) = check("hot_path_alloc_bad.rs");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[hot-path-alloc]"), "{stdout}");
+    assert!(stdout.contains("`format!`"), "{stdout}");
+    assert!(stdout.contains("`.push(..)`"), "{stdout}");
+
+    let (code, stdout) = check("hot_path_alloc_good.rs");
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn rule_filter_selects_a_semantic_rule() {
+    let out = xtask()
+        .args([
+            "check",
+            "--rule",
+            "hot-path-alloc",
+            &fixture("hot_path_alloc_bad.rs"),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.lines().all(|l| l.contains("[hot-path-alloc]")),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn json_format_schema_is_pinned() {
+    // The `--format json` document is a stable contract CI archives and
+    // gates on: version header, then one object per diagnostic with
+    // exactly these keys.
+    let out = xtask()
+        .args([
+            "check",
+            "--format",
+            "json",
+            &fixture("hot_path_alloc_bad.rs"),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let doc = stdout.trim();
+    assert!(
+        doc.starts_with("{\"version\":1,\"diagnostics\":[{"),
+        "{doc}"
+    );
+    assert!(doc.ends_with("}]}"), "{doc}");
+    for key in [
+        "\"rule\":\"hot-path-alloc\"",
+        "\"severity\":\"error\"",
+        "\"file\":\"",
+        "\"line\":",
+        "\"col\":",
+        "\"message\":\"",
+        "\"hint\":\"",
+    ] {
+        assert!(doc.contains(key), "missing {key}: {doc}");
+    }
+
+    // A clean input yields the empty document, exit 0.
+    let out = xtask()
+        .args(["check", "--format", "json", &fixture("unit_flow_good.rs")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.trim(), "{\"version\":1,\"diagnostics\":[]}");
+
+    // Bad --format values are usage errors.
+    let out = xtask()
+        .args(["check", "--format", "yaml"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn lint_allow_suppresses_semantic_rules_too() {
+    // A justified directive on the offending line silences the semantic
+    // rule exactly like a line rule — written to a temp file because the
+    // fixtures stay canonical.
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("allow_semantic");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("tagged.rs");
+    std::fs::write(
+        &file,
+        "// lint:hot-path\npub fn dispatch(q: &mut Vec<u64>) {\n    \
+         // lint:allow(hot-path-alloc): retained-capacity buffer\n    q.push(1);\n}\n",
+    )
+    .unwrap();
+    let out = xtask()
+        .args(["check", &file.to_string_lossy()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+}
