@@ -29,7 +29,7 @@ fn bench_predictors(c: &mut Criterion) {
         b.iter(|| {
             p.update(black_box(xs[i % xs.len()]));
             i += 1;
-            black_box(p.predict())
+            black_box(p.forecast())
         })
     });
     group.bench_function("ewma_update_predict", |b| {
@@ -38,7 +38,7 @@ fn bench_predictors(c: &mut Criterion) {
         b.iter(|| {
             p.update(black_box(xs[i % xs.len()]));
             i += 1;
-            black_box(p.predict())
+            black_box(p.forecast())
         })
     });
     group.bench_function("hw_update_predict", |b| {
@@ -47,7 +47,7 @@ fn bench_predictors(c: &mut Criterion) {
         b.iter(|| {
             p.update(black_box(xs[i % xs.len()]));
             i += 1;
-            black_box(p.predict())
+            black_box(p.forecast())
         })
     });
     group.bench_function("hw_lso_update_predict", |b| {
@@ -56,7 +56,7 @@ fn bench_predictors(c: &mut Criterion) {
         b.iter(|| {
             p.update(black_box(xs[i % xs.len()]));
             i += 1;
-            black_box(p.predict())
+            black_box(p.forecast())
         })
     });
     group.bench_function("evaluate_150_epoch_trace_hw_lso", |b| {

@@ -3,12 +3,13 @@
 
 use crate::cli::Args;
 use tputpred_core::fb::{FbConfig, FbModel, FbPredictor, PartialEstimates, PathEstimates};
-use tputpred_core::hb::{Ewma, HoltWinters, MovingAverage, Predictor};
+use tputpred_core::hb::{Ewma, HoltWinters, MovingAverage};
 use tputpred_core::lso::{Lso, LsoConfig};
 use tputpred_core::metrics::{self, relative_error_floored};
+use tputpred_core::predictor::EpochObservation;
 use tputpred_stats::{Cdf, CdfError};
 use tputpred_testbed::{
-    load_or_generate_sharded, CompleteEpoch, Dataset, EpochRecord, Preset, ShardStats,
+    load_or_generate_sharded, CompleteEpoch, Dataset, EpochRecord, Preset, ShardStats, TraceData,
 };
 
 /// Builds the CDF a figure series needs from a possibly degraded sample.
@@ -42,8 +43,9 @@ pub fn require_cdf<I: IntoIterator<Item = f64>>(label: &str, samples: I) -> Cdf 
 }
 
 /// A heap predictor — everything in the zoo is `Send` so evaluation can
-/// parallelize if needed.
-pub type BoxedPredictor = Box<dyn Predictor + Send>;
+/// parallelize if needed. (The same alias the predictor registry hands
+/// out.)
+pub use tputpred_core::catalog::BoxedPredictor;
 
 /// A fresh-predictor constructor, so figure binaries can re-run a
 /// predictor from scratch per trace.
@@ -145,6 +147,50 @@ pub fn partial_a_priori(rec: &EpochRecord) -> PartialEstimates {
         avail_bw: rec.a_hat,
     }
 }
+
+/// A trace as the unified predictor protocol consumes it: one
+/// [`EpochObservation`] per epoch record, a-priori probe features from
+/// [`partial_a_priori`] (`None` where a tool faulted) and the
+/// large-window throughput as the measured outcome (`None` where the
+/// transfer failed). This is the input of
+/// [`tputpred_core::metrics::evaluate_epochs`] and the league table.
+pub fn epoch_observations(trace: &TraceData) -> Vec<EpochObservation> {
+    trace
+        .records
+        .iter()
+        .map(|rec| EpochObservation::new(partial_a_priori(rec).into(), rec.r_large))
+        .collect()
+}
+
+/// The path's class — the catalog name (`dsl-03`, `eu-us-07`, …) with
+/// its per-path index stripped (`dsl`, `eu-us`), matching the grouping
+/// of Fig. 21. Names not of that shape fall into `"other"`.
+pub fn path_class(name: &str) -> &str {
+    match name.rfind('-') {
+        Some(i)
+            if i > 0
+                && !name[i + 1..].is_empty()
+                && name[i + 1..].bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            &name[..i]
+        }
+        _ => "other",
+    }
+}
+
+/// The column set of the league-table CSV (`fig24_league_table`), in
+/// order. The committed `results/league_<preset>.csv` files follow this
+/// schema; `crates/bench/tests/results_schema.rs` fails when they drift
+/// from it.
+pub const LEAGUE_CSV_COLUMNS: &[&str] = &[
+    "predictor",
+    "class",
+    "traces",
+    "scored_epochs",
+    "rmsre_p25",
+    "rmsre_median",
+    "rmsre_p75",
+];
 
 /// During-flow estimates (T̃, p̃) of one epoch — the hypothetical inputs
 /// of §4.2.3 / Fig. 6.
@@ -327,6 +373,32 @@ mod tests {
         for (label, make) in hb_zoo() {
             assert_eq!(make().name(), label);
         }
+    }
+
+    #[test]
+    fn path_class_strips_the_index() {
+        assert_eq!(path_class("dsl-03"), "dsl");
+        assert_eq!(path_class("eu-us-07"), "eu-us");
+        assert_eq!(path_class("kr-us-1"), "kr-us");
+        assert_eq!(path_class("us-12"), "us");
+        assert_eq!(path_class("weird"), "other");
+        assert_eq!(path_class("trailing-"), "other");
+        assert_eq!(path_class("-3"), "other");
+    }
+
+    #[test]
+    fn epoch_observations_carry_features_and_gaps() {
+        let mut records: Vec<EpochRecord> = (0..3).map(|_| record(0.01, 4e6)).collect();
+        records[1].r_large = None;
+        records[1].t_hat = None;
+        let trace = TraceData { records };
+        let epochs = epoch_observations(&trace);
+        assert_eq!(epochs.len(), 3);
+        assert_eq!(epochs[0].throughput_bps, Some(4e6));
+        assert_eq!(epochs[0].features.probes.rtt, Some(0.05));
+        assert_eq!(epochs[1].throughput_bps, None);
+        assert_eq!(epochs[1].features.probes.rtt, None);
+        assert_eq!(epochs[1].features.probes.loss_rate, Some(0.01));
     }
 
     #[test]

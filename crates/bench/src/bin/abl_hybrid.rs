@@ -13,23 +13,25 @@
 //! * `hybrid` — [`tputpred_core::hybrid::HybridPredictor`]: FB-weighted
 //!   while history is short, HB-dominated after (weight 1/(h+1)).
 //!
+//! All three are resolved from the predictor registry
+//! ([`tputpred_core::catalog::predictor_by_name`]) and driven through
+//! the unified [`Predictor`] trait.
+//!
 //! Expected shape: the hybrid matches FB on the first epochs of a trace
 //! and converges to HB's accuracy — it is never much worse than the
 //! better of the two, which is the point of hybridising.
 
 use tputpred_bench::{a_priori, fb_config, load_dataset, Args};
-use tputpred_core::fb::FbPredictor;
-use tputpred_core::hb::HoltWinters;
-use tputpred_core::hybrid::HybridPredictor;
-use tputpred_core::lso::Lso;
+use tputpred_core::catalog::predictor_by_name;
 use tputpred_core::metrics::{relative_error_floored, rmsre};
-use tputpred_core::Predictor;
+use tputpred_core::predictor::{EpochObservation, Predictor};
 use tputpred_stats::{quantile, render};
 
 fn main() {
     let args = Args::parse();
     let ds = load_dataset(&args);
-    let fb = FbPredictor::new(fb_config(&ds.preset));
+    let cfg = fb_config(&ds.preset);
+    let fb = predictor_by_name("FB", &cfg).expect("FB is in the registry");
 
     let mut fb_rmsres = Vec::new();
     let mut hb_rmsres = Vec::new();
@@ -38,26 +40,30 @@ fn main() {
     let mut early_hybrid = Vec::new();
     for p in &ds.paths {
         for t in &p.traces {
-            let mut hb = Lso::new(HoltWinters::new(0.8, 0.2));
-            let mut hybrid = HybridPredictor::new(fb, HoltWinters::new(0.8, 0.2));
+            let mut hb = predictor_by_name("0.8-HW-LSO", &cfg).expect("in the registry");
+            let mut hybrid = predictor_by_name("hybrid", &cfg).expect("in the registry");
             let mut fb_errors = Vec::new();
             let mut hb_errors = Vec::new();
             let mut hybrid_errors = Vec::new();
             for (i, rec) in t.records.iter().filter_map(|r| r.complete()).enumerate() {
-                let est = a_priori(&rec);
-                let e_fb = relative_error_floored(fb.predict(&est), rec.r_large);
+                let features = a_priori(&rec).into();
+                let e_fb =
+                    relative_error_floored(fb.predict(&features).unwrap_or(f64::NAN), rec.r_large);
                 fb_errors.push(e_fb);
-                if let Some(pred) = hb.predict() {
+                if let Some(pred) = hb.forecast() {
                     hb_errors.push(relative_error_floored(pred, rec.r_large));
                 }
-                let e_hy = relative_error_floored(hybrid.predict(&est).max(1.0), rec.r_large);
+                let e_hy = relative_error_floored(
+                    hybrid.predict(&features).unwrap_or(1.0).max(1.0),
+                    rec.r_large,
+                );
                 hybrid_errors.push(e_hy);
                 if i < 3 {
                     early_fb.push(e_fb);
                     early_hybrid.push(e_hy);
                 }
                 hb.update(rec.r_large);
-                hybrid.observe(rec.r_large);
+                hybrid.observe(&EpochObservation::sample(rec.r_large));
             }
             if let Some(r) = rmsre(&fb_errors) {
                 fb_rmsres.push(r);

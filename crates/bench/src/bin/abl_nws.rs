@@ -120,11 +120,11 @@ fn run_path(spec: &PathSpec, epochs: usize) -> (f64, f64, f64, f64, f64) {
         let actual = target.throughput().max(1e3);
         probe_ratio.push(probe_tput / actual);
 
-        if let Some(p) = nws.predict() {
+        if let Some(p) = nws.forecast() {
             e_nws.push(relative_error_floored(p, actual));
         }
         e_fb.push(relative_error_floored(fb.predict(&fb_est), actual));
-        if let Some(p) = hb.predict() {
+        if let Some(p) = hb.forecast() {
             e_hb.push(relative_error_floored(p, actual));
         }
         hb.update(actual);

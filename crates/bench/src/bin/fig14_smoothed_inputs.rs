@@ -10,6 +10,7 @@
 use tputpred_bench::{a_priori, fb_config, load_dataset, require_cdf, Args};
 use tputpred_core::fb::{FbPredictor, SmoothedFbPredictor};
 use tputpred_core::metrics::relative_error_floored;
+use tputpred_core::predictor::{EpochObservation, Predictor};
 use tputpred_stats::render;
 
 fn main() {
@@ -26,7 +27,11 @@ fn main() {
             for rec in t.records.iter().filter_map(|r| r.complete()) {
                 let est = a_priori(&rec);
                 plain.push(relative_error_floored(fb.predict(&est), rec.r_large));
-                smoothed.push(relative_error_floored(sm.predict_next(&est), rec.r_large));
+                // Predict with the epoch's fresh measurement smoothed in,
+                // then ingest it for real — the old one-shot `predict_next`.
+                let sm_pred = sm.predict(&est.into()).unwrap_or(f64::NAN);
+                sm.observe(&EpochObservation::new(est.into(), None));
+                smoothed.push(relative_error_floored(sm_pred, rec.r_large));
             }
         }
     }

@@ -1,0 +1,189 @@
+//! The predictor registry: every family in this crate, constructible
+//! by name.
+//!
+//! Figure binaries and the league table (`fig24_league_table`) iterate
+//! [`predictor_catalog`] instead of hand-wiring constructors, so a new
+//! family added here automatically appears in every cross-predictor
+//! comparison. Ablations that need one specific predictor resolve it
+//! with [`predictor_by_name`] — keeping the *name* the single source of
+//! truth for what ran (each entry's name equals what the constructed
+//! predictor reports from [`Predictor::name`], which tests enforce).
+
+use crate::conditional::ConditionalPredictor;
+use crate::fb::{FbConfig, FbPredictor, SmoothedFbPredictor};
+use crate::gated::RttCvGated;
+use crate::hb::{ArPredictor, Ewma, HoltWinters, MovingAverage};
+use crate::hybrid::HybridPredictor;
+use crate::lso::Lso;
+use crate::predictor::Predictor;
+use crate::regression::RegressionPredictor;
+
+/// A boxed predictor as the catalog hands them out.
+pub type BoxedPredictor = Box<dyn Predictor + Send>;
+
+/// One named entry of the registry.
+pub struct CatalogEntry {
+    /// Registry name — equal to the constructed predictor's
+    /// [`Predictor::name`].
+    pub name: &'static str,
+    /// Constructor. The [`FbConfig`] parameterises the formula side of
+    /// FB-backed entries; purely history-based entries ignore it.
+    pub make: fn(&FbConfig) -> BoxedPredictor,
+}
+
+/// The history side every FB/HB combination entry uses: the paper's
+/// best single predictor, HW(0.8, 0.2) under LSO (§6.1.1).
+fn best_hb() -> Lso<HoltWinters> {
+    Lso::new(HoltWinters::new(0.8, 0.2))
+}
+
+/// Every predictor family in the crate, in presentation order:
+/// formula-based, raw history-based, LSO-wrapped, then the combined
+/// families.
+pub fn predictor_catalog() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            name: "FB",
+            make: |cfg| Box::new(FbPredictor::new(*cfg)),
+        },
+        CatalogEntry {
+            name: "FB-smoothed",
+            make: |cfg| Box::new(SmoothedFbPredictor::new(*cfg, 10)),
+        },
+        CatalogEntry {
+            name: "1-MA",
+            make: |_| Box::new(MovingAverage::new(1)),
+        },
+        CatalogEntry {
+            name: "5-MA",
+            make: |_| Box::new(MovingAverage::new(5)),
+        },
+        CatalogEntry {
+            name: "10-MA",
+            make: |_| Box::new(MovingAverage::new(10)),
+        },
+        CatalogEntry {
+            name: "20-MA",
+            make: |_| Box::new(MovingAverage::new(20)),
+        },
+        CatalogEntry {
+            name: "0.8-EWMA",
+            make: |_| Box::new(Ewma::new(0.8)),
+        },
+        CatalogEntry {
+            name: "0.8-HW",
+            make: |_| Box::new(HoltWinters::new(0.8, 0.2)),
+        },
+        CatalogEntry {
+            name: "AR(2)",
+            make: |_| Box::new(ArPredictor::new(2, 64)),
+        },
+        CatalogEntry {
+            name: "5-MA-LSO",
+            make: |_| Box::new(Lso::new(MovingAverage::new(5))),
+        },
+        CatalogEntry {
+            name: "10-MA-LSO",
+            make: |_| Box::new(Lso::new(MovingAverage::new(10))),
+        },
+        CatalogEntry {
+            name: "20-MA-LSO",
+            make: |_| Box::new(Lso::new(MovingAverage::new(20))),
+        },
+        CatalogEntry {
+            name: "0.8-HW-LSO",
+            make: |_| Box::new(best_hb()),
+        },
+        CatalogEntry {
+            name: "hybrid",
+            make: |cfg| Box::new(HybridPredictor::new(FbPredictor::new(*cfg), best_hb())),
+        },
+        CatalogEntry {
+            name: "regression",
+            make: |cfg| Box::new(RegressionPredictor::new(*cfg)),
+        },
+        CatalogEntry {
+            name: "conditional",
+            make: |_| Box::new(ConditionalPredictor::new()),
+        },
+        CatalogEntry {
+            name: "rtt-cv-gated",
+            make: |cfg| Box::new(RttCvGated::new(FbPredictor::new(*cfg), best_hb())),
+        },
+    ]
+}
+
+/// Constructs the named predictor, or `None` for a name the catalog
+/// doesn't know.
+pub fn predictor_by_name(name: &str, config: &FbConfig) -> Option<BoxedPredictor> {
+    predictor_catalog()
+        .into_iter()
+        .find(|entry| entry.name == name)
+        .map(|entry| (entry.make)(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fb::PathEstimates;
+    use crate::predictor::EpochObservation;
+
+    #[test]
+    fn entry_names_match_predictor_names() {
+        let cfg = FbConfig::default();
+        for entry in predictor_catalog() {
+            let p = (entry.make)(&cfg);
+            assert_eq!(p.name(), entry.name, "catalog name drift");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = predictor_catalog().iter().map(|e| e.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "duplicate catalog names");
+    }
+
+    #[test]
+    fn by_name_resolves_and_unknown_is_none() {
+        let cfg = FbConfig::default();
+        assert!(predictor_by_name("0.8-HW-LSO", &cfg).is_some());
+        assert!(predictor_by_name("no-such-predictor", &cfg).is_none());
+    }
+
+    #[test]
+    fn every_family_survives_a_gappy_run() {
+        // Protocol smoke test: features-only, throughput-only, full and
+        // empty epochs, through every entry, via the trait object.
+        let cfg = FbConfig::default();
+        let est = PathEstimates {
+            rtt: 0.08,
+            loss_rate: 0.01,
+            avail_bw: 20e6,
+        };
+        let epochs = [
+            EpochObservation::GAP,
+            EpochObservation::new(est.into(), None),
+            EpochObservation::sample(5e6),
+            EpochObservation::new(est.into(), Some(6e6)),
+            EpochObservation::sample(7e6),
+        ];
+        for entry in predictor_catalog() {
+            let mut p = (entry.make)(&cfg);
+            for epoch in &epochs {
+                let _ = p.predict(&epoch.features);
+                p.observe(epoch);
+            }
+            if let Ok(f) = p.try_predict(&est.into()) {
+                assert!(
+                    f.is_finite() && f > 0.0,
+                    "{}: non-positive forecast {f}",
+                    entry.name
+                );
+            }
+            p.reset();
+        }
+    }
+}

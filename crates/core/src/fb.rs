@@ -27,7 +27,8 @@
 
 use crate::error::PredictError;
 use crate::formulas::{self, pftk, pftk_full, pftk_revised, PftkParams};
-use crate::hb::{MovingAverage, Predictor};
+use crate::hb::MovingAverage;
+use crate::predictor::{EpochFeatures, EpochObservation, Predictor, Update};
 use serde::{Deserialize, Serialize};
 
 /// A-priori path measurements available before the target flow starts.
@@ -235,25 +236,50 @@ impl FbPredictor {
     }
 }
 
+/// FB on the unified trait: prediction delegates to the inherent
+/// [`FbPredictor::try_predict`] over the epoch's probe features; the
+/// formula is stateless, so observations are [`Update::Skipped`].
+impl Predictor for FbPredictor {
+    fn try_predict(&self, features: &EpochFeatures) -> Result<f64, PredictError> {
+        FbPredictor::try_predict(self, &features.probes)
+    }
+
+    fn observe(&mut self, _epoch: &EpochObservation) -> Update {
+        Update::Skipped
+    }
+
+    fn reset(&mut self) {}
+
+    // lint:hot-path
+    fn name(&self) -> &str {
+        "FB"
+    }
+}
+
 /// §4.2.10: FB prediction fed with *history-smoothed* RTT and loss-rate
 /// estimates instead of the single most recent measurement.
 ///
 /// Maintains an n-order Moving Average (the paper uses n = 10) over past
 /// per-epoch measurements of `T̂` and `p̂`; prediction uses the smoothed
-/// values and the *latest* avail-bw in Eq. (3).
+/// values — *including* the fresh features being predicted from — and the
+/// latest avail-bw in Eq. (3). Missing probe measurements simply don't
+/// enter the averages; an epoch with neither RTT nor loss is a state
+/// no-op.
 ///
 /// # Examples
 ///
 /// ```
 /// use tputpred_core::fb::{PathEstimates, SmoothedFbPredictor};
+/// use tputpred_core::predictor::{EpochFeatures, EpochObservation, Predictor};
 ///
 /// let mut s = SmoothedFbPredictor::new(Default::default(), 10);
+/// let stable = PathEstimates { rtt: 0.08, loss_rate: 0.01, avail_bw: 10e6 };
 /// for _ in 0..5 {
-///     s.observe(&PathEstimates { rtt: 0.08, loss_rate: 0.01, avail_bw: 10e6 });
+///     s.observe(&EpochObservation::new(stable.into(), None));
 /// }
 /// // A single noisy RTT spike barely moves the smoothed prediction.
 /// let noisy = PathEstimates { rtt: 0.30, loss_rate: 0.01, avail_bw: 10e6 };
-/// let smoothed = s.predict_next(&noisy);
+/// let smoothed = s.try_predict(&noisy.into()).unwrap();
 /// let unsmoothed = tputpred_core::fb::FbPredictor::default().predict(&noisy);
 /// assert!(smoothed > unsmoothed);
 /// ```
@@ -274,23 +300,56 @@ impl SmoothedFbPredictor {
             loss_ma: MovingAverage::new(n),
         }
     }
+}
 
-    /// Records one epoch's a-priori measurements into the history.
-    pub fn observe(&mut self, est: &PathEstimates) {
-        self.rtt_ma.update(est.rtt);
-        self.loss_ma.update(est.loss_rate);
+/// Prediction smooths the offered RTT/loss into the history *as if
+/// observed* (without mutating it — the histories are cloned), exactly
+/// the paper's protocol where each epoch's fresh measurement joins the
+/// average before predicting. Observing an epoch then ingests its
+/// features for real.
+impl Predictor for SmoothedFbPredictor {
+    fn try_predict(&self, features: &EpochFeatures) -> Result<f64, PredictError> {
+        let mut rtt_ma = self.rtt_ma.clone();
+        let mut loss_ma = self.loss_ma.clone();
+        if let Some(rtt) = features.probes.rtt {
+            rtt_ma.update(rtt);
+        }
+        if let Some(p) = features.probes.loss_rate {
+            loss_ma.update(p);
+        }
+        let smoothed = PartialEstimates {
+            rtt: rtt_ma.forecast().or(features.probes.rtt),
+            loss_rate: loss_ma.forecast().or(features.probes.loss_rate),
+            avail_bw: features.probes.avail_bw,
+        };
+        self.fb.try_predict(&smoothed)
     }
 
-    /// Predicts using smoothed RTT/loss (falling back to `latest` when no
-    /// history exists) and the latest avail-bw, then records `latest`.
-    pub fn predict_next(&mut self, latest: &PathEstimates) -> f64 {
-        self.observe(latest);
-        let est = PathEstimates {
-            rtt: self.rtt_ma.predict().unwrap_or(latest.rtt),
-            loss_rate: self.loss_ma.predict().unwrap_or(latest.loss_rate),
-            avail_bw: latest.avail_bw,
-        };
-        self.fb.predict(&est)
+    fn observe(&mut self, epoch: &EpochObservation) -> Update {
+        let mut ingested = false;
+        if let Some(rtt) = epoch.features.probes.rtt {
+            self.rtt_ma.update(rtt);
+            ingested = true;
+        }
+        if let Some(p) = epoch.features.probes.loss_rate {
+            self.loss_ma.update(p);
+            ingested = true;
+        }
+        if ingested {
+            Update::Accepted
+        } else {
+            Update::Skipped
+        }
+    }
+
+    fn reset(&mut self) {
+        self.rtt_ma.reset();
+        self.loss_ma.reset();
+    }
+
+    // lint:hot-path
+    fn name(&self) -> &str {
+        "FB-smoothed"
     }
 }
 
@@ -392,10 +451,10 @@ mod tests {
         let mut s = SmoothedFbPredictor::new(FbConfig::default(), 10);
         let stable = est(0.05, 0.01, 10e6);
         for _ in 0..9 {
-            s.observe(&stable);
+            s.observe(&EpochObservation::new(stable.into(), None));
         }
         let spike = est(0.5, 0.1, 10e6);
-        let smoothed = s.predict_next(&spike);
+        let smoothed = s.try_predict(&spike.into()).unwrap();
         let unsmoothed = FbPredictor::default().predict(&spike);
         assert!(
             smoothed > 2.0 * unsmoothed,
@@ -405,11 +464,44 @@ mod tests {
 
     #[test]
     fn smoothed_predictor_with_no_history_matches_plain_fb() {
-        let mut s = SmoothedFbPredictor::new(FbConfig::default(), 10);
+        let s = SmoothedFbPredictor::new(FbConfig::default(), 10);
         let e = est(0.08, 0.02, 10e6);
-        let a = s.predict_next(&e);
+        let a = s.try_predict(&e.into()).unwrap();
         let b = FbPredictor::default().predict(&e);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smoothed_predictor_skips_featureless_epochs() {
+        let mut s = SmoothedFbPredictor::new(FbConfig::default(), 10);
+        assert_eq!(s.observe(&EpochObservation::GAP), Update::Skipped);
+        assert_eq!(
+            s.observe(&EpochObservation::sample(5e6)),
+            Update::Skipped,
+            "throughput alone carries nothing the formula smooths"
+        );
+        let e = est(0.08, 0.02, 10e6);
+        s.observe(&EpochObservation::new(e.into(), None));
+        assert!(s.try_predict(&e.into()).is_ok());
+    }
+
+    #[test]
+    fn fb_trait_impl_matches_inherent_try_predict() {
+        let fb = FbPredictor::default();
+        for e in [est(0.08, 0.01, 50e6), est(0.1, 0.0, 10e6)] {
+            let features = EpochFeatures::from(e);
+            assert_eq!(
+                Predictor::try_predict(&fb, &features),
+                fb.try_predict(&e.into())
+            );
+        }
+        let mut fb = fb;
+        assert_eq!(
+            fb.observe(&EpochObservation::sample(5e6)),
+            Update::Skipped,
+            "the formula is stateless"
+        );
+        assert_eq!(Predictor::name(&fb), "FB");
     }
 
     #[test]

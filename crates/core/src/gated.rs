@@ -1,0 +1,291 @@
+//! An RTT-CV-gated FB/HB hybrid: the coefficient of variation of recent
+//! RTT probes decides how much to trust the formula.
+//!
+//! Operational transfer monitors classify a path from its RTT
+//! variability — CoV below ~0.15 means a calm path, above ~0.30 a
+//! loaded or impaired one (thresholds from production GridFTP health
+//! probes; DESIGN.md §12). Eq. (3) is a *steady-state* model: its
+//! accuracy degrades exactly when the RTT it was fed stops being
+//! representative, i.e. when RTT variability is high. The gate
+//! therefore hands prediction to the history side as CoV rises:
+//!
+//! ```text
+//! w_hb = clamp((CV − 0.15) / (0.30 − 0.15), 0, 1)
+//! X̂    = (1 − w_hb)·X̂_FB + w_hb·X̂_HB
+//! ```
+//!
+//! Unlike [`crate::hybrid::HybridPredictor`], whose blend decays with
+//! history *length*, this gate is driven purely by current path state —
+//! a long history on a path that just went turbulent still gets a
+//! turbulent-path (history-weighted) blend, and vice versa.
+
+use crate::error::PredictError;
+use crate::predictor::{EpochFeatures, EpochObservation, Predictor, Update};
+use tputpred_stats::RollingCov;
+
+/// RTT CoV below this: the path is calm, the formula is trusted fully.
+pub const RTT_CV_HEALTHY: f64 = 0.15;
+
+/// RTT CoV above this: the path is impaired, history is trusted fully.
+pub const RTT_CV_IMPAIRED: f64 = 0.30;
+
+/// RTT probes the gate's own CoV window retains when epochs don't carry
+/// a precomputed [`EpochFeatures::rtt_cv`].
+const RTT_WINDOW: usize = 10;
+
+/// FB/HB hybrid gated by RTT coefficient of variation.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_core::fb::{FbPredictor, PathEstimates};
+/// use tputpred_core::gated::RttCvGated;
+/// use tputpred_core::hb::HoltWinters;
+/// use tputpred_core::lso::Lso;
+/// use tputpred_core::predictor::{EpochFeatures, EpochObservation, Predictor};
+///
+/// let mut g = RttCvGated::new(FbPredictor::default(), Lso::new(HoltWinters::new(0.8, 0.2)));
+/// let est = PathEstimates { rtt: 0.08, loss_rate: 0.01, avail_bw: 20e6 };
+/// for _ in 0..10 {
+///     g.observe(&EpochObservation::new(est.into(), Some(9e6)));
+/// }
+/// // A calm path (constant RTT ⇒ CV = 0): the formula answers.
+/// let calm = g.try_predict(&est.into()).unwrap();
+/// assert_eq!(calm, FbPredictor::default().predict(&est));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RttCvGated<F, H> {
+    formula: F,
+    history: H,
+    rtt_window: RollingCov,
+}
+
+impl<F: Predictor, H: Predictor> RttCvGated<F, H> {
+    /// Creates a gated hybrid from a formula-side and a history-side
+    /// predictor.
+    pub fn new(formula: F, history: H) -> Self {
+        RttCvGated {
+            formula,
+            history,
+            rtt_window: RollingCov::new(RTT_WINDOW),
+        }
+    }
+
+    /// The linear-ramp weight on the history side for a given RTT CoV.
+    // lint:hot-path
+    pub fn history_weight(rtt_cv: f64) -> f64 {
+        ((rtt_cv - RTT_CV_HEALTHY) / (RTT_CV_IMPAIRED - RTT_CV_HEALTHY)).clamp(0.0, 1.0)
+    }
+
+    /// The RTT CoV the gate would use right now: the epoch-supplied
+    /// value if present, else the CoV of its own probe window.
+    fn gate_cv(&self, features: &EpochFeatures) -> Option<f64> {
+        features.rtt_cv.or_else(|| self.rtt_window.cov())
+    }
+}
+
+impl<F: Predictor, H: Predictor> Predictor for RttCvGated<F, H> {
+    /// Blends by [`Self::history_weight`] of the gate CoV when both
+    /// sides forecast; degrades to whichever side can when the other
+    /// refuses. With no CoV available at all (no `rtt_cv` feature and
+    /// fewer than two banked RTT probes) the path's state is unknown
+    /// and the formula side is preferred — the paper's a-priori stance.
+    /// Both sides refusing propagates the formula's reason.
+    fn try_predict(&self, features: &EpochFeatures) -> Result<f64, PredictError> {
+        let formula_pred = self.formula.try_predict(features);
+        let history_pred = self.history.try_predict(features);
+        match (formula_pred, history_pred) {
+            (Ok(f), Ok(h)) => Ok(match self.gate_cv(features) {
+                Some(rtt_cv) => {
+                    let w_hb = Self::history_weight(rtt_cv);
+                    (1.0 - w_hb) * f + w_hb * h
+                }
+                None => f,
+            }),
+            (Ok(f), Err(_)) => Ok(f),
+            (Err(_), Ok(h)) => Ok(h),
+            (Err(e), Err(_)) => Err(e),
+        }
+    }
+
+    /// Banks the epoch's RTT probe into the gate window and forwards
+    /// the epoch to both sides. The history side's [`Update`] is
+    /// returned — it carries the LSO events evaluation cares about.
+    fn observe(&mut self, epoch: &EpochObservation) -> Update {
+        if let Some(rtt_s) = epoch.features.probes.rtt {
+            self.rtt_window.push(rtt_s);
+        }
+        self.formula.observe(epoch);
+        self.history.observe(epoch)
+    }
+
+    fn reset(&mut self) {
+        self.formula.reset();
+        self.history.reset();
+        self.rtt_window.clear();
+    }
+
+    // lint:hot-path
+    fn name(&self) -> &str {
+        "rtt-cv-gated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fb::{FbPredictor, PathEstimates};
+    use crate::hb::MovingAverage;
+
+    fn est() -> PathEstimates {
+        PathEstimates {
+            rtt: 0.08,
+            loss_rate: 0.01,
+            avail_bw: 20e6,
+        }
+    }
+
+    fn gated() -> RttCvGated<FbPredictor, MovingAverage> {
+        RttCvGated::new(FbPredictor::default(), MovingAverage::new(10))
+    }
+
+    fn with_cv(rtt_cv: f64) -> EpochFeatures {
+        EpochFeatures {
+            rtt_cv: Some(rtt_cv),
+            ..est().into()
+        }
+    }
+
+    #[test]
+    fn ramp_endpoints_and_midpoint() {
+        assert_eq!(
+            RttCvGated::<FbPredictor, MovingAverage>::history_weight(0.05),
+            0.0
+        );
+        assert_eq!(
+            RttCvGated::<FbPredictor, MovingAverage>::history_weight(0.50),
+            1.0
+        );
+        let mid = RttCvGated::<FbPredictor, MovingAverage>::history_weight(0.225);
+        assert!((mid - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calm_cv_is_pure_formula() {
+        let mut g = gated();
+        for _ in 0..5 {
+            g.update(5e6);
+        }
+        let fb = FbPredictor::default().predict(&est());
+        assert_eq!(g.try_predict(&with_cv(0.05)), Ok(fb));
+    }
+
+    #[test]
+    fn impaired_cv_is_pure_history() {
+        let mut g = gated();
+        for _ in 0..5 {
+            g.update(5e6);
+        }
+        assert_eq!(g.try_predict(&with_cv(0.9)), Ok(5e6));
+    }
+
+    #[test]
+    fn stressed_cv_blends_linearly() {
+        let mut g = gated();
+        for _ in 0..5 {
+            g.update(5e6);
+        }
+        let fb = FbPredictor::default().predict(&est());
+        let p = g.try_predict(&with_cv(0.225)).unwrap();
+        assert!((p - 0.5 * (fb + 5e6)).abs() < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn gate_falls_back_to_banked_rtt_probes() {
+        let mut g = gated();
+        // Volatile RTT probes: CoV of {0.02, 0.30, 0.02, 0.30, ...} ≫ 0.30.
+        for i in 0..10 {
+            let rtt_s = if i % 2 == 0 { 0.02 } else { 0.30 };
+            g.observe(&EpochObservation::new(
+                EpochFeatures {
+                    probes: crate::fb::PartialEstimates {
+                        rtt: Some(rtt_s),
+                        loss_rate: Some(0.01),
+                        avail_bw: Some(20e6),
+                    },
+                    rtt_cv: None,
+                },
+                Some(5e6),
+            ));
+        }
+        // No rtt_cv on the query either: the banked window gates.
+        assert_eq!(g.try_predict(&est().into()), Ok(5e6));
+    }
+
+    #[test]
+    fn unknown_state_prefers_the_formula() {
+        let mut g = gated();
+        for _ in 0..5 {
+            g.update(5e6); // throughput-only epochs: no RTT banked
+        }
+        let fb = FbPredictor::default().predict(&est());
+        assert_eq!(g.try_predict(&est().into()), Ok(fb));
+    }
+
+    #[test]
+    fn formula_refusal_degrades_to_history() {
+        let mut g = gated();
+        for _ in 0..5 {
+            g.update(5e6);
+        }
+        assert_eq!(g.try_predict(&EpochFeatures::NONE), Ok(5e6));
+    }
+
+    #[test]
+    fn history_refusal_degrades_to_formula() {
+        let g = gated();
+        let fb = FbPredictor::default().predict(&est());
+        assert_eq!(g.try_predict(&with_cv(0.9)), Ok(fb));
+    }
+
+    #[test]
+    fn both_refusing_propagates_the_formula_reason() {
+        let g = gated();
+        assert_eq!(
+            g.try_predict(&EpochFeatures::NONE),
+            Err(PredictError::MissingRtt)
+        );
+    }
+
+    #[test]
+    fn gap_epochs_are_a_noop() {
+        let mut g = gated();
+        g.update(5e6);
+        assert_eq!(g.observe(&EpochObservation::GAP), Update::Skipped);
+        assert_eq!(g.try_predict(&with_cv(0.9)), Ok(5e6));
+        assert_eq!(g.name(), "rtt-cv-gated");
+    }
+
+    #[test]
+    fn reset_clears_the_gate_window() {
+        let mut g = gated();
+        for i in 0..10 {
+            let rtt_s = if i % 2 == 0 { 0.02 } else { 0.30 };
+            g.observe(&EpochObservation::new(
+                EpochFeatures {
+                    probes: crate::fb::PartialEstimates {
+                        rtt: Some(rtt_s),
+                        loss_rate: None,
+                        avail_bw: None,
+                    },
+                    rtt_cv: None,
+                },
+                Some(5e6),
+            ));
+        }
+        g.reset();
+        let fb = FbPredictor::default().predict(&est());
+        // Unknown state again after reset: formula preferred.
+        assert_eq!(g.try_predict(&est().into()), Ok(fb));
+    }
+}

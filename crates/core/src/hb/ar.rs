@@ -16,6 +16,8 @@
 //! window mean — mirroring how an application would actually deploy it.
 
 use super::{Predictor, Update};
+use crate::error::PredictError;
+use crate::predictor::{typed_forecast, EpochFeatures, EpochObservation};
 use std::collections::VecDeque;
 
 /// Sliding-window AR(p) with Yule-Walker estimation.
@@ -29,7 +31,7 @@ use std::collections::VecDeque;
 /// for i in 0..30 {
 ///     ar.update(if i % 2 == 0 { 10.0 } else { 20.0 });
 /// }
-/// let f = ar.predict().unwrap();
+/// let f = ar.forecast().unwrap();
 /// assert!((f - 10.0).abs() < 2.0, "next value after a 20 is a 10: {f}");
 /// ```
 #[derive(Debug, Clone)]
@@ -39,6 +41,7 @@ pub struct ArPredictor {
     capacity: usize,
     /// Minimum samples before fitting (below this: window-mean fallback).
     min_history: usize,
+    name: String,
 }
 
 impl ArPredictor {
@@ -61,6 +64,7 @@ impl ArPredictor {
             window: VecDeque::with_capacity(capacity),
             capacity,
             min_history: 3 * order,
+            name: format!("AR({order})"),
         }
     }
 
@@ -141,7 +145,14 @@ impl ArPredictor {
 }
 
 impl Predictor for ArPredictor {
-    fn update(&mut self, x: f64) -> Update {
+    fn try_predict(&self, _features: &EpochFeatures) -> Result<f64, PredictError> {
+        typed_forecast(self.fit_and_forecast())
+    }
+
+    fn observe(&mut self, epoch: &EpochObservation) -> Update {
+        let Some(x) = epoch.throughput_bps else {
+            return Update::Skipped;
+        };
         debug_assert!(!x.is_nan(), "NaN sample");
         if self.window.len() == self.capacity {
             self.window.pop_front();
@@ -150,16 +161,13 @@ impl Predictor for ArPredictor {
         Update::Accepted
     }
 
-    fn predict(&self) -> Option<f64> {
-        self.fit_and_forecast()
-    }
-
     fn reset(&mut self) {
         self.window.clear();
     }
 
-    fn name(&self) -> String {
-        format!("AR({})", self.order)
+    // lint:hot-path
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -170,7 +178,7 @@ mod tests {
     #[test]
     fn no_prediction_before_first_sample() {
         let ar = ArPredictor::new(2, 16);
-        assert_eq!(ar.predict(), None);
+        assert_eq!(ar.forecast(), None);
     }
 
     #[test]
@@ -178,7 +186,7 @@ mod tests {
         let mut ar = ArPredictor::new(3, 32);
         ar.update(10.0);
         ar.update(20.0);
-        assert_eq!(ar.predict(), Some(15.0));
+        assert_eq!(ar.forecast(), Some(15.0));
     }
 
     #[test]
@@ -187,7 +195,7 @@ mod tests {
         for _ in 0..20 {
             ar.update(7.5);
         }
-        let f = ar.predict().unwrap();
+        let f = ar.forecast().unwrap();
         assert!((f - 7.5).abs() < 1e-9, "{f}");
     }
 
@@ -201,7 +209,7 @@ mod tests {
             ar.update(x);
             x = mean + 0.9 * (x - mean);
         }
-        let f = ar.predict().unwrap();
+        let f = ar.forecast().unwrap();
         assert!(
             (f - x).abs() / mean < 0.02,
             "AR(1) should extrapolate the decay: {f} vs {x}"
@@ -215,7 +223,7 @@ mod tests {
             ar.update(if i % 2 == 0 { 10.0 } else { 20.0 });
         }
         // Last sample was 20 (i = 39): next is 10.
-        let f = ar.predict().unwrap();
+        let f = ar.forecast().unwrap();
         assert!((f - 10.0).abs() < 1.0, "{f}");
     }
 
@@ -247,8 +255,16 @@ mod tests {
         }
         assert!(ar.window.len() <= 8);
         ar.reset();
-        assert_eq!(ar.predict(), None);
+        assert_eq!(ar.forecast(), None);
         assert_eq!(ar.name(), "AR(1)");
+    }
+
+    #[test]
+    fn gap_epochs_leave_the_window_untouched() {
+        let mut ar = ArPredictor::new(1, 8);
+        ar.update(10.0);
+        assert_eq!(ar.observe(&EpochObservation::GAP), Update::Skipped);
+        assert_eq!(ar.window.len(), 1);
     }
 
     #[test]
@@ -257,7 +273,7 @@ mod tests {
         for i in 0..100 {
             let x = 10.0 + ((i * 2654435761u64) % 997) as f64 / 100.0;
             ar.update(x);
-            if let Some(f) = ar.predict() {
+            if let Some(f) = ar.forecast() {
                 assert!(f.is_finite(), "blew up at {i}: {f}");
             }
         }

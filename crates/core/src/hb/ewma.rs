@@ -1,6 +1,8 @@
 //! The Exponentially Weighted Moving Average predictor (§5.1.2).
 
 use super::{Predictor, Update};
+use crate::error::PredictError;
+use crate::predictor::{typed_forecast, EpochFeatures, EpochObservation};
 
 /// One-step EWMA:
 ///
@@ -21,12 +23,13 @@ use super::{Predictor, Update};
 /// let mut e = Ewma::new(0.5);
 /// e.update(10.0);
 /// e.update(20.0);
-/// assert_eq!(e.predict(), Some(15.0));
+/// assert_eq!(e.forecast(), Some(15.0));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Ewma {
     alpha: f64,
     forecast: Option<f64>,
+    name: String,
 }
 
 impl Ewma {
@@ -45,6 +48,7 @@ impl Ewma {
         Ewma {
             alpha,
             forecast: None,
+            name: format!("{alpha:.1}-EWMA"),
         }
     }
 
@@ -55,7 +59,16 @@ impl Ewma {
 }
 
 impl Predictor for Ewma {
-    fn update(&mut self, x: f64) -> Update {
+    // lint:hot-path
+    fn try_predict(&self, _features: &EpochFeatures) -> Result<f64, PredictError> {
+        typed_forecast(self.forecast)
+    }
+
+    // lint:hot-path
+    fn observe(&mut self, epoch: &EpochObservation) -> Update {
+        let Some(x) = epoch.throughput_bps else {
+            return Update::Skipped;
+        };
         debug_assert!(!x.is_nan(), "NaN sample");
         self.forecast = Some(match self.forecast {
             None => x,
@@ -64,16 +77,13 @@ impl Predictor for Ewma {
         Update::Accepted
     }
 
-    fn predict(&self) -> Option<f64> {
-        self.forecast
-    }
-
     fn reset(&mut self) {
         self.forecast = None;
     }
 
-    fn name(&self) -> String {
-        format!("{:.1}-EWMA", self.alpha)
+    // lint:hot-path
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -85,7 +95,7 @@ mod tests {
     fn first_forecast_is_first_sample() {
         let mut e = Ewma::new(0.3);
         e.update(7.0);
-        assert_eq!(e.predict(), Some(7.0));
+        assert_eq!(e.forecast(), Some(7.0));
     }
 
     #[test]
@@ -94,7 +104,7 @@ mod tests {
         e.update(4.0); // f = 4
         e.update(8.0); // f = 0.25*8 + 0.75*4 = 5
         e.update(0.0); // f = 0.25*0 + 0.75*5 = 3.75
-        assert_eq!(e.predict(), Some(3.75));
+        assert_eq!(e.forecast(), Some(3.75));
     }
 
     #[test]
@@ -104,7 +114,7 @@ mod tests {
         for _ in 0..200 {
             e.update(5.0);
         }
-        let f = e.predict().unwrap();
+        let f = e.forecast().unwrap();
         assert!((f - 5.0).abs() < 1e-12);
     }
 
@@ -117,7 +127,7 @@ mod tests {
             fast.update(x);
             slow.update(x);
         }
-        assert!(fast.predict().unwrap() > slow.predict().unwrap());
+        assert!(fast.forecast().unwrap() > slow.forecast().unwrap());
     }
 
     #[test]
@@ -125,7 +135,15 @@ mod tests {
         let mut e = Ewma::new(0.5);
         e.update(1.0);
         e.reset();
-        assert_eq!(e.predict(), None);
+        assert_eq!(e.forecast(), None);
+    }
+
+    #[test]
+    fn gap_epochs_do_not_move_the_forecast() {
+        let mut e = Ewma::new(0.5);
+        e.update(8.0);
+        assert_eq!(e.observe(&EpochObservation::GAP), Update::Skipped);
+        assert_eq!(e.forecast(), Some(8.0));
     }
 
     #[test]
@@ -148,7 +166,7 @@ mod tests {
         let xs = [3.0, 9.0, 4.5, 8.2, 3.3];
         for x in xs {
             e.update(x);
-            let f = e.predict().unwrap();
+            let f = e.forecast().unwrap();
             assert!((3.0..=9.0).contains(&f));
         }
     }

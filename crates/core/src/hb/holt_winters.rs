@@ -1,6 +1,8 @@
 //! The non-seasonal Holt-Winters predictor (§5.1.3).
 
 use super::{Predictor, Update};
+use crate::error::PredictError;
+use crate::predictor::{typed_forecast, EpochFeatures, EpochObservation};
 
 /// Non-seasonal Holt-Winters (double exponential smoothing): an EWMA that
 /// additionally tracks the series' linear *trend*.
@@ -31,9 +33,9 @@ use super::{Predictor, Update};
 /// use tputpred_core::hb::{HoltWinters, Predictor};
 /// let mut hw = HoltWinters::new(0.8, 0.2);
 /// hw.update(10.0);
-/// assert_eq!(hw.predict(), None); // needs two samples
+/// assert_eq!(hw.forecast(), None); // needs two samples
 /// hw.update(12.0);
-/// let f = hw.predict().unwrap();
+/// let f = hw.forecast().unwrap();
 /// assert!(f > 12.0, "rising series forecasts above the last sample");
 /// ```
 #[derive(Debug, Clone)]
@@ -41,6 +43,7 @@ pub struct HoltWinters {
     alpha: f64,
     beta: f64,
     state: HwState,
+    name: String,
 }
 
 #[derive(Debug, Clone)]
@@ -73,6 +76,7 @@ impl HoltWinters {
             alpha,
             beta,
             state: HwState::Empty,
+            name: format!("{alpha:.1}-HW"),
         }
     }
 
@@ -97,7 +101,20 @@ impl HoltWinters {
 }
 
 impl Predictor for HoltWinters {
-    fn update(&mut self, x: f64) -> Update {
+    // lint:hot-path
+    fn try_predict(&self, _features: &EpochFeatures) -> Result<f64, PredictError> {
+        let forecast = match self.state {
+            HwState::Running { smooth, trend } => Some(smooth + trend),
+            _ => None,
+        };
+        typed_forecast(forecast)
+    }
+
+    // lint:hot-path
+    fn observe(&mut self, epoch: &EpochObservation) -> Update {
+        let Some(x) = epoch.throughput_bps else {
+            return Update::Skipped;
+        };
         debug_assert!(!x.is_nan(), "NaN sample");
         self.state = match self.state {
             HwState::Empty => HwState::Priming { x0: x },
@@ -123,19 +140,13 @@ impl Predictor for HoltWinters {
         Update::Accepted
     }
 
-    fn predict(&self) -> Option<f64> {
-        match self.state {
-            HwState::Running { smooth, trend } => Some(smooth + trend),
-            _ => None,
-        }
-    }
-
     fn reset(&mut self) {
         self.state = HwState::Empty;
     }
 
-    fn name(&self) -> String {
-        format!("{:.1}-HW", self.alpha)
+    // lint:hot-path
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -146,11 +157,11 @@ mod tests {
     #[test]
     fn needs_two_samples_before_first_forecast() {
         let mut hw = HoltWinters::new(0.5, 0.5);
-        assert_eq!(hw.predict(), None);
+        assert_eq!(hw.forecast(), None);
         hw.update(1.0);
-        assert_eq!(hw.predict(), None);
+        assert_eq!(hw.forecast(), None);
         hw.update(2.0);
-        assert!(hw.predict().is_some());
+        assert!(hw.forecast().is_some());
     }
 
     #[test]
@@ -160,7 +171,7 @@ mod tests {
         let mut hw = HoltWinters::new(0.8, 0.2);
         hw.update(10.0);
         hw.update(14.0);
-        assert_eq!(hw.predict(), Some(18.0));
+        assert_eq!(hw.forecast(), Some(18.0));
     }
 
     #[test]
@@ -170,7 +181,7 @@ mod tests {
         let mut hw = HoltWinters::new(0.4, 0.3);
         for i in 0..20 {
             let x = 5.0 + 2.0 * i as f64;
-            if let Some(f) = hw.predict() {
+            if let Some(f) = hw.forecast() {
                 assert!((f - x).abs() < 1e-9, "i={i}: forecast {f} vs {x}");
             }
             hw.update(x);
@@ -186,7 +197,7 @@ mod tests {
         for _ in 0..300 {
             hw.update(10.0);
         }
-        let f = hw.predict().unwrap();
+        let f = hw.forecast().unwrap();
         assert!((f - 10.0).abs() < 1e-6, "forecast {f}");
         assert!(hw.trend().unwrap().abs() < 1e-6);
     }
@@ -200,7 +211,7 @@ mod tests {
         let mut hw_err = 0.0;
         let mut ew_err = 0.0;
         for &x in &series {
-            if let (Some(fh), Some(fe)) = (hw.predict(), ew.predict()) {
+            if let (Some(fh), Some(fe)) = (hw.forecast(), ew.forecast()) {
                 hw_err += (fh - x).abs();
                 ew_err += (fe - x).abs();
             }
@@ -219,8 +230,17 @@ mod tests {
         hw.update(1.0);
         hw.update(2.0);
         hw.reset();
-        assert_eq!(hw.predict(), None);
+        assert_eq!(hw.forecast(), None);
         assert_eq!(hw.trend(), None);
+    }
+
+    #[test]
+    fn gap_epochs_preserve_priming_state() {
+        let mut hw = HoltWinters::new(0.8, 0.2);
+        hw.update(10.0);
+        assert_eq!(hw.observe(&EpochObservation::GAP), Update::Skipped);
+        hw.update(14.0); // second real sample initialises the trend
+        assert_eq!(hw.forecast(), Some(18.0));
     }
 
     #[test]

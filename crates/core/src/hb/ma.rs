@@ -1,6 +1,8 @@
 //! The n-order Moving Average predictor (§5.1.1).
 
 use super::{Predictor, Update};
+use crate::error::PredictError;
+use crate::predictor::{typed_forecast, EpochFeatures, EpochObservation};
 use std::collections::VecDeque;
 
 /// One-step n-order Moving Average (`n-MA`):
@@ -28,13 +30,14 @@ use std::collections::VecDeque;
 ///     ma.update(x);
 /// }
 /// // window holds [2, 3, 4]
-/// assert_eq!(ma.predict(), Some(3.0));
+/// assert_eq!(ma.forecast(), Some(3.0));
 /// ```
 #[derive(Debug, Clone)]
 pub struct MovingAverage {
     order: usize,
     window: VecDeque<f64>,
     sum: f64,
+    name: String,
 }
 
 impl MovingAverage {
@@ -49,6 +52,7 @@ impl MovingAverage {
             order,
             window: VecDeque::with_capacity(order),
             sum: 0.0,
+            name: format!("{order}-MA"),
         }
     }
 
@@ -64,7 +68,20 @@ impl MovingAverage {
 }
 
 impl Predictor for MovingAverage {
-    fn update(&mut self, x: f64) -> Update {
+    // lint:hot-path
+    fn try_predict(&self, _features: &EpochFeatures) -> Result<f64, PredictError> {
+        let forecast = if self.window.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.window.len() as f64)
+        };
+        typed_forecast(forecast)
+    }
+
+    fn observe(&mut self, epoch: &EpochObservation) -> Update {
+        let Some(x) = epoch.throughput_bps else {
+            return Update::Skipped;
+        };
         debug_assert!(!x.is_nan(), "NaN sample");
         if self.window.len() == self.order {
             if let Some(old) = self.window.pop_front() {
@@ -82,21 +99,14 @@ impl Predictor for MovingAverage {
         Update::Accepted
     }
 
-    fn predict(&self) -> Option<f64> {
-        if self.window.is_empty() {
-            None
-        } else {
-            Some(self.sum / self.window.len() as f64)
-        }
-    }
-
     fn reset(&mut self) {
         self.window.clear();
         self.sum = 0.0;
     }
 
-    fn name(&self) -> String {
-        format!("{}-MA", self.order)
+    // lint:hot-path
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -107,16 +117,16 @@ mod tests {
     #[test]
     fn no_prediction_before_first_sample() {
         let ma = MovingAverage::new(5);
-        assert_eq!(ma.predict(), None);
+        assert_eq!(ma.forecast(), None);
     }
 
     #[test]
     fn partial_window_averages_what_it_has() {
         let mut ma = MovingAverage::new(10);
         ma.update(2.0);
-        assert_eq!(ma.predict(), Some(2.0));
+        assert_eq!(ma.forecast(), Some(2.0));
         ma.update(4.0);
-        assert_eq!(ma.predict(), Some(3.0));
+        assert_eq!(ma.forecast(), Some(3.0));
     }
 
     #[test]
@@ -125,7 +135,7 @@ mod tests {
         for x in [1.0, 2.0, 3.0] {
             ma.update(x);
         }
-        assert_eq!(ma.predict(), Some(2.5));
+        assert_eq!(ma.forecast(), Some(2.5));
         assert_eq!(ma.fill(), 2);
     }
 
@@ -134,7 +144,7 @@ mod tests {
         let mut ma = MovingAverage::new(1);
         for x in [5.0, 9.0, 1.0] {
             ma.update(x);
-            assert_eq!(ma.predict(), Some(x));
+            assert_eq!(ma.forecast(), Some(x));
         }
     }
 
@@ -143,7 +153,7 @@ mod tests {
         let mut ma = MovingAverage::new(3);
         ma.update(1.0);
         ma.reset();
-        assert_eq!(ma.predict(), None);
+        assert_eq!(ma.forecast(), None);
         assert_eq!(ma.fill(), 0);
     }
 
@@ -153,7 +163,7 @@ mod tests {
         for _ in 0..50 {
             ma.update(3.25);
         }
-        assert_eq!(ma.predict(), Some(3.25));
+        assert_eq!(ma.forecast(), Some(3.25));
     }
 
     #[test]
@@ -167,8 +177,17 @@ mod tests {
             .map(|i| (i % 17) as f64 * 1e9 + 0.1)
             .collect();
         let expected = tail.iter().sum::<f64>() / 4.0;
-        let got = ma.predict().unwrap();
+        let got = ma.forecast().unwrap();
         assert!((got - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn gap_epochs_leave_the_window_untouched() {
+        let mut ma = MovingAverage::new(3);
+        ma.update(6.0);
+        assert_eq!(ma.observe(&EpochObservation::GAP), Update::Skipped);
+        assert_eq!(ma.forecast(), Some(6.0));
+        assert_eq!(ma.fill(), 1);
     }
 
     #[test]

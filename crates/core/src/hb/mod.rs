@@ -14,137 +14,22 @@
 //!   ARIMA-class baseline the paper cites as needing more history than
 //!   applications have (§5); included so that claim is testable.
 //!
-//! All implement the [`Predictor`] trait, so the level-shift/outlier
-//! wrapper [`crate::lso::Lso`] and the evaluation driver
-//! [`crate::metrics::evaluate`] work with any of them.
+//! All implement the unified [`Predictor`] trait (defined in
+//! [`crate::predictor`]): they ingest an epoch's measured throughput via
+//! [`Predictor::observe`] (ignoring the a-priori features, which only
+//! formula-backed predictors consume) and treat feature-only or gap
+//! epochs as state no-ops. The level-shift/outlier wrapper
+//! [`crate::lso::Lso`], the evaluation drivers in [`crate::metrics`],
+//! and the registry in [`crate::catalog`] work with any of them.
 
 mod ar;
 mod ewma;
 mod holt_winters;
 mod ma;
 
-use crate::error::PredictError;
+pub use crate::predictor::{Predictor, Update};
 
 pub use ar::ArPredictor;
 pub use ewma::Ewma;
 pub use holt_winters::HoltWinters;
 pub use ma::MovingAverage;
-
-/// What happened inside a predictor when a sample was ingested.
-///
-/// Plain linear predictors always report [`Update::Accepted`]. The
-/// [`crate::lso::Lso`] wrapper reports the §5.2 events so evaluation can
-/// exclude outlier samples from RMSRE, as §6.1.3 prescribes.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub enum Update {
-    /// The sample entered the predictor's history.
-    #[default]
-    Accepted,
-    /// The sample (or earlier samples, identified by their 0-based absolute
-    /// positions in the input series) were classified as outliers and
-    /// removed from the history.
-    OutliersDiscarded(Vec<usize>),
-    /// A level shift was detected beginning at the given absolute sample
-    /// position; history before it was dropped and the predictor restarted.
-    LevelShift { start: usize },
-}
-
-/// A one-step-ahead time-series forecaster.
-///
-/// The contract mirrors how the paper uses predictors: after observing
-/// samples `X₁ … Xᵢ` via [`Predictor::update`], [`Predictor::predict`]
-/// returns `X̂ᵢ₊₁`, the forecast for the *next* observation, or `None` while
-/// the predictor has not yet seen enough samples (e.g. Holt-Winters needs
-/// two samples to initialise its trend component).
-pub trait Predictor {
-    /// Ingests the next observation; returns what the predictor did with it.
-    fn update(&mut self, x: f64) -> Update;
-
-    /// One-step-ahead forecast, or `None` if not enough history yet.
-    fn predict(&self) -> Option<f64>;
-
-    /// Drops all history, returning the predictor to its initial state.
-    fn reset(&mut self);
-
-    /// Short human-readable name, e.g. `"10-MA"`, used in figure labels.
-    fn name(&self) -> String;
-
-    /// Like [`Predictor::predict`] but with a typed refusal: `None`
-    /// becomes [`PredictError::InsufficientHistory`], and a non-finite
-    /// forecast (a predictor poisoned by degraded input) becomes
-    /// [`PredictError::InvalidEstimate`] instead of leaking a NaN into
-    /// error metrics.
-    fn try_predict(&self) -> Result<f64, PredictError> {
-        match self.predict() {
-            None => Err(PredictError::InsufficientHistory),
-            Some(f) if !f.is_finite() => Err(PredictError::InvalidEstimate("forecast")),
-            Some(f) => Ok(f),
-        }
-    }
-}
-
-/// Blanket impl so `&mut P` and boxed predictors are predictors too.
-impl<P: Predictor + ?Sized> Predictor for &mut P {
-    fn update(&mut self, x: f64) -> Update {
-        (**self).update(x)
-    }
-    fn predict(&self) -> Option<f64> {
-        (**self).predict()
-    }
-    fn reset(&mut self) {
-        (**self).reset()
-    }
-    fn name(&self) -> String {
-        (**self).name()
-    }
-}
-
-impl Predictor for Box<dyn Predictor + Send> {
-    fn update(&mut self, x: f64) -> Update {
-        (**self).update(x)
-    }
-    fn predict(&self) -> Option<f64> {
-        (**self).predict()
-    }
-    fn reset(&mut self) {
-        (**self).reset()
-    }
-    fn name(&self) -> String {
-        (**self).name()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn trait_objects_forward_calls() {
-        let mut boxed: Box<dyn Predictor + Send> = Box::new(MovingAverage::new(2));
-        assert_eq!(boxed.predict(), None);
-        boxed.update(1.0);
-        boxed.update(3.0);
-        assert_eq!(boxed.predict(), Some(2.0));
-        assert_eq!(boxed.name(), "2-MA");
-        boxed.reset();
-        assert_eq!(boxed.predict(), None);
-    }
-
-    #[test]
-    fn try_predict_types_the_warmup_refusal() {
-        let mut ma = MovingAverage::new(2);
-        assert_eq!(ma.try_predict(), Err(PredictError::InsufficientHistory));
-        ma.update(3.0);
-        assert_eq!(ma.try_predict(), Ok(3.0));
-    }
-
-    #[test]
-    fn mut_ref_is_a_predictor() {
-        fn feed<P: Predictor>(mut p: P) -> Option<f64> {
-            p.update(4.0);
-            p.predict()
-        }
-        let mut ma = MovingAverage::new(1);
-        assert_eq!(feed(&mut ma), Some(4.0));
-    }
-}

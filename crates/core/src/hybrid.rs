@@ -2,104 +2,151 @@
 //! "it would be interesting to examine hybrid predictors, which rely on
 //! TCP models as well as on recent history."
 //!
-//! [`HybridPredictor`] implements the natural construction: while the
-//! transfer history on a path is shorter than a warm-up threshold, predict
-//! with the formula (FB needs no history); once history accumulates, blend
-//! the FB prediction in with a weight that decays as HB earns trust. The
+//! [`HybridPredictor`] implements the natural construction over any two
+//! [`Predictor`]s: while the transfer history on a path is shorter than
+//! a warm-up threshold, predict with the formula side (which needs no
+//! history); once history accumulates, blend the formula prediction in
+//! with a weight that decays as the history side earns trust. The
 //! paper's finding that HB ≫ FB in accuracy (§6.1.2) implies the blend
 //! should tilt quickly toward HB — the default decay does.
 
-use crate::fb::{FbPredictor, PathEstimates};
-use crate::hb::{Predictor, Update};
-use crate::lso::Lso;
+use crate::error::PredictError;
+use crate::predictor::{EpochFeatures, EpochObservation, Predictor, Update};
 
-/// Hybrid of an FB predictor and an LSO-wrapped HB predictor.
+/// Hybrid of a formula-side predictor (typically
+/// [`crate::fb::FbPredictor`]) and a history-side predictor (typically
+/// an [`crate::lso::Lso`]-wrapped HB predictor).
 ///
-/// The blend weight on FB is `1/(h+1)` where `h` is the number of history
-/// samples since the last level shift — FB alone before any transfer,
-/// ~9% FB weight after ten transfers, vanishing thereafter. A level shift
-/// resets `h`, so the formula regains influence exactly when history
-/// stops being trustworthy.
+/// The blend weight on the formula side is `1/(h+1)` where `h` is the
+/// number of history samples since the last level shift — formula alone
+/// before any transfer, ~9% formula weight after ten transfers,
+/// vanishing thereafter. A level shift resets `h` (via the `retained`
+/// count the history side reports), so the formula regains influence
+/// exactly when history stops being trustworthy.
 ///
 /// # Examples
 ///
 /// ```
-/// use tputpred_core::fb::PathEstimates;
+/// use tputpred_core::fb::{FbPredictor, PathEstimates};
 /// use tputpred_core::hb::HoltWinters;
 /// use tputpred_core::hybrid::HybridPredictor;
+/// use tputpred_core::lso::Lso;
+/// use tputpred_core::predictor::Predictor;
 ///
-/// let mut h = HybridPredictor::new(Default::default(), HoltWinters::new(0.8, 0.2));
+/// let mut h = HybridPredictor::new(
+///     FbPredictor::default(),
+///     Lso::new(HoltWinters::new(0.8, 0.2)),
+/// );
 /// let est = PathEstimates { rtt: 0.08, loss_rate: 0.01, avail_bw: 20e6 };
 /// // No history yet: pure FB.
-/// let first = h.predict(&est);
+/// let first = h.try_predict(&est.into()).unwrap();
 /// assert!(first > 0.0);
 /// // After a few observed transfers the history dominates.
 /// for _ in 0..20 {
-///     h.observe(9e6);
+///     h.update(9e6);
 /// }
-/// let later = h.predict(&est);
+/// let later = h.try_predict(&est.into()).unwrap();
 /// assert!((later - 9e6).abs() / 9e6 < 0.15);
 /// ```
 #[derive(Debug, Clone)]
-pub struct HybridPredictor<P> {
-    fb: FbPredictor,
-    hb: Lso<P>,
+pub struct HybridPredictor<F, H> {
+    formula: F,
+    history: H,
     history_len: usize,
 }
 
-impl<P: Predictor> HybridPredictor<P> {
-    /// Creates a hybrid from an FB configuration and an inner HB predictor
-    /// (which gets LSO-wrapped).
-    pub fn new(fb: FbPredictor, hb_inner: P) -> Self {
+impl<F: Predictor, H: Predictor> HybridPredictor<F, H> {
+    /// Creates a hybrid from a formula-side and a history-side predictor.
+    pub fn new(formula: F, history: H) -> Self {
         HybridPredictor {
-            fb,
-            hb: Lso::new(hb_inner),
+            formula,
+            history,
             history_len: 0,
         }
     }
 
-    /// Records a completed transfer's measured throughput (bits/s).
-    pub fn observe(&mut self, throughput: f64) {
-        match self.hb.update(throughput) {
-            Update::LevelShift { .. } => {
-                // History restarted: trust the formula again.
-                self.history_len = self.hb.detector().window().len();
-            }
-            Update::OutliersDiscarded(_) => {
-                self.history_len = self.hb.detector().window().len();
-            }
-            Update::Accepted => self.history_len += 1,
-        }
-    }
-
-    /// Number of history samples currently backing the HB side.
+    /// Number of history samples currently backing the history side.
     pub fn history_len(&self) -> usize {
         self.history_len
     }
 
-    /// Current blend weight on the FB side.
+    /// Current blend weight on the formula side.
+    // lint:hot-path
     pub fn fb_weight(&self) -> f64 {
         1.0 / (self.history_len as f64 + 1.0)
     }
 
-    /// Predicts the next transfer's throughput given fresh a-priori path
-    /// estimates.
-    pub fn predict(&self, est: &PathEstimates) -> f64 {
-        let fb_pred = self.fb.predict(est);
-        match self.hb.predict() {
-            None => fb_pred,
-            Some(hb_pred) => {
+    /// The formula-side predictor.
+    pub fn formula(&self) -> &F {
+        &self.formula
+    }
+
+    /// The history-side predictor.
+    pub fn history(&self) -> &H {
+        &self.history
+    }
+}
+
+impl<F: Predictor, H: Predictor> Predictor for HybridPredictor<F, H> {
+    /// Blends the two sides when both forecast; degrades to whichever
+    /// side still can when the other refuses (a formula refusal on a
+    /// degraded epoch should not silence accumulated history, and vice
+    /// versa). Only when both refuse does the hybrid refuse, carrying
+    /// the formula side's reason (it names *why*: missing RTT,
+    /// degenerate estimates).
+    fn try_predict(&self, features: &EpochFeatures) -> Result<f64, PredictError> {
+        let formula_pred = self.formula.try_predict(features);
+        let history_pred = self.history.try_predict(features);
+        match (formula_pred, history_pred) {
+            (Ok(f), Ok(h)) => {
                 let w = self.fb_weight();
-                w * fb_pred + (1.0 - w) * hb_pred
+                Ok(w * f + (1.0 - w) * h)
+            }
+            (Ok(f), Err(_)) => Ok(f),
+            (Err(_), Ok(h)) => Ok(h),
+            (Err(e), Err(_)) => Err(e),
+        }
+    }
+
+    /// Forwards the epoch to both sides and tracks the history length
+    /// from the history side's [`Update`] — `retained` counts after an
+    /// event, +1 per accepted throughput sample. The history side's
+    /// update is returned (it carries the LSO events evaluation wants).
+    fn observe(&mut self, epoch: &EpochObservation) -> Update {
+        self.formula.observe(epoch);
+        let up = self.history.observe(epoch);
+        match &up {
+            Update::Accepted => {
+                if epoch.throughput_bps.is_some() {
+                    self.history_len += 1;
+                }
+            }
+            Update::Skipped => {}
+            Update::OutliersDiscarded { retained, .. } | Update::LevelShift { retained, .. } => {
+                self.history_len = *retained;
             }
         }
+        up
+    }
+
+    fn reset(&mut self) {
+        self.formula.reset();
+        self.history.reset();
+        self.history_len = 0;
+    }
+
+    // lint:hot-path
+    fn name(&self) -> &str {
+        "hybrid"
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fb::{FbPredictor, PathEstimates};
     use crate::hb::MovingAverage;
+    use crate::lso::Lso;
 
     fn est() -> PathEstimates {
         PathEstimates {
@@ -109,22 +156,26 @@ mod tests {
         }
     }
 
+    fn hybrid() -> HybridPredictor<FbPredictor, Lso<MovingAverage>> {
+        HybridPredictor::new(FbPredictor::default(), Lso::new(MovingAverage::new(10)))
+    }
+
     #[test]
     fn no_history_means_pure_fb() {
-        let h = HybridPredictor::new(FbPredictor::default(), MovingAverage::new(10));
+        let h = hybrid();
         let fb_only = FbPredictor::default().predict(&est());
-        assert_eq!(h.predict(&est()), fb_only);
+        assert_eq!(h.try_predict(&est().into()), Ok(fb_only));
         assert_eq!(h.fb_weight(), 1.0);
     }
 
     #[test]
     fn history_shifts_weight_to_hb() {
-        let mut h = HybridPredictor::new(FbPredictor::default(), MovingAverage::new(10));
+        let mut h = hybrid();
         for _ in 0..9 {
-            h.observe(5e6);
+            h.update(5e6);
         }
         assert!((h.fb_weight() - 0.1).abs() < 1e-12);
-        let p = h.predict(&est());
+        let p = h.try_predict(&est().into()).unwrap();
         let fb_only = FbPredictor::default().predict(&est());
         // Prediction is much closer to history (5 Mbps) than to FB alone.
         assert!((p - 5e6).abs() < (p - fb_only).abs());
@@ -132,13 +183,13 @@ mod tests {
 
     #[test]
     fn level_shift_restores_fb_influence() {
-        let mut h = HybridPredictor::new(FbPredictor::default(), MovingAverage::new(10));
+        let mut h = hybrid();
         for _ in 0..20 {
-            h.observe(5e6);
+            h.update(5e6);
         }
         let before = h.fb_weight();
         for _ in 0..3 {
-            h.observe(15e6); // triggers a level shift
+            h.update(15e6); // triggers a level shift
         }
         let after = h.fb_weight();
         assert!(after > before, "shift resets history: {after} vs {before}");
@@ -147,17 +198,48 @@ mod tests {
 
     #[test]
     fn blend_is_convex_combination() {
-        let mut h = HybridPredictor::new(FbPredictor::default(), MovingAverage::new(10));
+        let mut h = hybrid();
         for _ in 0..4 {
-            h.observe(5e6);
+            h.update(5e6);
         }
         let fb_only = FbPredictor::default().predict(&est());
-        let p = h.predict(&est());
+        let p = h.try_predict(&est().into()).unwrap();
         let (lo, hi) = if fb_only < 5e6 {
             (fb_only, 5e6)
         } else {
             (5e6, fb_only)
         };
         assert!((lo..=hi).contains(&p));
+    }
+
+    #[test]
+    fn gap_epochs_do_not_change_the_blend() {
+        let mut h = hybrid();
+        for _ in 0..4 {
+            h.update(5e6);
+        }
+        let before = h.history_len();
+        assert_eq!(h.observe(&EpochObservation::GAP), Update::Skipped);
+        assert_eq!(h.history_len(), before);
+    }
+
+    #[test]
+    fn both_sides_refusing_propagates_the_formula_reason() {
+        use crate::error::PredictError;
+        let h = hybrid();
+        assert_eq!(
+            h.try_predict(&EpochFeatures::NONE),
+            Err(PredictError::MissingRtt)
+        );
+    }
+
+    #[test]
+    fn formula_refusal_degrades_to_history() {
+        let mut h = hybrid();
+        for _ in 0..5 {
+            h.update(5e6);
+        }
+        // Featureless epoch: FB refuses, accumulated history carries.
+        assert_eq!(h.try_predict(&EpochFeatures::NONE), Ok(5e6));
     }
 }

@@ -19,13 +19,26 @@
 //!
 //! * **History-Based (HB)** — [`hb`] implements time-series forecasting over
 //!   previous transfer throughputs on the same path: Moving Average
-//!   ([`hb::MovingAverage`]), EWMA ([`hb::Ewma`]), and non-seasonal
-//!   Holt-Winters ([`hb::HoltWinters`]), all behind the [`hb::Predictor`]
-//!   trait. The paper's key practical finding — that detecting *level
-//!   shifts* (restart the predictor) and *outliers* (discard the sample)
-//!   matters more than the choice of predictor — is implemented by
-//!   [`lso::Lso`], a wrapper that adds those heuristics (§5.2) to any
-//!   predictor.
+//!   ([`hb::MovingAverage`]), EWMA ([`hb::Ewma`]), non-seasonal
+//!   Holt-Winters ([`hb::HoltWinters`]), and an AR(p) baseline
+//!   ([`hb::ArPredictor`]). The paper's key practical finding — that
+//!   detecting *level shifts* (restart the predictor) and *outliers*
+//!   (discard the sample) matters more than the choice of predictor — is
+//!   implemented by [`lso::Lso`], a wrapper that adds those heuristics
+//!   (§5.2) to any predictor.
+//!
+//! Every family implements the one [`predictor::Predictor`] trait —
+//! gap-tolerant epoch observation in ([`predictor::EpochObservation`]),
+//! typed forecast out (`Result<f64, PredictError>`) — and registers in
+//! [`catalog::predictor_catalog`], the name-based registry the
+//! cross-predictor league table iterates. Three combined families build
+//! on the two classics:
+//!
+//! * [`regression`] — multivariate OLS over the formula's prediction and
+//!   the previous transfer (Vazhkudai & Schopf, arXiv:cs/0304037).
+//! * [`conditional`] — empirical medians binned on probe state
+//!   (cf. arXiv:2111.14080).
+//! * [`gated`] — an FB/HB blend gated by RTT coefficient of variation.
 //!
 //! Supporting modules:
 //!
@@ -36,6 +49,10 @@
 //! * [`hybrid`] — an FB/HB hybrid predictor (the paper's future-work §7):
 //!   fall back to the formula while history is short, hand over to HB as
 //!   history accumulates.
+//! * [`predictor`] — the unified [`predictor::Predictor`] trait, epoch
+//!   observation types, and the [`predictor::Update`] a predictor reports
+//!   per observed epoch.
+//! * [`catalog`] — the name-based predictor registry.
 //! * [`error`] — [`error::PredictError`], the typed reason a predictor
 //!   declined to forecast on a degraded epoch (missing or out-of-domain
 //!   measurements, insufficient history) instead of a NaN or a panic.
@@ -45,17 +62,27 @@
 //! Throughput and bandwidth are **bits per second**, times are **seconds**,
 //! and segment/window sizes are **bytes** throughout the workspace.
 
+pub mod catalog;
+pub mod conditional;
 pub mod error;
 pub mod fb;
 pub mod formulas;
+pub mod gated;
 pub mod hb;
 pub mod hybrid;
 pub mod lso;
 pub mod metrics;
+pub mod predictor;
+pub mod regression;
 
+pub use catalog::{predictor_by_name, predictor_catalog, BoxedPredictor, CatalogEntry};
+pub use conditional::ConditionalPredictor;
 pub use error::PredictError;
 pub use fb::{FbConfig, FbPredictor, PartialEstimates, PathEstimates, SmoothedFbPredictor};
-pub use hb::{Ewma, HoltWinters, MovingAverage, Predictor, Update};
+pub use gated::RttCvGated;
+pub use hb::{ArPredictor, Ewma, HoltWinters, MovingAverage};
 pub use hybrid::HybridPredictor;
 pub use lso::{Detector, DetectorEvent, Lso, LsoConfig};
 pub use metrics::{evaluate_gappy, relative_error, rmsre, segmented_cov};
+pub use predictor::{EpochFeatures, EpochObservation, Predictor, Update};
+pub use regression::RegressionPredictor;

@@ -56,7 +56,8 @@
 //! convention as the paper's error metric `E` (Eq. 4), and the natural
 //! reading of "lower … by more than a relative difference γ".
 
-use crate::hb::{Predictor, Update};
+use crate::error::PredictError;
+use crate::predictor::{typed_forecast, EpochFeatures, EpochObservation, Predictor, Update};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the LSO heuristics.
@@ -317,13 +318,14 @@ pub fn scan_series(series: &[f64], cfg: LsoConfig) -> (Vec<usize>, Vec<usize>) {
 /// }
 /// // Without LSO a 10-MA would still predict ~15; with LSO the predictor
 /// // restarted at the shift and tracks the new level.
-/// assert!(p.predict().unwrap() > 19.0);
+/// assert!(p.forecast().unwrap() > 19.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Lso<P> {
     detector: Detector,
     inner: P,
     all_outliers: Vec<usize>,
+    name: String,
 }
 
 impl<P: Predictor> Lso<P> {
@@ -334,10 +336,12 @@ impl<P: Predictor> Lso<P> {
 
     /// Wraps `inner` with explicit thresholds.
     pub fn with_config(inner: P, cfg: LsoConfig) -> Self {
+        let name = format!("{}-LSO", inner.name());
         Lso {
             detector: Detector::new(cfg),
             inner,
             all_outliers: Vec::new(),
+            name,
         }
     }
 
@@ -384,22 +388,7 @@ impl<P: Predictor> Lso<P> {
 }
 
 impl<P: Predictor> Predictor for Lso<P> {
-    fn update(&mut self, x: f64) -> Update {
-        let ev = self.detector.push(x);
-        self.all_outliers.extend_from_slice(&ev.outliers);
-        // The feedable set can change shape on any push (a suspect
-        // appears, clears, or pairs up), so the inner predictor is
-        // re-derived each time. Windows are small (≤ max_window) and the
-        // predictors are O(1) per sample, so this stays cheap.
-        self.rebuild_inner();
-        match ev.level_shift {
-            Some(start) => Update::LevelShift { start },
-            None if !ev.outliers.is_empty() => Update::OutliersDiscarded(ev.outliers),
-            None => Update::Accepted,
-        }
-    }
-
-    fn predict(&self) -> Option<f64> {
+    fn try_predict(&self, features: &EpochFeatures) -> Result<f64, PredictError> {
         let window_fallback = || {
             let w = self.detector.window();
             if w.is_empty() {
@@ -409,16 +398,39 @@ impl<P: Predictor> Predictor for Lso<P> {
                 Some(median_of(&values))
             }
         };
-        match self.inner.predict() {
+        let forecast = match self.inner.try_predict(features) {
             // A trend extrapolated below zero is not a throughput;
             // substitute the robust window location.
-            Some(f) if f <= 0.0 => window_fallback(),
-            Some(f) => Some(f),
+            Ok(f) if f <= 0.0 => window_fallback(),
+            Ok(f) => Some(f),
             // Immediately after a restart some predictors (Holt-Winters)
             // need two samples; bridge the gap so a forecast is always
             // available once any history exists, as the paper's
             // evaluation assumes.
-            None => window_fallback(),
+            Err(_) => window_fallback(),
+        };
+        typed_forecast(forecast)
+    }
+
+    fn observe(&mut self, epoch: &EpochObservation) -> Update {
+        let Some(x) = epoch.throughput_bps else {
+            return Update::Skipped;
+        };
+        let ev = self.detector.push(x);
+        self.all_outliers.extend_from_slice(&ev.outliers);
+        // The feedable set can change shape on any push (a suspect
+        // appears, clears, or pairs up), so the inner predictor is
+        // re-derived each time. Windows are small (≤ max_window) and the
+        // predictors are O(1) per sample, so this stays cheap.
+        self.rebuild_inner();
+        let retained = self.detector.window().len();
+        match ev.level_shift {
+            Some(start) => Update::LevelShift { start, retained },
+            None if !ev.outliers.is_empty() => Update::OutliersDiscarded {
+                positions: ev.outliers,
+                retained,
+            },
+            None => Update::Accepted,
         }
     }
 
@@ -428,8 +440,9 @@ impl<P: Predictor> Predictor for Lso<P> {
         self.all_outliers.clear();
     }
 
-    fn name(&self) -> String {
-        format!("{}-LSO", self.inner.name())
+    // lint:hot-path
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -564,8 +577,8 @@ mod tests {
             with.update(x);
             without.update(x);
         }
-        let w = with.predict().unwrap();
-        let wo = without.predict().unwrap();
+        let w = with.forecast().unwrap();
+        let wo = without.forecast().unwrap();
         assert!(w > 19.0, "LSO restarted onto the new level: {w}");
         assert!(wo < 15.0, "plain MA still dragged down by old level: {wo}");
     }
@@ -577,7 +590,7 @@ mod tests {
         for &x in &series {
             with.update(x);
         }
-        let f = with.predict().unwrap();
+        let f = with.forecast().unwrap();
         assert!((f - 10.0).abs() < 0.5, "outlier excluded from MA: {f}");
         assert_eq!(with.outlier_indices(), &[8]);
     }
@@ -591,8 +604,8 @@ mod tests {
         p.update(20.0);
         p.update(20.0);
         p.update(20.0); // shift detected here; HW re-fed 3 samples
-        assert!(p.predict().is_some());
-        assert!(p.predict().unwrap() > 19.0);
+        assert!(p.forecast().is_some());
+        assert!(p.forecast().unwrap() > 19.0);
     }
 
     #[test]
@@ -603,7 +616,13 @@ mod tests {
         }
         p.update(20.0);
         p.update(20.0);
-        assert_eq!(p.update(20.0), Update::LevelShift { start: 8 });
+        assert_eq!(
+            p.update(20.0),
+            Update::LevelShift {
+                start: 8,
+                retained: 3
+            }
+        );
     }
 
     #[test]
@@ -615,7 +634,7 @@ mod tests {
         assert!(!p.outlier_indices().is_empty());
         p.reset();
         assert!(p.outlier_indices().is_empty());
-        assert_eq!(p.predict(), None);
+        assert_eq!(p.forecast(), None);
         assert_eq!(p.detector().next_index(), 0);
     }
 
@@ -623,6 +642,16 @@ mod tests {
     fn name_reflects_wrapping() {
         let p = Lso::new(MovingAverage::new(10));
         assert_eq!(p.name(), "10-MA-LSO");
+    }
+
+    #[test]
+    fn gap_epochs_do_not_advance_the_detector() {
+        use crate::predictor::EpochObservation;
+        let mut p = Lso::new(MovingAverage::new(5));
+        p.update(10.0);
+        assert_eq!(p.observe(&EpochObservation::GAP), Update::Skipped);
+        assert_eq!(p.detector().next_index(), 1, "gap consumed no index");
+        assert_eq!(p.forecast(), Some(10.0));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The paper's prediction-error metrics and evaluation drivers (§4.1,
 //! §6.1.3, §6.1.6).
 
-use crate::hb::{Predictor, Update};
 use crate::lso::{scan_series, LsoConfig};
+use crate::predictor::{EpochObservation, Predictor, Update};
 use tputpred_stats::Summary;
 
 /// The relative prediction error of one epoch (Eq. 4):
@@ -140,18 +140,65 @@ pub fn evaluate_gappy<P: Predictor>(predictor: &mut P, series: &[Option<f64>]) -
             result.errors.push(None);
             continue;
         };
-        let forecast = predictor.predict();
+        let forecast = predictor.forecast();
         result.predictions.push(forecast);
         result
             .errors
             .push(forecast.map(|f| relative_error_floored(f, x)));
         fed_to_orig.push(i);
         match predictor.update(x) {
-            Update::Accepted => {}
-            Update::OutliersDiscarded(idx) => outliers_fed.extend(idx),
-            Update::LevelShift { start } => shifts_fed.push(start),
+            Update::Accepted | Update::Skipped => {}
+            Update::OutliersDiscarded { positions, .. } => outliers_fed.extend(positions),
+            Update::LevelShift { start, .. } => shifts_fed.push(start),
         }
         debug_assert!(i + 1 == result.errors.len());
+    }
+    let remap = |fed: usize| fed_to_orig.get(fed).copied().unwrap_or(fed);
+    result.outliers = outliers_fed.into_iter().map(remap).collect();
+    result.level_shifts = shifts_fed.into_iter().map(remap).collect();
+    result
+}
+
+/// Runs `predictor` over full [`EpochObservation`]s one-step-ahead —
+/// the protocol of the cross-predictor league table (`fig24`): for each
+/// epoch the predictor forecasts from the epoch's *a-priori features*
+/// (probe measurements are available before the transfer starts), the
+/// forecast is scored against the measured throughput (Eq. 4), and then
+/// the whole epoch is observed.
+///
+/// Unlike [`evaluate_gappy`], the predictor *is* consulted and fed on
+/// every epoch — a feature-only epoch lets formula-backed predictors
+/// forecast and smooth even when the transfer failed, while series-only
+/// predictors treat it as a no-op ([`Update::Skipped`]). An error is
+/// recorded only where both a forecast and a measured throughput exist;
+/// event positions are mapped to epoch indices as in [`evaluate_gappy`]
+/// (history-side events index throughput-carrying epochs).
+///
+/// For series-only predictors this coincides exactly with
+/// [`evaluate_gappy`] over the throughput series; for FB it reproduces
+/// the paper's a-priori FB protocol (§4.1).
+pub fn evaluate_epochs<P: Predictor>(predictor: &mut P, epochs: &[EpochObservation]) -> EvalResult {
+    let mut result = EvalResult::default();
+    // History-side event positions count ingested throughput samples;
+    // map them back to epoch indices.
+    let mut fed_to_orig: Vec<usize> = Vec::new();
+    let mut outliers_fed: Vec<usize> = Vec::new();
+    let mut shifts_fed: Vec<usize> = Vec::new();
+    for (i, epoch) in epochs.iter().enumerate() {
+        let forecast = predictor.predict(&epoch.features);
+        result.predictions.push(forecast);
+        result.errors.push(match (forecast, epoch.throughput_bps) {
+            (Some(f), Some(x_bps)) => Some(relative_error_floored(f, x_bps)),
+            _ => None,
+        });
+        if epoch.throughput_bps.is_some() {
+            fed_to_orig.push(i);
+        }
+        match predictor.observe(epoch) {
+            Update::Accepted | Update::Skipped => {}
+            Update::OutliersDiscarded { positions, .. } => outliers_fed.extend(positions),
+            Update::LevelShift { start, .. } => shifts_fed.push(start),
+        }
     }
     let remap = |fed: usize| fed_to_orig.get(fed).copied().unwrap_or(fed);
     result.outliers = outliers_fed.into_iter().map(remap).collect();
@@ -394,6 +441,61 @@ mod tests {
             .collect();
         let seg = segmented_cov(&series, LsoConfig::default()).unwrap();
         assert!((seg - 0.1).abs() < 0.02, "got {seg}");
+    }
+
+    #[test]
+    fn evaluate_epochs_matches_evaluate_for_series_predictors() {
+        let series: Vec<f64> = [vec![10.0; 8], vec![100.0], vec![10.0; 3]].concat();
+        let epochs: Vec<EpochObservation> = series
+            .iter()
+            .map(|&x| EpochObservation::sample(x))
+            .collect();
+        let mut a = Lso::new(MovingAverage::new(10));
+        let mut b = Lso::new(MovingAverage::new(10));
+        let ra = evaluate(&mut a, &series);
+        let rb = evaluate_epochs(&mut b, &epochs);
+        assert_eq!(ra.errors, rb.errors);
+        assert_eq!(ra.predictions, rb.predictions);
+        assert_eq!(ra.outliers, rb.outliers);
+        assert_eq!(ra.level_shifts, rb.level_shifts);
+    }
+
+    #[test]
+    fn evaluate_epochs_scores_fb_from_a_priori_features() {
+        use crate::fb::{FbPredictor, PathEstimates};
+        let est = PathEstimates {
+            rtt: 0.08,
+            loss_rate: 0.01,
+            avail_bw: 50e6,
+        };
+        let expected = FbPredictor::default().predict(&est);
+        let epochs = [
+            EpochObservation::new(est.into(), Some(expected)),
+            EpochObservation::new(est.into(), Some(2.0 * expected)),
+        ];
+        let mut fb = FbPredictor::default();
+        let res = evaluate_epochs(&mut fb, &epochs);
+        assert_eq!(res.errors[0], Some(0.0), "exact on the first epoch");
+        assert!((res.errors[1].unwrap() + 1.0).abs() < 1e-12, "2x under");
+    }
+
+    #[test]
+    fn evaluate_epochs_event_positions_index_epochs() {
+        // An outlier at throughput-sample position 8, with two
+        // transfer-failed epochs punched in before it: the reported
+        // position must be the epoch index, 10.
+        let mut epochs: Vec<EpochObservation> = vec![
+            EpochObservation::sample(10.0),
+            EpochObservation::GAP,
+            EpochObservation::sample(10.0),
+            EpochObservation::GAP,
+        ];
+        epochs.extend(vec![EpochObservation::sample(10.0); 6]);
+        epochs.push(EpochObservation::sample(100.0));
+        epochs.extend(vec![EpochObservation::sample(10.0); 3]);
+        let mut p = Lso::new(MovingAverage::new(10));
+        let res = evaluate_epochs(&mut p, &epochs);
+        assert_eq!(res.outliers, vec![10]);
     }
 
     #[test]

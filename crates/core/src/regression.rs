@@ -1,0 +1,308 @@
+//! A multivariate-regression predictor in the style of Vazhkudai &
+//! Schopf, *Using Regression Techniques to Predict Large Data Transfers*
+//! (arXiv:cs/0304037): regress observed transfer throughput on the
+//! formula's a-priori prediction and on the previous transfer, refitting
+//! over a sliding window of past epochs.
+//!
+//! Where the paper's §7 hybrid blends FB and HB with a fixed decay, this
+//! family *learns* the blend: ordinary least squares over rows
+//!
+//! ```text
+//! target_bps ≈ c₀·fb_pred_bps + c₁·prev_bps + c₂
+//! ```
+//!
+//! so a path where the formula is systematically 5× optimistic (the
+//! congestion-limited regime of §6.2) earns `c₀ ≈ 0.2`, and a path where
+//! throughput is sticky earns a large `c₁`. Until the window holds
+//! [`RegressionPredictor::MIN_FIT`] rows the predictor falls back to the
+//! raw formula prediction, mirroring how Vazhkudai & Schopf seed their
+//! regressors from log playback.
+
+use crate::error::PredictError;
+use crate::fb::{FbConfig, FbPredictor};
+use crate::predictor::{typed_forecast, EpochFeatures, EpochObservation, Predictor, Update};
+use std::collections::VecDeque;
+
+/// Number of regressors including the intercept.
+const COEFFS: usize = 3;
+
+/// Sliding-window OLS over `[fb_pred_bps, prev_bps, 1] → target_bps`.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_core::fb::PathEstimates;
+/// use tputpred_core::predictor::{EpochObservation, Predictor};
+/// use tputpred_core::regression::RegressionPredictor;
+///
+/// let mut r = RegressionPredictor::default();
+/// let est = PathEstimates { rtt: 0.08, loss_rate: 0.01, avail_bw: 50e6 };
+/// // The path consistently delivers half the formula's prediction:
+/// let fb_pred = r.try_predict(&est.into()).unwrap();
+/// for _ in 0..16 {
+///     r.observe(&EpochObservation::new(est.into(), Some(fb_pred / 2.0)));
+/// }
+/// let learned = r.try_predict(&est.into()).unwrap();
+/// assert!((learned - fb_pred / 2.0).abs() / fb_pred < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegressionPredictor {
+    fb: FbPredictor,
+    /// Regression rows `[fb_pred_bps, prev_bps, target_bps]`.
+    window: VecDeque<[f64; 3]>,
+    capacity: usize,
+    last_throughput_bps: Option<f64>,
+}
+
+impl Default for RegressionPredictor {
+    fn default() -> Self {
+        RegressionPredictor::new(FbConfig::default())
+    }
+}
+
+impl RegressionPredictor {
+    /// Rows required before the OLS fit replaces the formula fallback.
+    pub const MIN_FIT: usize = 8;
+
+    /// Creates a regression predictor over the formula configured by
+    /// `config`, refit over the last [`Self::window_capacity`] epochs.
+    pub fn new(config: FbConfig) -> Self {
+        RegressionPredictor {
+            fb: FbPredictor::new(config),
+            window: VecDeque::with_capacity(32),
+            capacity: 32,
+            last_throughput_bps: None,
+        }
+    }
+
+    /// Sliding-window length the model is refit over.
+    pub fn window_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Solves the damped normal equations `(AᵀA + λI)c = Aᵀy` for the
+    /// window's rows, returning `None` when the system is degenerate
+    /// (e.g. a constant formula prediction makes columns collinear —
+    /// the tiny per-diagonal damping handles benign collinearity, the
+    /// pivot check catches the rest).
+    fn fit(&self) -> Option<[f64; COEFFS]> {
+        let mut ata = [[0.0; COEFFS]; COEFFS];
+        let mut aty = [0.0; COEFFS];
+        for row in &self.window {
+            let x = [row[0], row[1], 1.0];
+            let y = row[2];
+            for i in 0..COEFFS {
+                for j in 0..COEFFS {
+                    ata[i][j] += x[i] * x[j];
+                }
+                aty[i] += x[i] * y;
+            }
+        }
+        for (i, r) in ata.iter_mut().enumerate() {
+            r[i] += 1e-9 * r[i].max(1.0);
+        }
+        solve3(ata, aty)
+    }
+}
+
+/// Gaussian elimination with partial pivoting on a 3×3 system.
+fn solve3(mut m: [[f64; COEFFS]; COEFFS], mut b: [f64; COEFFS]) -> Option<[f64; COEFFS]> {
+    for col in 0..COEFFS {
+        let pivot = (col..COEFFS).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        let pivot_row = m[col];
+        for row in (col + 1)..COEFFS {
+            let factor = m[row][col] / pivot_row[col];
+            for (cell, p) in m[row].iter_mut().zip(pivot_row).skip(col) {
+                *cell -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut c = [0.0; COEFFS];
+    for col in (0..COEFFS).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..COEFFS {
+            acc -= m[col][k] * c[k];
+        }
+        c[col] = acc / m[col][col];
+    }
+    c.iter().all(|v| v.is_finite()).then_some(c)
+}
+
+impl Predictor for RegressionPredictor {
+    /// Predicts from the fitted model when enough rows are banked and a
+    /// previous transfer exists; falls back to the raw formula otherwise
+    /// (and whenever the fit is degenerate or extrapolates to a
+    /// non-positive rate). Refuses exactly when the formula does — the
+    /// regression is feature-driven and cannot run blind.
+    fn try_predict(&self, features: &EpochFeatures) -> Result<f64, PredictError> {
+        let fb_pred_bps = self.fb.try_predict(&features.probes)?;
+        let fitted = match self.last_throughput_bps {
+            Some(prev_bps) if self.window.len() >= Self::MIN_FIT => self
+                .fit()
+                .map(|c| c[0] * fb_pred_bps + c[1] * prev_bps + c[2]),
+            _ => None,
+        };
+        typed_forecast(Some(match fitted {
+            Some(p) if p > 0.0 => p,
+            _ => fb_pred_bps,
+        }))
+    }
+
+    /// Banks a regression row when the epoch carries everything the row
+    /// needs — a formula prediction, a previous transfer, and a measured
+    /// target — and always remembers the epoch's throughput as the next
+    /// row's `prev_bps`. Feature-only and empty epochs leave the model
+    /// untouched ([`Update::Skipped`]).
+    fn observe(&mut self, epoch: &EpochObservation) -> Update {
+        let Some(x_bps) = epoch.throughput_bps else {
+            return Update::Skipped;
+        };
+        if let (Ok(fb_pred_bps), Some(prev_bps)) = (
+            self.fb.try_predict(&epoch.features.probes),
+            self.last_throughput_bps,
+        ) {
+            if self.window.len() == self.capacity {
+                self.window.pop_front();
+            }
+            self.window.push_back([fb_pred_bps, prev_bps, x_bps]);
+        }
+        self.last_throughput_bps = Some(x_bps);
+        Update::Accepted
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.last_throughput_bps = None;
+    }
+
+    // lint:hot-path
+    fn name(&self) -> &str {
+        "regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fb::PathEstimates;
+
+    fn est() -> PathEstimates {
+        PathEstimates {
+            rtt: 0.08,
+            loss_rate: 0.01,
+            avail_bw: 50e6,
+        }
+    }
+
+    #[test]
+    fn cold_start_is_pure_formula() {
+        let r = RegressionPredictor::default();
+        let fb = FbPredictor::default().predict(&est());
+        assert_eq!(r.try_predict(&est().into()), Ok(fb));
+    }
+
+    #[test]
+    fn refuses_without_features_like_the_formula() {
+        let r = RegressionPredictor::default();
+        assert_eq!(
+            r.try_predict(&EpochFeatures::NONE),
+            Err(PredictError::MissingRtt)
+        );
+    }
+
+    #[test]
+    fn learns_a_constant_formula_bias() {
+        let mut r = RegressionPredictor::default();
+        let fb = FbPredictor::default().predict(&est());
+        for _ in 0..16 {
+            r.observe(&EpochObservation::new(est().into(), Some(0.5 * fb)));
+        }
+        let p = r.try_predict(&est().into()).unwrap();
+        assert!(
+            (p - 0.5 * fb).abs() / fb < 0.05,
+            "should learn the 2x bias: {p} vs {}",
+            0.5 * fb
+        );
+    }
+
+    #[test]
+    fn gap_epochs_leave_the_model_untouched() {
+        let mut r = RegressionPredictor::default();
+        for _ in 0..10 {
+            r.observe(&EpochObservation::new(est().into(), Some(5e6)));
+        }
+        let before = r.try_predict(&est().into());
+        assert_eq!(r.observe(&EpochObservation::GAP), Update::Skipped);
+        assert_eq!(r.try_predict(&est().into()), before);
+        assert_eq!(r.window.len(), 9, "10 targets, 9 (prev, target) pairs");
+    }
+
+    #[test]
+    fn degenerate_fit_falls_back_to_formula() {
+        let mut r = RegressionPredictor::default();
+        let fb = FbPredictor::default().predict(&est());
+        // Identical rows: rank-deficient beyond what damping fixes is
+        // impossible to trigger here, but a near-singular system must
+        // still return something sane.
+        for _ in 0..9 {
+            r.observe(&EpochObservation::new(est().into(), Some(fb)));
+        }
+        let p = r.try_predict(&est().into()).unwrap();
+        assert!((p - fb).abs() / fb < 1e-3, "{p} vs {fb}");
+    }
+
+    #[test]
+    fn reset_forgets_history_and_prev() {
+        let mut r = RegressionPredictor::default();
+        for _ in 0..12 {
+            r.observe(&EpochObservation::new(est().into(), Some(3e6)));
+        }
+        r.reset();
+        let fb = FbPredictor::default().predict(&est());
+        assert_eq!(r.try_predict(&est().into()), Ok(fb));
+        assert_eq!(r.name(), "regression");
+    }
+
+    #[test]
+    fn solve3_recovers_known_coefficients() {
+        // y = 2 x0 - 0.5 x1 + 3, via its exact normal equations.
+        let rows: [[f64; 3]; 4] = [
+            [1.0, 0.0, 5.0],
+            [0.0, 2.0, 2.0],
+            [3.0, 1.0, 8.5],
+            [2.0, 5.0, 4.5],
+        ];
+        let mut ata = [[0.0; 3]; 3];
+        let mut aty = [0.0; 3];
+        for row in rows {
+            let x = [row[0], row[1], 1.0];
+            for i in 0..3 {
+                for j in 0..3 {
+                    ata[i][j] += x[i] * x[j];
+                }
+                aty[i] += x[i] * row[2];
+            }
+        }
+        let c = solve3(ata, aty).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-9, "{c:?}");
+        assert!((c[1] + 0.5).abs() < 1e-9, "{c:?}");
+        assert!((c[2] - 3.0).abs() < 1e-9, "{c:?}");
+    }
+
+    #[test]
+    fn solve3_reports_singular_systems() {
+        let m = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 0.0]];
+        assert_eq!(solve3(m, [1.0, 2.0, 0.0]), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property: evaluating any predictor family over a gappy *epoch*
+//! stream is exactly the evaluation of the same stream with the empty
+//! epochs removed — the epoch-level mirror of `gap_tolerance.rs`, over
+//! full [`EpochObservation`]s instead of bare throughput series.
+//!
+//! An "empty" epoch here is one carrying neither probe features nor a
+//! measured throughput (every tool faulted, DESIGN.md §10). The
+//! contract covers the feature-driven families too: FB, smoothed FB,
+//! the hybrid, and the three registry newcomers (regression,
+//! conditional, RTT-CV-gated) must all treat a fully dark epoch as a
+//! non-event — same forecasts bit for bit, same RMSRE, afterwards.
+
+use proptest::prelude::*;
+use tputpred_core::catalog::{predictor_by_name, BoxedPredictor};
+use tputpred_core::fb::{FbConfig, PartialEstimates};
+use tputpred_core::metrics::evaluate_epochs;
+use tputpred_core::predictor::{EpochFeatures, EpochObservation};
+
+/// Every family the league table runs, via the registry.
+const FAMILIES: &[&str] = &[
+    "FB",
+    "FB-smoothed",
+    "10-MA",
+    "0.8-EWMA",
+    "0.8-HW",
+    "AR(2)",
+    "10-MA-LSO",
+    "0.8-HW-LSO",
+    "hybrid",
+    "regression",
+    "conditional",
+    "rtt-cv-gated",
+];
+
+fn by_name(name: &str) -> BoxedPredictor {
+    predictor_by_name(name, &FbConfig::default())
+        .unwrap_or_else(|| panic!("{name} not in the registry"))
+}
+
+/// One synthetic epoch: probe features and throughput each present or
+/// absent by the bits of `mask`; `gap_sel == 0` forces a fully dark
+/// epoch regardless (about 1-in-6 of slots).
+fn epoch(
+    (rtt_s, loss, abw_bps, tput_bps): (f64, f64, f64, f64),
+    mask: u8,
+    gap_sel: u8,
+) -> EpochObservation {
+    if gap_sel == 0 {
+        return EpochObservation::GAP;
+    }
+    EpochObservation::new(
+        EpochFeatures {
+            probes: PartialEstimates {
+                rtt: (mask & 1 != 0).then_some(rtt_s),
+                loss_rate: (mask & 2 != 0).then_some(loss),
+                avail_bw: (mask & 4 != 0).then_some(abw_bps),
+            },
+            rtt_cv: None,
+        },
+        (mask & 8 != 0).then_some(tput_bps),
+    )
+}
+
+fn epoch_stream() -> impl Strategy<Value = Vec<EpochObservation>> {
+    prop::collection::vec(
+        (
+            (0.005..0.5f64, 0.0..0.1f64, 1e5..1e8f64, 1e3..1e8f64),
+            0u8..16,
+            0u8..6,
+        ),
+        0..60,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(vals, mask, gap_sel)| epoch(vals, mask, gap_sel))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn gappy_epochs_equal_the_compacted_stream(epochs in epoch_stream()) {
+        let compact: Vec<EpochObservation> = epochs
+            .iter()
+            .copied()
+            .filter(|e| *e != EpochObservation::GAP)
+            .collect();
+        for name in FAMILIES {
+            let mut on_gappy = by_name(name);
+            let mut on_compact = by_name(name);
+            let g = evaluate_epochs(&mut on_gappy, &epochs);
+            let c = evaluate_epochs(&mut on_compact, &compact);
+
+            // Same scores — exact equality: the same arithmetic must run
+            // in the same order on both streams.
+            prop_assert_eq!(g.rmsre(), c.rmsre(), "{}: rmsre diverged", name);
+
+            // Forecasts at non-empty slots are the compact forecasts bit
+            // for bit (empty slots may still get a forecast from
+            // history-backed families; state, not output, is the
+            // invariant there).
+            let g_preds: Vec<Option<f64>> = epochs
+                .iter()
+                .zip(&g.predictions)
+                .filter(|(e, _)| **e != EpochObservation::GAP)
+                .map(|(_, &p)| p)
+                .collect();
+            prop_assert_eq!(&g_preds, &c.predictions, "{}: forecasts diverged", name);
+
+            // Event positions index non-empty epochs of the gappy stream.
+            for &i in g.outliers.iter().chain(&g.level_shifts) {
+                prop_assert!(epochs[i] != EpochObservation::GAP, "{}: event at a gap", name);
+            }
+            prop_assert_eq!(g.outliers.len(), c.outliers.len(), "{}: outlier count", name);
+            prop_assert_eq!(g.level_shifts.len(), c.level_shifts.len(), "{}: shift count", name);
+        }
+    }
+
+    #[test]
+    fn all_dark_streams_score_nothing(len in 0usize..30) {
+        let epochs = vec![EpochObservation::GAP; len];
+        for name in FAMILIES {
+            let mut p = by_name(name);
+            let r = evaluate_epochs(&mut p, &epochs);
+            prop_assert_eq!(r.rmsre(), None, "{}: scored a dark stream", name);
+            prop_assert!(
+                r.errors.iter().all(Option::is_none),
+                "{}: error on a dark epoch", name
+            );
+        }
+    }
+}

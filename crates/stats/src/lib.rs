@@ -12,6 +12,8 @@
 //! * [`quantile()`](quantile::quantile), [`median`] — R-7 style linear-interpolation quantiles.
 //! * [`pearson`] — the correlation coefficient quoted in §6.1.3/§6.1.4.
 //! * [`Summary`] — streaming mean/variance/min/max (Welford's algorithm).
+//! * [`RollingCov`] — sliding-window coefficient of variation, the gate
+//!   signal of the RTT-CV hybrid predictor.
 //! * [`Histogram`] — linear- or log-binned counting histograms for
 //!   compact textual summaries of heavy-tailed error distributions.
 //! * [`render`] — fixed-width text tables and series so every figure binary
@@ -29,10 +31,12 @@ pub mod corr;
 pub mod histogram;
 pub mod quantile;
 pub mod render;
+pub mod rolling;
 pub mod summary;
 
 pub use cdf::{Cdf, CdfError};
 pub use corr::{pearson, spearman};
 pub use histogram::{Binning, Histogram};
 pub use quantile::{median, quantile};
+pub use rolling::RollingCov;
 pub use summary::Summary;

@@ -1,0 +1,140 @@
+//! Rolling-window coefficient of variation.
+//!
+//! The RTT-CV-gated hybrid predictor (`tputpred-core`) classifies a
+//! path's health from the variability of its recent RTT probes: a calm
+//! path has CoV below ~0.15, a loaded one above ~0.30 (thresholds from
+//! operational GridFTP monitors; see DESIGN.md §12). Unlike [`Summary`],
+//! which accumulates forever, this window *forgets* — the gate must
+//! react to the path's current state, not its lifetime average.
+
+use crate::summary::Summary;
+use std::collections::VecDeque;
+
+/// Coefficient of variation (σ/μ) over a sliding window of the last
+/// `capacity` samples.
+///
+/// # Examples
+///
+/// ```
+/// use tputpred_stats::RollingCov;
+/// let mut rc = RollingCov::new(4);
+/// assert_eq!(rc.cov(), None); // needs at least two samples
+/// for x in [10.0, 10.0, 10.0] {
+///     rc.push(x);
+/// }
+/// assert!(rc.cov().unwrap() < 1e-12, "constant window: zero CoV");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollingCov {
+    window: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl RollingCov {
+    /// Creates a window holding the last `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` — CoV needs a variance.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "RollingCov window of {capacity} < 2");
+        RollingCov {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Adds one observation, evicting the oldest once full.
+    ///
+    /// `NaN` is a programming error, as everywhere in this crate.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "NaN pushed into RollingCov");
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(x);
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// CoV (σ/μ, population σ) of the current window, or `None` with
+    /// fewer than two samples or a zero mean.
+    pub fn cov(&self) -> Option<f64> {
+        if self.window.len() < 2 {
+            return None;
+        }
+        Summary::from_samples(self.window.iter().copied()).cov()
+    }
+
+    /// Forgets all samples.
+    pub fn clear(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_two_samples() {
+        let mut rc = RollingCov::new(3);
+        assert_eq!(rc.cov(), None);
+        rc.push(5.0);
+        assert_eq!(rc.cov(), None);
+        rc.push(5.0);
+        assert!(rc.cov().is_some());
+    }
+
+    #[test]
+    fn matches_summary_on_a_full_window() {
+        let mut rc = RollingCov::new(4);
+        for x in [2.0, 4.0, 4.0, 6.0] {
+            rc.push(x);
+        }
+        let expected = Summary::from_samples([2.0, 4.0, 4.0, 6.0]).cov();
+        assert_eq!(rc.cov(), expected);
+    }
+
+    #[test]
+    fn window_forgets_old_spikes() {
+        let mut rc = RollingCov::new(3);
+        rc.push(1000.0); // ancient spike
+        for _ in 0..3 {
+            rc.push(10.0);
+        }
+        assert!(rc.cov().unwrap() < 1e-12, "spike evicted");
+        assert_eq!(rc.len(), 3);
+    }
+
+    #[test]
+    fn zero_mean_has_no_cov() {
+        let mut rc = RollingCov::new(2);
+        rc.push(-1.0);
+        rc.push(1.0);
+        assert_eq!(rc.cov(), None);
+    }
+
+    #[test]
+    fn clear_empties_the_window() {
+        let mut rc = RollingCov::new(2);
+        rc.push(1.0);
+        rc.clear();
+        assert!(rc.is_empty());
+        assert_eq!(rc.cov(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "< 2")]
+    fn tiny_capacity_rejected() {
+        let _ = RollingCov::new(1);
+    }
+}

@@ -161,7 +161,7 @@ fn main() {
         let hb_preds: Vec<f64> = paths
             .iter()
             .zip(&fb_preds)
-            .map(|(p, &fbp)| p.hb.predict().unwrap_or(fbp))
+            .map(|(p, &fbp)| p.hb.forecast().unwrap_or(fbp))
             .collect();
         let hb_pick = argmax(&hb_preds);
 

@@ -127,7 +127,7 @@ fn main() {
         // Allocations by current predictions.
         let preds: Vec<f64> = mirrors
             .iter()
-            .map(|m| m.hb.predict().unwrap_or_else(|| fb.predict(&m.guess)))
+            .map(|m| m.hb.forecast().unwrap_or_else(|| fb.predict(&m.guess)))
             .collect();
         let total_pred: f64 = preds.iter().sum();
 
@@ -184,7 +184,7 @@ fn main() {
         println!(
             "  {}: final prediction {:.1} Mbps",
             m.name,
-            m.hb.predict().unwrap_or(0.0) / 1e6
+            m.hb.forecast().unwrap_or(0.0) / 1e6
         );
     }
 }

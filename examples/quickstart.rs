@@ -103,7 +103,7 @@ fn main() {
         sim.run_until(stop + Time::from_secs(3));
         let actual = transfer.throughput();
         let fb_e = relative_error_floored(fb_prediction, actual);
-        let hb_e = hb.predict().map(|p| relative_error_floored(p, actual));
+        let hb_e = hb.forecast().map(|p| relative_error_floored(p, actual));
         println!(
             "{epoch:>5}  {:>11.2}  {:>10.2}  {}",
             actual / 1e6,

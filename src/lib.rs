@@ -44,7 +44,7 @@
 //! for r in [10e6, 11e6, 9.5e6, 10.2e6] {
 //!     hb.update(r);
 //! }
-//! let next = hb.predict().unwrap();
+//! let next = hb.forecast().unwrap();
 //! assert!(next > 8e6 && next < 12e6);
 //! ```
 //!

@@ -109,7 +109,7 @@ proptest! {
         for &x in &xs {
             ma.update(x);
             ew.update(x);
-            for f in [ma.predict().unwrap(), ew.predict().unwrap()] {
+            for f in [ma.forecast().unwrap(), ew.forecast().unwrap()] {
                 prop_assert!(f >= lo - tol && f <= hi + tol, "{f} outside [{lo}, {hi}]");
             }
         }
