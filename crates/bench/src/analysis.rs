@@ -192,6 +192,21 @@ pub const LEAGUE_CSV_COLUMNS: &[&str] = &[
     "rmsre_p75",
 ];
 
+/// The column set of the resilience-table CSV (`fig25_resilience`), in
+/// order: per (predictor, outage regime), how often the predictor
+/// answered and how well. The committed `results/resilience_<preset>.csv`
+/// files follow this schema; `crates/bench/tests/results_schema.rs`
+/// fails when they drift from it.
+pub const RESILIENCE_CSV_COLUMNS: &[&str] = &[
+    "predictor",
+    "regime",
+    "epochs",
+    "forecasts",
+    "availability",
+    "scored_epochs",
+    "rmsre",
+];
+
 /// During-flow estimates (T̃, p̃) of one epoch — the hypothetical inputs
 /// of §4.2.3 / Fig. 6.
 pub fn during_flow(rec: &CompleteEpoch) -> PathEstimates {

@@ -19,14 +19,25 @@
 //! the fault rate, the refusal count grows instead of errors exploding,
 //! and no fault level panics or emits non-finite predictions.
 //!
+//! A second sweep varies the outage **burst length** instead of the
+//! rate: the correlated-regime chain (DESIGN.md §13) is switched on and
+//! the mean Down-dwell stretched from 1 to 12 epochs at fixed entry
+//! probabilities. Independent per-epoch faults understate the serving
+//! problem — the same number of dark epochs hurts far more in one
+//! contiguous burst — so this table also scores the registry's
+//! three-tier fallback chain (`FB->0.8-HW-LSO->LKG`), whose
+//! availability should hold as bursts lengthen while bare FB's refusals
+//! climb.
+//!
 //! Simulates at run time (no dataset cache); `--preset` selects the
 //! epoch scale. Output goes to stdout **and** `results/abl_faults.txt`.
 
-use tputpred_bench::{fb_config, hw_lso, partial_a_priori, Args};
+use tputpred_bench::{epoch_observations, fb_config, hw_lso, partial_a_priori, Args};
+use tputpred_core::catalog::predictor_by_name;
 use tputpred_core::fb::FbPredictor;
-use tputpred_core::metrics::{evaluate_gappy, relative_error_floored, rmsre};
+use tputpred_core::metrics::{evaluate_epochs, evaluate_gappy, relative_error_floored, rmsre};
 use tputpred_stats::{quantile, render};
-use tputpred_testbed::{generate, FaultConfig, Preset};
+use tputpred_testbed::{generate, FaultConfig, Preset, RegimeConfig};
 
 fn main() {
     let args = Args::parse();
@@ -105,12 +116,99 @@ fn main() {
                   # the history. No fault level panics or yields non-finite predictions.\n";
     print!("{footer}");
 
-    // Also persist the table so CI's smoke run leaves an artifact.
+    // Second sweep: outage burst length at a fixed fault rate. The
+    // regime chain turns 5% independent faults into multi-epoch Down
+    // spells whose mean dwell is the knob (DESIGN.md §13).
+    let burst_header = "# abl_faults: accuracy vs outage burst length (mean Down-dwell epochs)\n";
+    print!("{burst_header}");
+    let mut burst_table = render::Table::new([
+        "down_dwell",
+        "epochs",
+        "missing_frac",
+        "fb_refused",
+        "hb_median_rmsre",
+        "chain_median_rmsre",
+        "chain_availability",
+    ]);
+    for dwell in [1.0, 3.0, 6.0, 12.0] {
+        let preset = Preset {
+            name: format!("abl-dwell-{dwell:.0}"),
+            faults: FaultConfig::uniform(0.05),
+            regimes: RegimeConfig {
+                degraded_entry: 0.1,
+                down_entry: 0.2,
+                mean_degraded_dwell: 3.0,
+                mean_down_dwell: dwell,
+                fault_multiplier: 4.0,
+            },
+            ..base.clone()
+        };
+        let ds = generate(&preset);
+        let fb = FbPredictor::new(fb_config(&preset));
+
+        let mut missing = 0usize;
+        let mut refused = 0usize;
+        for (_, _, rec) in ds.epochs() {
+            if rec.faults.node_down {
+                missing += 1;
+            }
+            if fb.try_predict(&partial_a_priori(rec)).is_err() {
+                refused += 1;
+            }
+        }
+
+        let hb_rmsres: Vec<f64> = ds
+            .paths
+            .iter()
+            .flat_map(|p| p.traces.iter())
+            .filter_map(|t| {
+                let mut pred = hw_lso();
+                evaluate_gappy(&mut pred, &t.throughput_series_gappy()).rmsre()
+            })
+            .collect();
+
+        // The three-tier fallback chain over the full epoch protocol:
+        // availability is what the policy layer buys through bursts.
+        let mut chain_rmsres = Vec::new();
+        let mut chain_forecasts = 0usize;
+        let mut chain_epochs = 0usize;
+        for trace in ds.paths.iter().flat_map(|p| p.traces.iter()) {
+            let mut chain = predictor_by_name("FB->0.8-HW-LSO->LKG", &fb_config(&preset))
+                .unwrap_or_else(|| unreachable!("registry entry exists"));
+            let result = evaluate_epochs(&mut chain, &epoch_observations(trace));
+            chain_epochs += result.predictions.len();
+            chain_forecasts += result.predictions.iter().filter(|p| p.is_some()).count();
+            if let Some(r) = result.rmsre() {
+                chain_rmsres.push(r);
+            }
+        }
+
+        let epochs = ds.epoch_count();
+        burst_table.row([
+            render::f(dwell),
+            epochs.to_string(),
+            render::f(missing as f64 / epochs.max(1) as f64),
+            refused.to_string(),
+            quantile(&hb_rmsres, 0.5).map_or("n/a".into(), render::f),
+            quantile(&chain_rmsres, 0.5).map_or("n/a".into(), render::f),
+            render::f(chain_forecasts as f64 / chain_epochs.max(1) as f64),
+        ]);
+    }
+    let burst_rendered = burst_table.render();
+    print!("{burst_rendered}");
+    let burst_footer =
+        "# expected shape: missing_frac climbs as bursts lengthen (same entry rate,\n\
+                        # longer Down spells) and FB refusals climb with it; the fallback chain's\n\
+                        # availability stays near 1 because LKG keeps answering through bursts.\n";
+    print!("{burst_footer}");
+
+    // Also persist the tables so CI's smoke run leaves an artifact.
     let out = std::path::Path::new("results").join("abl_faults.txt");
     if let Some(dir) = out.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    if let Err(e) = std::fs::write(&out, format!("{rendered}{footer}")) {
+    let artifact = format!("{rendered}{footer}{burst_header}{burst_rendered}{burst_footer}");
+    if let Err(e) = std::fs::write(&out, artifact) {
         eprintln!("# warning: could not write {}: {e}", out.display());
     } else {
         eprintln!("# wrote {}", out.display());

@@ -16,7 +16,7 @@ use tputpred_core::hb::{Ewma, HoltWinters, MovingAverage};
 use tputpred_core::lso::Lso;
 use tputpred_core::metrics::{evaluate, evaluate_epochs};
 use tputpred_netsim::Time;
-use tputpred_testbed::{generate, Dataset, FaultConfig, Preset};
+use tputpred_testbed::{generate, Dataset, FaultConfig, Preset, RegimeConfig};
 
 /// Small fault-free preset: 3 paths x 1 trace x 8 epochs, enough for
 /// MA/HW warm-up and an LSO window, fast enough for the test profile.
@@ -36,6 +36,7 @@ fn pin_preset() -> Preset {
         ping_interval: Time::from_millis(100),
         seed: 99,
         faults: FaultConfig::none(),
+        regimes: RegimeConfig::none(),
     }
 }
 

@@ -17,6 +17,7 @@ use crate::hybrid::HybridPredictor;
 use crate::lso::Lso;
 use crate::predictor::Predictor;
 use crate::regression::RegressionPredictor;
+use crate::resilience::{CircuitBreaker, Fallback, LastKnownGood, Staleness};
 
 /// A boxed predictor as the catalog hands them out.
 pub type BoxedPredictor = Box<dyn Predictor + Send>;
@@ -38,8 +39,8 @@ fn best_hb() -> Lso<HoltWinters> {
 }
 
 /// Every predictor family in the crate, in presentation order:
-/// formula-based, raw history-based, LSO-wrapped, then the combined
-/// families.
+/// formula-based, raw history-based, LSO-wrapped, the combined
+/// families, then the resilience policy combinators (DESIGN.md §13).
 pub fn predictor_catalog() -> Vec<CatalogEntry> {
     vec![
         CatalogEntry {
@@ -109,6 +110,35 @@ pub fn predictor_catalog() -> Vec<CatalogEntry> {
         CatalogEntry {
             name: "rtt-cv-gated",
             make: |cfg| Box::new(RttCvGated::new(FbPredictor::new(*cfg), best_hb())),
+        },
+        CatalogEntry {
+            name: "LKG",
+            make: |_| Box::new(LastKnownGood::new()),
+        },
+        CatalogEntry {
+            name: "FB->0.8-HW-LSO->LKG",
+            make: |cfg| {
+                Box::new(Fallback::new(
+                    FbPredictor::new(*cfg),
+                    Fallback::new(best_hb(), LastKnownGood::new()),
+                ))
+            },
+        },
+        CatalogEntry {
+            name: "stale3-0.8-HW-LSO",
+            make: |_| Box::new(Staleness::new(best_hb(), 3)),
+        },
+        CatalogEntry {
+            name: "breaker3-FB",
+            make: |cfg| Box::new(CircuitBreaker::new(FbPredictor::new(*cfg), 3, 5)),
+        },
+        // A cold-start breaker: raw HW refuses through its warmup, so
+        // this entry walks the full Open -> HalfOpen -> Closed cycle at
+        // the head of every trace (the inner predictor keeps learning
+        // while the breaker is open, so the half-open probe succeeds).
+        CatalogEntry {
+            name: "breaker2-0.8-HW",
+            make: |_| Box::new(CircuitBreaker::new(HoltWinters::new(0.8, 0.2), 2, 2)),
         },
     ]
 }

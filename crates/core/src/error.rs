@@ -27,6 +27,14 @@ pub enum PredictError {
     /// An HB predictor has not yet observed enough samples to forecast
     /// (e.g. Holt-Winters needs two to initialise its trend).
     InsufficientHistory,
+    /// A [`crate::resilience::Staleness`] guard refused: the last
+    /// measured throughput is older than the guard's age bound, so the
+    /// wrapped history is too stale to trust through an outage.
+    Stale,
+    /// A [`crate::resilience::CircuitBreaker`] is open: the wrapped
+    /// predictor refused too many consecutive epochs and is resting out
+    /// its cooldown before a half-open probe.
+    CircuitOpen,
 }
 
 impl fmt::Display for PredictError {
@@ -41,6 +49,12 @@ impl fmt::Display for PredictError {
             }
             PredictError::InsufficientHistory => {
                 write!(f, "not enough history to forecast")
+            }
+            PredictError::Stale => {
+                write!(f, "last observation is too old to trust")
+            }
+            PredictError::CircuitOpen => {
+                write!(f, "circuit breaker open after repeated refusals")
             }
         }
     }

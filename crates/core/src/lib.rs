@@ -39,6 +39,10 @@
 //! * [`conditional`] — empirical medians binned on probe state
 //!   (cf. arXiv:2111.14080).
 //! * [`gated`] — an FB/HB blend gated by RTT coefficient of variation.
+//! * [`resilience`] — degradation policies as predictor combinators:
+//!   fallback chains, staleness guards, and a deterministic circuit
+//!   breaker, for serving through correlated measurement outages
+//!   (DESIGN.md §13).
 //!
 //! Supporting modules:
 //!
@@ -74,6 +78,7 @@ pub mod lso;
 pub mod metrics;
 pub mod predictor;
 pub mod regression;
+pub mod resilience;
 
 pub use catalog::{predictor_by_name, predictor_catalog, BoxedPredictor, CatalogEntry};
 pub use conditional::ConditionalPredictor;
@@ -86,3 +91,6 @@ pub use lso::{Detector, DetectorEvent, Lso, LsoConfig};
 pub use metrics::{evaluate_gappy, relative_error, rmsre, segmented_cov};
 pub use predictor::{EpochFeatures, EpochObservation, Predictor, Update};
 pub use regression::RegressionPredictor;
+pub use resilience::{
+    BreakerState, CircuitBreaker, Fallback, FallbackTier, LastKnownGood, Staleness,
+};

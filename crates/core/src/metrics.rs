@@ -103,6 +103,20 @@ impl EvalResult {
     pub fn predicted_count(&self) -> usize {
         self.errors.iter().filter(|e| e.is_some()).count()
     }
+
+    /// Fraction of evaluated epochs for which the predictor produced a
+    /// forecast — the serving-availability axis of the resilience
+    /// league table (`fig25_resilience`, DESIGN.md §13). Counts
+    /// `predictions` rather than `errors` so epochs whose *measurement*
+    /// failed still credit the predictor for answering. `None` when
+    /// nothing was evaluated.
+    pub fn availability(&self) -> Option<f64> {
+        if self.predictions.is_empty() {
+            return None;
+        }
+        let answered = self.predictions.iter().filter(|p| p.is_some()).count();
+        Some(answered as f64 / self.predictions.len() as f64)
+    }
 }
 
 /// Runs `predictor` over `series` one-step-ahead: for each sample the

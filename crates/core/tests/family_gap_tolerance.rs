@@ -9,12 +9,19 @@
 //! the hybrid, and the three registry newcomers (regression,
 //! conditional, RTT-CV-gated) must all treat a fully dark epoch as a
 //! non-event — same forecasts bit for bit, same RMSRE, afterwards.
+//!
+//! The resilience policy combinators (DESIGN.md §13) are held to the
+//! same law *twice*: the registry policy entries ride in `FAMILIES`,
+//! and `policy_wrapped_families_stay_gap_tolerant` additionally wraps
+//! *every* family in each combinator — a staleness age or breaker
+//! cooldown that ticked on a gap would break stream equality here.
 
 use proptest::prelude::*;
 use tputpred_core::catalog::{predictor_by_name, BoxedPredictor};
 use tputpred_core::fb::{FbConfig, PartialEstimates};
 use tputpred_core::metrics::evaluate_epochs;
 use tputpred_core::predictor::{EpochFeatures, EpochObservation};
+use tputpred_core::resilience::{CircuitBreaker, Fallback, LastKnownGood, Staleness};
 
 /// Every family the league table runs, via the registry.
 const FAMILIES: &[&str] = &[
@@ -30,7 +37,23 @@ const FAMILIES: &[&str] = &[
     "regression",
     "conditional",
     "rtt-cv-gated",
+    "LKG",
+    "FB->0.8-HW-LSO->LKG",
+    "stale3-0.8-HW-LSO",
+    "breaker3-FB",
+    "breaker2-0.8-HW",
 ];
+
+/// Each resilience combinator around a registry family, exercising the
+/// policy clocks with tight knobs (small age bound, hair-trigger
+/// breaker) so refusal windows actually open inside short streams.
+fn policy_wrapped(name: &str) -> [BoxedPredictor; 3] {
+    [
+        Box::new(Fallback::new(by_name(name), LastKnownGood::new())),
+        Box::new(Staleness::new(by_name(name), 3)),
+        Box::new(CircuitBreaker::new(by_name(name), 2, 3)),
+    ]
+}
 
 fn by_name(name: &str) -> BoxedPredictor {
     predictor_by_name(name, &FbConfig::default())
@@ -113,6 +136,52 @@ proptest! {
             }
             prop_assert_eq!(g.outliers.len(), c.outliers.len(), "{}: outlier count", name);
             prop_assert_eq!(g.level_shifts.len(), c.level_shifts.len(), "{}: shift count", name);
+        }
+    }
+
+    #[test]
+    fn policy_wrapped_families_stay_gap_tolerant(epochs in epoch_stream()) {
+        let compact: Vec<EpochObservation> = epochs
+            .iter()
+            .copied()
+            .filter(|e| *e != EpochObservation::GAP)
+            .collect();
+        for name in FAMILIES {
+            for (mut on_gappy, mut on_compact) in
+                policy_wrapped(name).into_iter().zip(policy_wrapped(name))
+            {
+                let label = on_gappy.name().to_string();
+                let g = evaluate_epochs(&mut on_gappy, &epochs);
+                let c = evaluate_epochs(&mut on_compact, &compact);
+                prop_assert_eq!(g.rmsre(), c.rmsre(), "{}: rmsre diverged", label);
+                let g_preds: Vec<Option<f64>> = epochs
+                    .iter()
+                    .zip(&g.predictions)
+                    .filter(|(e, _)| **e != EpochObservation::GAP)
+                    .map(|(_, &p)| p)
+                    .collect();
+                prop_assert_eq!(&g_preds, &c.predictions, "{}: forecasts diverged", label);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_wrapped_families_replay_bit_identically(epochs in epoch_stream()) {
+        for name in FAMILIES {
+            for (mut first, mut second) in
+                policy_wrapped(name).into_iter().zip(policy_wrapped(name))
+            {
+                let label = first.name().to_string();
+                let a = evaluate_epochs(&mut first, &epochs);
+                let b = evaluate_epochs(&mut second, &epochs);
+                prop_assert_eq!(&a.predictions, &b.predictions, "{}: replay diverged", label);
+                prop_assert_eq!(&a.errors, &b.errors, "{}: errors diverged", label);
+                prop_assert_eq!(&a.outliers, &b.outliers, "{}: outliers diverged", label);
+                prop_assert_eq!(
+                    &a.level_shifts, &b.level_shifts,
+                    "{}: shifts diverged", label
+                );
+            }
         }
     }
 

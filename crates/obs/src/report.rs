@@ -70,6 +70,16 @@ impl TelemetryReport {
         }
     }
 
+    /// All counters whose name starts with `prefix`, in name order —
+    /// e.g. `counters_with_prefix("core.resilience.")` pulls the
+    /// policy-layer transition counts out of a profiled run.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<&CounterEntry> {
+        self.counters
+            .iter()
+            .filter(|c| c.name.starts_with(prefix))
+            .collect()
+    }
+
     /// Looks up a counter by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters

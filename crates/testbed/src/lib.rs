@@ -53,7 +53,12 @@ pub mod runner;
 pub use data::{
     CompleteEpoch, Dataset, EpochFaults, EpochRecord, EpochStatus, PathData, ShardStats, TraceData,
 };
-pub use faults::{EpochFaultPlan, FaultConfig, FaultPlan, TransferFault};
+pub use faults::{
+    draw_regimes, ConfigError, EpochFaultPlan, FaultConfig, FaultPlan, OutageRegime, RegimeConfig,
+    TransferFault,
+};
 pub use path::{catalog_2004, catalog_2006, CrossProfile, PathConfig};
 pub use preset::Preset;
-pub use runner::{catalog_for, generate, generate_paths, load_or_generate_sharded, run_trace};
+pub use runner::{
+    catalog_for, generate, generate_paths, load_or_generate_sharded, run_trace, trace_seed,
+};

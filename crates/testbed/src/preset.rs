@@ -6,7 +6,7 @@
 //! time-series shape) while scaling the sizes: `paper` is the faithful
 //! scale, `quick` regenerates every figure in minutes, `tiny` fits CI.
 
-use crate::faults::FaultConfig;
+use crate::faults::{FaultConfig, RegimeConfig};
 use serde::{Deserialize, Serialize};
 use tputpred_netsim::Time;
 use tputpred_tcp::TcpConfig;
@@ -45,6 +45,10 @@ pub struct Preset {
     /// presets use [`FaultConfig::none`]; the `abl_faults` sweep raises
     /// them.
     pub faults: FaultConfig,
+    /// Correlated-outage regime chain modulating the fault rates
+    /// (DESIGN.md §13). All stock presets use [`RegimeConfig::none`];
+    /// `fig25_resilience` and the `abl_faults` dwell sweep raise it.
+    pub regimes: RegimeConfig,
 }
 
 impl Preset {
@@ -67,6 +71,7 @@ impl Preset {
             ping_interval: Time::from_millis(100),
             seed: 2004,
             faults: FaultConfig::none(),
+            regimes: RegimeConfig::none(),
         }
     }
 
@@ -89,6 +94,7 @@ impl Preset {
             ping_interval: Time::from_millis(100),
             seed: 2004,
             faults: FaultConfig::none(),
+            regimes: RegimeConfig::none(),
         }
     }
 
@@ -109,6 +115,7 @@ impl Preset {
             ping_interval: Time::from_millis(100),
             seed: 2004,
             faults: FaultConfig::none(),
+            regimes: RegimeConfig::none(),
         }
     }
 
@@ -131,6 +138,7 @@ impl Preset {
             ping_interval: Time::from_millis(100),
             seed: 2006,
             faults: FaultConfig::none(),
+            regimes: RegimeConfig::none(),
         }
     }
 

@@ -43,8 +43,11 @@ struct TraceWorld {
 }
 
 /// The seed every per-trace randomness stream derives from: simulator,
-/// cross-traffic schedule, and fault plan (each with its own salt).
-fn trace_seed(path: &PathConfig, trace_idx: usize) -> u64 {
+/// cross-traffic schedule, and fault/regime plan (each with its own
+/// salt). Public so analysis binaries (`fig25_resilience`) can
+/// recompute a trace's regime sequence via
+/// [`crate::faults::draw_regimes`] without the dataset storing it.
+pub fn trace_seed(path: &PathConfig, trace_idx: usize) -> u64 {
     path.seed
         .wrapping_add(trace_idx as u64)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -217,6 +220,17 @@ fn tally_epoch_faults(faults: &EpochFaults) {
     }
 }
 
+/// Tallies the epoch's outage regime into the telemetry registry —
+/// observation-only, like [`tally_epoch_faults`].
+fn tally_regime(regime: crate::faults::OutageRegime) {
+    let name = match regime {
+        crate::faults::OutageRegime::Healthy => "testbed.regimes.healthy",
+        crate::faults::OutageRegime::Degraded => "testbed.regimes.degraded",
+        crate::faults::OutageRegime::Down => "testbed.regimes.down",
+    };
+    obs::add(name, 1);
+}
+
 /// Folds one finished transfer's flow statistics into the telemetry
 /// registry (segments, retransmissions, RTO firings, cwnd samples).
 fn tally_flow(stats: &tputpred_tcp::FlowStats) {
@@ -297,8 +311,9 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
         obs::time_scope("path_wall.disabled")
     };
     let mut world = build_trace(path, trace_idx, preset);
-    let plan = FaultPlan::draw(
+    let plan = FaultPlan::draw_with_regimes(
         &preset.faults,
+        &preset.regimes,
         trace_seed(path, trace_idx),
         preset.epochs_per_trace,
     );
@@ -311,6 +326,7 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
         let fault = plan.epoch(epoch);
         let faults = epoch_faults(&fault);
         tally_epoch_faults(&faults);
+        tally_regime(plan.regime(epoch));
 
         // --- Phase 1: pathload avail-bw measurement -------------------
         // A failed run still injects its probe streams (the abort is in
@@ -592,7 +608,7 @@ pub fn load_or_generate_sharded(
 mod tests {
     use super::*;
     use crate::data::EpochStatus;
-    use crate::faults::FaultConfig;
+    use crate::faults::{FaultConfig, OutageRegime, RegimeConfig};
 
     /// A minimal preset for unit tests: one quiet-ish path would still
     /// take seconds in debug mode at full scale, so keep it very short.
@@ -612,6 +628,7 @@ mod tests {
             ping_interval: Time::from_millis(100),
             seed: 99,
             faults: FaultConfig::none(),
+            regimes: RegimeConfig::none(),
         }
     }
 
@@ -861,6 +878,70 @@ mod tests {
         assert!(
             a.complete_epochs().count() < a.epoch_count(),
             "some epochs must be discarded"
+        );
+    }
+
+    #[test]
+    fn regime_down_epochs_are_missing_and_replay_deterministically() {
+        // Certain entry probabilities pin the chain's shape: epoch 0
+        // Healthy, epoch 1 Degraded (entered), epoch 2 Down (escalated,
+        // long dwell) — so the third record must be masked even though
+        // every FaultConfig probability is zero.
+        let preset = Preset {
+            regimes: RegimeConfig {
+                degraded_entry: 1.0,
+                down_entry: 1.0,
+                mean_degraded_dwell: 1.0,
+                mean_down_dwell: 50.0,
+                fault_multiplier: 1.0,
+            },
+            ..mini_preset()
+        };
+        let path = quiet_path();
+        let a = run_trace(&path, 0, &preset);
+        let b = run_trace(&path, 0, &preset);
+        assert_eq!(a, b, "regime-modulated traces replay bit-identically");
+        let seq = crate::faults::draw_regimes(
+            &preset.regimes,
+            trace_seed(&path, 0),
+            preset.epochs_per_trace,
+        );
+        assert_eq!(
+            seq,
+            vec![
+                OutageRegime::Healthy,
+                OutageRegime::Degraded,
+                OutageRegime::Down
+            ]
+        );
+        assert_eq!(a.records[0].status, EpochStatus::Ok);
+        assert_eq!(
+            a.records[1].status,
+            EpochStatus::Ok,
+            "no base faults to amplify"
+        );
+        assert_eq!(a.records[2].status, EpochStatus::Missing);
+        assert!(a.records[2].faults.node_down);
+    }
+
+    #[test]
+    fn zero_regime_generation_matches_the_regime_free_draw() {
+        // `Preset.regimes = none` must leave datasets bit-identical to
+        // the pre-regime fault layer, faults enabled or not.
+        let preset = Preset {
+            faults: FaultConfig::uniform(0.3),
+            ..mini_preset()
+        };
+        let path = quiet_path();
+        let seed = trace_seed(&path, 0);
+        assert_eq!(
+            FaultPlan::draw_with_regimes(
+                &preset.faults,
+                &preset.regimes,
+                seed,
+                preset.epochs_per_trace
+            ),
+            FaultPlan::draw(&preset.faults, seed, preset.epochs_per_trace)
         );
     }
 

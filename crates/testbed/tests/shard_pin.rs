@@ -16,7 +16,7 @@ use tputpred_netsim::Time;
 use tputpred_testbed::data::{shard_file_name, SHARD_MANIFEST};
 use tputpred_testbed::{
     catalog_for, generate, generate_paths, load_or_generate_sharded, FaultConfig, Preset,
-    ShardStats,
+    RegimeConfig, ShardStats,
 };
 
 fn pin_preset() -> Preset {
@@ -37,6 +37,9 @@ fn pin_preset() -> Preset {
         // Faults on: Option-valued measurements must survive the shard
         // round trip bit-for-bit as well.
         faults: FaultConfig::default(),
+        // Regimes on: regime-modulated epochs must survive the shard
+        // round trip bit-for-bit too.
+        regimes: RegimeConfig::flaky(),
     }
 }
 

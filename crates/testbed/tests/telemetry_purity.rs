@@ -11,7 +11,7 @@
 
 use tputpred_netsim::Time;
 use tputpred_obs as obs;
-use tputpred_testbed::{generate, FaultConfig, Preset};
+use tputpred_testbed::{generate, FaultConfig, Preset, RegimeConfig};
 
 fn purity_preset() -> Preset {
     Preset {
@@ -31,6 +31,9 @@ fn purity_preset() -> Preset {
         // Faults on: the degraded code paths must be observation-only
         // too (they have their own telemetry counters).
         faults: FaultConfig::default(),
+        // Regimes on too: the correlated-outage chain must be
+        // observation-free as well (its tallies are counters only).
+        regimes: RegimeConfig::flaky(),
     }
 }
 

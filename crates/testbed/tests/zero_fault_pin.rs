@@ -6,7 +6,7 @@
 //! own RNG stream precisely so this value never moves.
 
 use tputpred_netsim::Time;
-use tputpred_testbed::{generate, EpochStatus, FaultConfig, Preset};
+use tputpred_testbed::{generate, EpochStatus, FaultConfig, Preset, RegimeConfig};
 
 /// Measurement fingerprint of `pin_preset()` generation, captured from
 /// the pre-fault-layer tree. If this test fails, the fault layer leaked
@@ -30,6 +30,7 @@ fn pin_preset() -> Preset {
         ping_interval: Time::from_millis(100),
         seed: 99,
         faults: FaultConfig::none(),
+        regimes: RegimeConfig::none(),
     }
 }
 

@@ -12,7 +12,9 @@ use tcp_throughput_predictability::core::hb::{ArPredictor, HoltWinters, MovingAv
 use tcp_throughput_predictability::core::lso::Lso;
 use tcp_throughput_predictability::core::metrics::{evaluate, relative_error_floored, rmsre};
 use tcp_throughput_predictability::netsim::Time;
-use tcp_throughput_predictability::testbed::{catalog_2004, run_trace, FaultConfig, Preset};
+use tcp_throughput_predictability::testbed::{
+    catalog_2004, run_trace, FaultConfig, Preset, RegimeConfig,
+};
 
 fn main() {
     // A compact custom preset: short epochs, no window-limited extras.
@@ -31,6 +33,7 @@ fn main() {
         ping_interval: Time::from_millis(100),
         seed: 0xC0FFEE,
         faults: FaultConfig::none(),
+        regimes: RegimeConfig::none(),
     };
 
     // Pick one path from the catalog and customise it.

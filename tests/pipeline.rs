@@ -10,7 +10,7 @@ use tcp_throughput_predictability::core::lso::Lso;
 use tcp_throughput_predictability::core::metrics::{evaluate, relative_error_floored, rmsre};
 use tcp_throughput_predictability::netsim::Time;
 use tcp_throughput_predictability::testbed::{
-    catalog_2004, generate, run_trace, Dataset, FaultConfig, Preset,
+    catalog_2004, generate, run_trace, Dataset, FaultConfig, Preset, RegimeConfig,
 };
 
 /// A small-but-meaningful preset: 6 paths, 1 trace, 14 epochs.
@@ -30,6 +30,7 @@ fn test_preset() -> Preset {
         ping_interval: Time::from_millis(100),
         seed: 20040701,
         faults: FaultConfig::none(),
+        regimes: RegimeConfig::none(),
     }
 }
 
