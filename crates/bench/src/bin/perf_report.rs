@@ -12,6 +12,11 @@
 //! which case ran. Delete `data/<preset>/` first for a full simulator
 //! profile. Stdout gets the human-readable stage/path tables; the JSON
 //! report lands in the working directory.
+//!
+//! With `--baseline <file>` the run is additionally gated against a
+//! committed report (DESIGN.md §14): exit code 1 when this run's
+//! events/s falls below [`profile::BASELINE_MIN_RATIO`] of the
+//! baseline's.
 
 use tputpred_bench::{profile, Args};
 
@@ -30,4 +35,21 @@ fn main() {
     profile::write_perf_report(&report, &out)
         .unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
     println!("# perf report -> {}", out.display());
+
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = profile::read_perf_report(baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {}: {e}", baseline_path.display()));
+        let gate = profile::gate_against_baseline(&report, &baseline);
+        println!("{}", profile::render_baseline_gate(&gate));
+        if report.events == 0 {
+            eprintln!(
+                "# perf gate: this run regenerated nothing (warm shard cache), so there is \
+                 no event rate to gate — delete data/{}/ and rerun cold",
+                args.preset.name
+            );
+        }
+        if !gate.pass {
+            std::process::exit(1);
+        }
+    }
 }

@@ -11,7 +11,10 @@
 //! * `--profile` — regenerate the dataset with telemetry enabled and
 //!   write a `BENCH_gen_<preset>.json` perf report (see
 //!   [`crate::profile`]; honored by `gen_dataset`, implied by
-//!   `perf_report`).
+//!   `perf_report`);
+//! * `--baseline <file>` — a committed perf report to gate against:
+//!   `perf_report` exits non-zero when the fresh run's events/s falls
+//!   more than 20% below it (DESIGN.md §14; the CI perf gate).
 
 use std::path::PathBuf;
 use tputpred_testbed::Preset;
@@ -25,6 +28,8 @@ pub struct Args {
     pub data_dir: PathBuf,
     /// Profile generation and emit `BENCH_gen_<preset>.json`.
     pub profile: bool,
+    /// Committed perf report to gate this run's events/s against.
+    pub baseline: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -33,6 +38,7 @@ impl Default for Args {
             preset: Preset::quick(),
             data_dir: PathBuf::from("data"),
             profile: false,
+            baseline: None,
         }
     }
 }
@@ -62,6 +68,10 @@ impl Args {
                     parsed.data_dir = PathBuf::from(dir);
                 }
                 "--profile" => parsed.profile = true,
+                "--baseline" => {
+                    let file = iter.next().ok_or("--baseline needs a value")?;
+                    parsed.baseline = Some(PathBuf::from(file));
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -76,7 +86,8 @@ impl Args {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: <bin> [--preset paper|quick|tiny|quick-2006] [--data DIR] [--profile]"
+                    "usage: <bin> [--preset paper|quick|tiny|quick-2006] [--data DIR] \
+                     [--profile] [--baseline FILE]"
                 );
                 std::process::exit(2);
             }
@@ -114,6 +125,17 @@ mod tests {
     fn profile_flag_is_parsed() {
         let a = Args::parse_from(["--profile"]).unwrap();
         assert!(a.profile);
+        assert_eq!(a.baseline, None);
+    }
+
+    #[test]
+    fn baseline_flag_is_parsed() {
+        let a = Args::parse_from(["--baseline", "results/BENCH_gen_quick.json"]).unwrap();
+        assert_eq!(
+            a.baseline,
+            Some(PathBuf::from("results/BENCH_gen_quick.json"))
+        );
+        assert!(Args::parse_from(["--baseline"]).is_err());
     }
 
     #[test]

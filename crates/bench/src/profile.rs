@@ -132,6 +132,64 @@ pub fn write_perf_report(report: &PerfReport, path: &Path) -> io::Result<()> {
     std::fs::write(path, json)
 }
 
+/// Reads a previously written perf report (e.g. the committed baseline
+/// `results/BENCH_gen_quick.json`).
+pub fn read_perf_report(path: &Path) -> io::Result<PerfReport> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+/// Regression tolerance of the perf gate: a fresh run must reach at
+/// least this fraction of the baseline's `events_per_wall_s`.
+///
+/// The gate compares absolute event rates, so it assumes comparable
+/// hardware between the baseline recording and the gated run (CI pins
+/// a cold, single-worker profile for this reason); the 20% margin
+/// absorbs ordinary scheduler and cache noise, not a machine change.
+pub const BASELINE_MIN_RATIO: f64 = 0.8;
+
+/// Verdict of gating a fresh run against a committed baseline report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineGate {
+    /// The committed baseline's event rate.
+    pub baseline_events_per_wall_s: f64,
+    /// The fresh run's event rate.
+    pub current_events_per_wall_s: f64,
+    /// `current / baseline` (∞-safe: a zero baseline always passes).
+    pub ratio: f64,
+    /// Whether the run is within [`BASELINE_MIN_RATIO`] of the baseline.
+    pub pass: bool,
+}
+
+/// Gates `current` against `baseline` on `events_per_wall_s`.
+pub fn gate_against_baseline(current: &PerfReport, baseline: &PerfReport) -> BaselineGate {
+    let base = baseline.events_per_wall_s;
+    let cur = current.events_per_wall_s;
+    let ratio = if base > 0.0 {
+        cur / base
+    } else {
+        f64::INFINITY
+    };
+    BaselineGate {
+        baseline_events_per_wall_s: base,
+        current_events_per_wall_s: cur,
+        ratio,
+        pass: ratio >= BASELINE_MIN_RATIO,
+    }
+}
+
+/// Renders the gate verdict as the one-line summary the binaries print.
+pub fn render_baseline_gate(g: &BaselineGate) -> String {
+    format!(
+        "# perf gate: {:.0} events/s vs baseline {:.0} ({:.2}x, floor {:.2}x) -> {}",
+        g.current_events_per_wall_s,
+        g.baseline_events_per_wall_s,
+        g.ratio,
+        BASELINE_MIN_RATIO,
+        if g.pass { "PASS" } else { "FAIL" }
+    )
+}
+
 /// Distills a raw telemetry snapshot into the [`PerfReport`] schema.
 pub fn distill(preset_name: &str, t: &TelemetryReport) -> PerfReport {
     let generate_wall_s = t
@@ -351,5 +409,45 @@ mod tests {
         }
         assert!(text.contains("speedup=1.50x"));
         assert!(text.contains("shards: hit=3 missing=1 stale=2 regenerated=3"));
+    }
+
+    #[test]
+    fn baseline_gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = distill("quick", &fake_telemetry());
+        // Same report gates against itself at ratio 1.0.
+        let same = gate_against_baseline(&baseline, &baseline);
+        assert!(same.pass);
+        assert!((same.ratio - 1.0).abs() < 1e-12);
+
+        // 21% slower: just past the 20% floor.
+        let mut slow = baseline.clone();
+        slow.events_per_wall_s = baseline.events_per_wall_s * 0.79;
+        let g = gate_against_baseline(&slow, &baseline);
+        assert!(!g.pass, "{g:?}");
+        assert!(render_baseline_gate(&g).contains("FAIL"));
+
+        // 19% slower: inside the floor.
+        let mut ok = baseline.clone();
+        ok.events_per_wall_s = baseline.events_per_wall_s * 0.81;
+        let g = gate_against_baseline(&ok, &baseline);
+        assert!(g.pass, "{g:?}");
+        assert!(render_baseline_gate(&g).contains("PASS"));
+
+        // A zero-rate baseline (empty telemetry) can never fail the gate.
+        let mut zero = baseline.clone();
+        zero.events_per_wall_s = 0.0;
+        assert!(gate_against_baseline(&baseline, &zero).pass);
+    }
+
+    #[test]
+    fn perf_report_round_trips_through_disk() {
+        let r = distill("tiny", &fake_telemetry());
+        let dir = std::env::temp_dir().join("tputpred-perf-report-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_gen_roundtrip.json");
+        write_perf_report(&r, &path).expect("writes");
+        let back = read_perf_report(&path).expect("reads");
+        assert_eq!(back, r);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,14 +1,42 @@
 //! The discrete-event engine: scheduler, endpoint protocol, packet
 //! forwarding.
 //!
-//! One [`Simulator`] owns the links, the endpoints, the event heap, and a
-//! seeded RNG. Endpoints implement [`Endpoint`] and interact with the
-//! world exclusively through a [`Ctx`] handed to their callbacks — they
-//! queue [`Command`]s (send a packet, arm a timer) which the engine
-//! applies after the callback returns. This keeps borrows trivial and the
-//! event order deterministic: events at equal timestamps dispatch in
-//! scheduling order (FIFO tie-break), so a simulation is a pure function
-//! of its seed and construction sequence.
+//! One [`Simulator`] owns the links, the endpoints, the event schedule,
+//! and a seeded RNG. Endpoints implement [`Endpoint`] and interact with
+//! the world exclusively through a [`Ctx`] handed to their callbacks —
+//! its `send`/`set_timer` operations apply to the engine immediately, in
+//! issue order (the callback's own endpoint is lifted out of the table
+//! for the duration, so the borrow is sound and re-entry is impossible).
+//! The event order is deterministic: events at equal timestamps dispatch
+//! in scheduling order (FIFO tie-break), so a simulation is a pure
+//! function of its seed and construction sequence.
+//!
+//! # Event schedule (DESIGN.md §14)
+//!
+//! The engine used to keep every pending event in one global
+//! `BinaryHeap`; it now splits the schedule by event class, keyed
+//! everywhere by the same global `(at, seq)` order the heap enforced
+//! (`seq` is assigned at scheduling time from one engine-wide counter,
+//! exactly where the old code pushed into the heap — so dispatch order
+//! is bit-identical to the heap engine):
+//!
+//! * **Timers** go through a [`crate::wheel::TimerWheel`] — O(1)
+//!   bucketed slots for the near future, an overflow heap past the
+//!   ~1 s horizon.
+//! * **Link events** never enter a queue at all. Each link has at most
+//!   one pending serialization completion (the serializer is busy with
+//!   exactly one packet) and a FIFO of in-flight arrivals (propagation
+//!   delay is constant per link, so arrival order equals transmission
+//!   order and the deque stays sorted by construction). A step takes
+//!   the minimum `(at, seq)` across the wheel head and the per-link
+//!   heads — a two-compare scan for the simulator's typical two links.
+//!
+//! Past-due timers are **clamped to `now` in every build** (counted in
+//! [`EngineCounters::timer_clamps`]); the clock is monotonic — a
+//! backward [`Simulator::run_until`] is a no-op. Both used to be
+//! `debug_assert!`-only guards, which let release builds dispatch a
+//! late timer "in the past" or rewind the clock and so diverge from
+//! debug replays.
 //!
 //! Packet life cycle:
 //!
@@ -26,58 +54,65 @@
 use crate::link::{Link, LinkConfig, LinkId, Offer};
 use crate::packet::{Packet, Payload, Route};
 use crate::time::Time;
+use crate::wheel::{TimerEntry, TimerWheel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 /// Identifies an endpoint within a [`Simulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EndpointId(pub u32);
 
-/// An instruction an endpoint issues through its [`Ctx`].
-#[derive(Debug, Clone)]
-pub enum Command {
-    /// Inject a packet into the network.
-    Send(Packet),
-    /// Arm (or re-arm) a timer: [`Endpoint::on_timer`] fires with `token`
-    /// at time `at`. Timers are not cancellable — endpoints version their
-    /// tokens and ignore stale ones, the idiom TCP's retransmission timer
-    /// uses.
-    SetTimer { token: u64, at: Time },
-}
-
 /// The world handle passed to endpoint callbacks.
+///
+/// Operations apply to the engine immediately, in issue order — exactly
+/// the order a deferred command queue would have replayed them in, so
+/// dispatch sequence numbers (and with them the whole simulation) are
+/// unchanged relative to the queued design this replaced. Routing a
+/// fresh send never re-enters an endpoint (routes are non-empty, so the
+/// packet always lands in a link, never a destination), and the engine
+/// itself draws no randomness, so the RNG stream the callback sees is
+/// also unchanged.
 pub struct Ctx<'a> {
     /// Current simulated time.
     pub now: Time,
     /// The endpoint being called.
     pub self_id: EndpointId,
-    rng: &'a mut StdRng,
-    commands: &'a mut Vec<Command>,
+    sim: &'a mut Simulator,
 }
 
 impl Ctx<'_> {
     /// Sends a packet of `size` bytes along `route` to `dst`.
     // lint:hot-path
     pub fn send(&mut self, route: Route, dst: EndpointId, size: u32, payload: Payload) {
-        // lint:allow(hot-path-alloc): scratch command buffer retains capacity across callbacks
-        self.commands.push(Command::Send(Packet {
+        self.sim.counters.commands_applied += 1;
+        self.sim.route_packet(Packet {
             size,
             src: self.self_id,
             dst,
             route,
             hop_index: 0,
             payload,
-        }));
+        });
     }
 
-    /// Arms a timer to fire at absolute time `at`.
+    /// Arms (or re-arms) a timer: [`Endpoint::on_timer`] fires with
+    /// `token` at absolute time `at`. Timers are not cancellable —
+    /// endpoints version their tokens and ignore stale ones, the idiom
+    /// TCP's retransmission timer uses. A past-due `at` is clamped to
+    /// the current time (see [`EngineCounters::timer_clamps`]).
     // lint:hot-path
     pub fn set_timer(&mut self, token: u64, at: Time) {
-        // lint:allow(hot-path-alloc): same retained scratch command buffer as send
-        self.commands.push(Command::SetTimer { token, at });
+        self.sim.counters.commands_applied += 1;
+        let at = self.sim.clamp_to_now(at);
+        let seq = self.sim.next_seq();
+        self.sim.wheel_push(TimerEntry {
+            at,
+            seq,
+            endpoint: self.self_id,
+            token,
+        });
     }
 
     /// Arms a timer to fire `delay` from now.
@@ -88,7 +123,7 @@ impl Ctx<'_> {
 
     /// The simulation's deterministic RNG.
     pub fn rng(&mut self) -> &mut StdRng {
-        self.rng
+        &mut self.sim.rng
     }
 }
 
@@ -101,27 +136,65 @@ pub trait Endpoint {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
 }
 
-#[derive(Debug)]
-enum EventKind {
-    Timer {
-        endpoint: EndpointId,
-        token: u64,
-    },
-    /// A link finished serializing `packet`.
-    TxDone {
-        link: LinkId,
-        packet: Packet,
-    },
-    /// `packet` finished propagating; enter next hop or deliver.
-    Arrival {
-        packet: Packet,
-    },
+/// Sentinel event key meaning "no event pending": real keys pack a
+/// finite timestamp, so the sentinel compares after every live key and
+/// the head scan needs no `Option` branches.
+const KEY_NONE: u128 = u128::MAX;
+
+/// Packs an `(at, seq)` scheduling key into one `u128` whose numeric
+/// order equals the lexicographic `(at, seq)` order — the per-event
+/// head scan compares single integers instead of two-field tuples.
+// lint:hot-path
+const fn key(at: Time, seq: u64) -> u128 {
+    ((at.as_nanos() as u128) << 64) | seq as u128
 }
 
-struct Scheduled {
-    at: Time,
-    seq: u64,
-    kind: EventKind,
+/// The timestamp half of a packed key.
+// lint:hot-path
+const fn key_at(k: u128) -> Time {
+    Time::from_nanos((k >> 64) as u64)
+}
+
+/// Pending engine events for one link: the single in-serializer
+/// completion and the FIFO of packets in propagation. Every entry
+/// carries the `(at, seq)` key it would have had in the old global
+/// heap; both sequences are nondecreasing in `at` by construction
+/// (serialization completes in start order; propagation delay is a
+/// per-link constant), so each head is this link's earliest event.
+///
+/// The head keys are mirrored as packed [`key`] fields at the top
+/// of the struct ([`KEY_NONE`] when empty): the per-event scan in
+/// [`Simulator::peek_next`] touches only these, never the `VecDeque`
+/// ring or the packets behind it.
+#[derive(Debug)]
+struct LinkEvents {
+    /// Key of the in-serializer completion ([`KEY_NONE`] when idle).
+    tx_key: u128,
+    /// Key of the head of `arrivals` ([`KEY_NONE`] when empty).
+    arr_key: u128,
+    /// The packet in the serializer (present iff `tx_key` is live).
+    tx_pkt: Option<Packet>,
+    /// `(arrival time, seq, packet)` of packets in propagation, FIFO.
+    arrivals: VecDeque<(Time, u64, Packet)>,
+}
+
+impl Default for LinkEvents {
+    fn default() -> Self {
+        LinkEvents {
+            tx_key: KEY_NONE,
+            arr_key: KEY_NONE,
+            tx_pkt: None,
+            arrivals: VecDeque::new(),
+        }
+    }
+}
+
+/// Which schedule holds the next event (resolved by [`Simulator::peek_next`]).
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Timer,
+    TxDone(u32),
+    Arrival(u32),
 }
 
 /// Deterministic engine-level tallies, maintained inline by the event
@@ -131,6 +204,7 @@ struct Scheduled {
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct EngineCounters {
     /// Total events dispatched ([`Simulator::step`] calls that popped).
+    /// Derived: the sum of the three per-kind event tallies.
     pub events: u64,
     /// Timer callbacks dispatched.
     pub timer_events: u64,
@@ -138,7 +212,8 @@ pub struct EngineCounters {
     pub txdone_events: u64,
     /// Propagation arrivals dispatched.
     pub arrival_events: u64,
-    /// Packets offered to a link (one per hop entry).
+    /// Packets offered to a link (one per hop entry). Derived: the sum
+    /// of the three offer outcomes.
     pub packets_offered: u64,
     /// Offers that started transmitting immediately.
     pub packets_tx_started: u64,
@@ -150,23 +225,75 @@ pub struct EngineCounters {
     pub packets_delivered: u64,
     /// Endpoint commands applied (sends + timer arms).
     pub commands_applied: u64,
+    /// Past-due timer arms clamped up to `now` (identical in debug and
+    /// release builds; zero in a well-behaved simulation).
+    pub timer_clamps: u64,
+    /// Timer entries placed into near-future wheel slots (migrations
+    /// from the overflow heap count again here).
+    pub wheel_scheduled: u64,
+    /// Timer entries that spilled past the wheel horizon into the
+    /// overflow heap.
+    pub overflow_scheduled: u64,
+    /// Overflow entries migrated into wheel slots as the horizon
+    /// advanced.
+    pub overflow_migrated: u64,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// Recyclable engine allocations: the timer wheel's slot buckets and
+/// per-link event state. Capacity-only —
+/// a pool never carries events, endpoints, RNG state, or any other
+/// behavior between simulations, so pooled and fresh runs are
+/// bit-identical (asserted by `pooled_simulators_replay_identically`).
+///
+/// A generation run builds 2800+ simulators; without pooling each one
+/// re-grows the same buffers from zero. [`Simulator::with_pool`] seeds a
+/// new simulator from a pool and [`Simulator::into_pool`] returns the
+/// (cleared) buffers when the run is done.
+#[derive(Debug, Default)]
+pub struct EnginePool {
+    wheel: TimerWheel,
+    link_events: Vec<LinkEvents>,
+}
+
+impl EnginePool {
+    /// An empty pool (first use allocates; later round-trips reuse).
+    pub fn new() -> Self {
+        EnginePool::default()
+    }
+
+    /// Retained capacities, for steady-state assertions: after a couple
+    /// of pool round-trips through identical workloads, this profile
+    /// must stop growing.
+    pub fn capacity(&self) -> PoolCapacity {
+        let (wheel_slot_entries, wheel_batch_entries, overflow_entries) =
+            self.wheel.capacity_profile();
+        PoolCapacity {
+            wheel_slot_entries,
+            wheel_batch_entries,
+            overflow_entries,
+            link_states: self.link_events.len(),
+            arrival_entries: self
+                .link_events
+                .iter()
+                .map(|le| le.arrivals.capacity())
+                .sum(),
+        }
     }
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+
+/// Snapshot of an [`EnginePool`]'s retained buffer capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCapacity {
+    /// Summed capacity of the wheel's slot buckets.
+    pub wheel_slot_entries: usize,
+    /// Capacity of the wheel's extracted-batch buffer.
+    pub wheel_batch_entries: usize,
+    /// Capacity of the wheel's overflow heap.
+    pub overflow_entries: usize,
+    /// Pooled per-link event states.
+    pub link_states: usize,
+    /// Summed capacity of the per-link arrival FIFOs.
+    pub arrival_entries: usize,
 }
 
 /// The discrete-event simulator.
@@ -203,26 +330,65 @@ impl Ord for Scheduled {
 pub struct Simulator {
     now: Time,
     seq: u64,
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    wheel: TimerWheel,
+    /// Cached packed key of the wheel's earliest entry ([`KEY_NONE`]
+    /// when the wheel is empty), maintained on every push and pop so
+    /// the per-event head scan never calls into the wheel.
+    wheel_head: u128,
     links: Vec<Link>,
+    /// Parallel to `links`.
+    link_events: Vec<LinkEvents>,
+    /// Cleared [`LinkEvents`] recycled from a pool, handed out by
+    /// [`Simulator::add_link`].
+    spare_link_events: Vec<LinkEvents>,
     endpoints: Vec<Option<Box<dyn Endpoint>>>,
     rng: StdRng,
-    scratch: Vec<Command>,
     counters: EngineCounters,
 }
 
 impl Simulator {
     /// Creates an empty simulation with a deterministic RNG seed.
     pub fn new(seed: u64) -> Self {
+        Simulator::with_pool(seed, EnginePool::new())
+    }
+
+    /// Like [`Simulator::new`], but reusing the buffers of `pool`
+    /// (capacity-only: behavior is identical to a fresh simulator).
+    pub fn with_pool(seed: u64, pool: EnginePool) -> Self {
         Simulator {
             now: Time::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            wheel: pool.wheel,
+            wheel_head: KEY_NONE,
             links: Vec::new(),
+            link_events: Vec::new(),
+            spare_link_events: pool.link_events,
             endpoints: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
-            scratch: Vec::new(),
             counters: EngineCounters::default(),
+        }
+    }
+
+    /// Tears the simulator down into a reusable [`EnginePool`]. All
+    /// pending events are discarded; only buffer capacity survives.
+    pub fn into_pool(self) -> EnginePool {
+        let Simulator {
+            mut wheel,
+            link_events,
+            mut spare_link_events,
+            ..
+        } = self;
+        wheel.clear();
+        for mut le in link_events {
+            le.tx_key = KEY_NONE;
+            le.arr_key = KEY_NONE;
+            le.tx_pkt = None;
+            le.arrivals.clear();
+            spare_link_events.push(le);
+        }
+        EnginePool {
+            wheel,
+            link_events: spare_link_events,
         }
     }
 
@@ -230,6 +396,8 @@ impl Simulator {
     pub fn add_link(&mut self, config: LinkConfig) -> LinkId {
         let id = LinkId(self.links.len() as u32);
         self.links.push(Link::new(config));
+        self.link_events
+            .push(self.spare_link_events.pop().unwrap_or_default());
         id
     }
 
@@ -256,13 +424,23 @@ impl Simulator {
 
     /// Total events dispatched so far (engine-throughput benchmarks).
     pub fn events_processed(&self) -> u64 {
-        self.counters.events
+        let c = &self.counters;
+        c.timer_events + c.txdone_events + c.arrival_events
     }
 
     /// Deterministic engine-level tallies (events by kind, packet
-    /// offer outcomes, commands applied).
+    /// offer outcomes, commands applied, timer-wheel scheduling). The
+    /// two aggregate tallies are derived here rather than double-counted
+    /// in the event loop.
     pub fn counters(&self) -> EngineCounters {
-        self.counters
+        let mut c = self.counters;
+        c.events = c.timer_events + c.txdone_events + c.arrival_events;
+        c.packets_offered = c.packets_tx_started + c.packets_queued + c.packets_dropped;
+        let w = self.wheel.counters();
+        c.wheel_scheduled = w.wheel_scheduled;
+        c.overflow_scheduled = w.overflow_scheduled;
+        c.overflow_migrated = w.overflow_migrated;
+        c
     }
 
     /// All links, in id order (telemetry aggregates per-link stats).
@@ -272,74 +450,176 @@ impl Simulator {
 
     /// Arms a timer on `endpoint` from outside the simulation (drivers use
     /// this to bootstrap: endpoints themselves can only arm timers from
-    /// within callbacks).
+    /// within callbacks). A past-due `at` is clamped to `now` (counted in
+    /// [`EngineCounters::timer_clamps`]) — identically in debug and
+    /// release builds.
     pub fn schedule_timer(&mut self, endpoint: EndpointId, token: u64, at: Time) {
-        debug_assert!(at >= self.now, "timer in the past");
-        self.push(at, EventKind::Timer { endpoint, token });
+        let at = self.clamp_to_now(at);
+        let seq = self.next_seq();
+        self.wheel_push(TimerEntry {
+            at,
+            seq,
+            endpoint,
+            token,
+        });
     }
 
+    /// Pushes onto the wheel, keeping the cached head key current.
     // lint:hot-path
-    fn push(&mut self, at: Time, kind: EventKind) {
+    fn wheel_push(&mut self, entry: TimerEntry) {
+        let k = key(entry.at, entry.seq);
+        if k < self.wheel_head {
+            self.wheel_head = k;
+        }
+        // lint:allow(hot-path-alloc): TimerWheel::push is O(1) bucketing, not container growth; its internal buffers carry their own justified allows
+        self.wheel.push(entry, self.now);
+    }
+
+    /// Allocates the next global scheduling sequence number — the FIFO
+    /// tie-break for same-timestamp events, assigned in exactly the
+    /// order the old heap engine pushed.
+    // lint:hot-path
+    fn next_seq(&mut self) -> u64 {
         let seq = self.seq;
         self.seq += 1;
-        // lint:allow(hot-path-alloc): BinaryHeap retains capacity after pops (pooling: ROADMAP 1)
-        self.heap.push(Reverse(Scheduled { at, seq, kind }));
+        seq
     }
 
-    /// Dispatches a single event. Returns `false` when the heap is empty.
+    /// Clamps a timer fire time to `now`, counting the clamp. Keeps
+    /// release and debug replays identical where a `debug_assert!` used
+    /// to let release builds enqueue past-due timers.
     // lint:hot-path
-    pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.heap.pop() else {
-            return false;
-        };
-        debug_assert!(ev.at >= self.now, "event heap went backwards");
-        self.now = ev.at;
-        self.counters.events += 1;
-        match ev.kind {
-            EventKind::Timer { endpoint, token } => {
-                self.counters.timer_events += 1;
-                self.call_endpoint(endpoint, |ep, ctx| ep.on_timer(ctx, token));
+    fn clamp_to_now(&mut self, at: Time) -> Time {
+        if at < self.now {
+            self.counters.timer_clamps += 1;
+            self.now
+        } else {
+            at
+        }
+    }
+
+    /// The packed key and source of the earliest pending event — a
+    /// pure scan over the cached wheel head and the per-link head keys
+    /// ([`KEY_NONE`] sentinels mean no branches on emptiness).
+    // lint:hot-path
+    fn peek_next(&self) -> Option<(u128, Pending)> {
+        let mut best = self.wheel_head;
+        let mut which = Pending::Timer;
+        for (i, le) in self.link_events.iter().enumerate() {
+            if le.tx_key < best {
+                best = le.tx_key;
+                which = Pending::TxDone(i as u32);
             }
-            EventKind::TxDone { link, packet } => {
-                self.counters.txdone_events += 1;
-                let l = &mut self.links[link.0 as usize];
-                let next = l.finish_tx(&packet, self.now);
-                let delay = l.delay();
-                if let Some((next_pkt, done)) = next {
-                    self.push(
-                        done,
-                        EventKind::TxDone {
-                            link,
-                            packet: next_pkt,
-                        },
-                    );
-                }
-                let mut sent = packet;
-                sent.advance_hop();
-                self.push(self.now + delay, EventKind::Arrival { packet: sent });
-            }
-            EventKind::Arrival { packet } => {
-                self.counters.arrival_events += 1;
-                self.route_packet(packet);
+            if le.arr_key < best {
+                best = le.arr_key;
+                which = Pending::Arrival(i as u32);
             }
         }
-        true
+        if best == KEY_NONE {
+            None
+        } else {
+            Some((best, which))
+        }
+    }
+
+    /// Dispatches a single event. Returns `false` when no events are
+    /// pending.
+    // lint:hot-path
+    pub fn step(&mut self) -> bool {
+        match self.peek_next() {
+            Some((_, pending)) => {
+                self.dispatch(pending);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pops and executes the event `peek_next` resolved. The clock only
+    /// moves forward (`max`): a clamped past-due entry must not rewind
+    /// it.
+    // lint:hot-path
+    fn dispatch(&mut self, pending: Pending) {
+        match pending {
+            Pending::Timer => {
+                // `peek_next` saw the cached head. The live batch holds
+                // it unless the head sits in a slot not yet extracted —
+                // then the full pop runs the advance.
+                let popped = match self.wheel.pop_head() {
+                    Some(e) => Some(e),
+                    None => self.wheel.pop(self.now),
+                };
+                if let Some(e) = popped {
+                    debug_assert!(key(e.at, e.seq) == self.wheel_head, "stale wheel head");
+                    self.wheel_head = self
+                        .wheel
+                        .peek_key(self.now)
+                        .map_or(KEY_NONE, |(a, s)| key(a, s));
+                    self.now = self.now.max(e.at);
+                    self.counters.timer_events += 1;
+                    self.call_endpoint(e.endpoint, |ep, ctx| ep.on_timer(ctx, e.token));
+                }
+            }
+            Pending::TxDone(i) => {
+                let li = i as usize;
+                let le = &mut self.link_events[li];
+                if let Some(packet) = le.tx_pkt.take() {
+                    let at = key_at(le.tx_key);
+                    le.tx_key = KEY_NONE;
+                    self.now = self.now.max(at);
+                    self.counters.txdone_events += 1;
+                    let l = &mut self.links[li];
+                    let next = l.finish_tx(&packet, self.now);
+                    let delay = l.delay();
+                    if let Some((next_pkt, done)) = next {
+                        // Seq order matches the old heap engine: the
+                        // follow-on TxDone was pushed before the arrival.
+                        let seq = self.next_seq();
+                        let le = &mut self.link_events[li];
+                        le.tx_key = key(done, seq);
+                        le.tx_pkt = Some(next_pkt);
+                    }
+                    let mut sent = packet;
+                    sent.advance_hop();
+                    let seq = self.next_seq();
+                    let arrive = self.now + delay;
+                    let le = &mut self.link_events[li];
+                    if let Some(&(tail_at, _, _)) = le.arrivals.back() {
+                        debug_assert!(tail_at <= arrive, "arrival FIFO out of order");
+                    } else {
+                        le.arr_key = key(arrive, seq);
+                    }
+                    // lint:allow(hot-path-alloc): per-link arrival FIFO retains capacity (pooled across traces)
+                    le.arrivals.push_back((arrive, seq, sent));
+                }
+            }
+            Pending::Arrival(i) => {
+                let le = &mut self.link_events[i as usize];
+                if let Some((at, _seq, packet)) = le.arrivals.pop_front() {
+                    le.arr_key = le.arrivals.front().map_or(KEY_NONE, |&(a, s, _)| key(a, s));
+                    self.now = self.now.max(at);
+                    self.counters.arrival_events += 1;
+                    self.route_packet(packet);
+                }
+            }
+        }
     }
 
     /// Runs all events up to and including time `t`, then advances the
-    /// clock to `t`.
+    /// clock to `t`. Monotonic: calling with `t` earlier than the
+    /// current time dispatches nothing and leaves the clock untouched
+    /// (a `debug_assert!` used to let release builds rewind it).
     pub fn run_until(&mut self, t: Time) {
-        while let Some(Reverse(head)) = self.heap.peek() {
-            if head.at > t {
+        while let Some((k, pending)) = self.peek_next() {
+            if key_at(k) > t {
                 break;
             }
-            self.step();
+            self.dispatch(pending);
         }
-        debug_assert!(self.now <= t);
-        self.now = t;
+        self.now = self.now.max(t);
     }
 
-    /// Runs until the event heap drains (all traffic quiesces).
+    /// Runs until the event schedule drains (all traffic quiesces).
     pub fn run_to_quiescence(&mut self) {
         while self.step() {}
     }
@@ -349,19 +629,17 @@ impl Simulator {
     fn route_packet(&mut self, packet: Packet) {
         match packet.next_hop() {
             Some(link_id) => {
-                self.counters.packets_offered += 1;
-                let link = &mut self.links[link_id.0 as usize];
+                let li = link_id.0 as usize;
+                let link = &mut self.links[li];
                 match link.offer(packet, self.now) {
                     Offer::StartTx => {
                         self.counters.packets_tx_started += 1;
                         let done = link.begin_tx(&packet, self.now);
-                        self.push(
-                            done,
-                            EventKind::TxDone {
-                                link: link_id,
-                                packet,
-                            },
-                        );
+                        let seq = self.next_seq();
+                        let le = &mut self.link_events[li];
+                        debug_assert!(le.tx_pkt.is_none(), "serializer already busy");
+                        le.tx_key = key(done, seq);
+                        le.tx_pkt = Some(packet);
                     }
                     Offer::Queued => {
                         self.counters.packets_queued += 1;
@@ -379,8 +657,10 @@ impl Simulator {
         }
     }
 
-    /// Invokes an endpoint callback with a fresh [`Ctx`], then applies the
-    /// commands it issued.
+    /// Invokes an endpoint callback with a fresh [`Ctx`]. The endpoint
+    /// is lifted out of its table slot for the duration, so the
+    /// callback's engine operations (which borrow the whole simulator
+    /// through the [`Ctx`]) cannot re-enter it.
     // lint:hot-path
     fn call_endpoint<F>(&mut self, id: EndpointId, f: F)
     where
@@ -390,34 +670,13 @@ impl Simulator {
         let mut ep = self.endpoints[slot]
             .take()
             .unwrap_or_else(|| panic!("endpoint {slot} re-entered or missing"));
-        let mut commands = std::mem::take(&mut self.scratch);
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                self_id: id,
-                rng: &mut self.rng,
-                commands: &mut commands,
-            };
-            f(ep.as_mut(), &mut ctx);
-        }
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: id,
+            sim: self,
+        };
+        f(ep.as_mut(), &mut ctx);
         self.endpoints[slot] = Some(ep);
-        self.counters.commands_applied += commands.len() as u64;
-        for cmd in commands.drain(..) {
-            match cmd {
-                Command::Send(packet) => self.route_packet(packet),
-                Command::SetTimer { token, at } => {
-                    debug_assert!(at >= self.now, "timer in the past");
-                    self.push(
-                        at.max(self.now),
-                        EventKind::Timer {
-                            endpoint: id,
-                            token,
-                        },
-                    );
-                }
-            }
-        }
-        self.scratch = commands;
     }
 }
 
@@ -462,7 +721,20 @@ mod tests {
         burst: u32,
         size: u32,
     ) -> (Simulator, LinkId, Rc<RefCell<Vec<Time>>>) {
-        let mut sim = Simulator::new(7);
+        // lint:allow(units): forwards the whole-ms test grid unchanged
+        world_with_pool(EnginePool::new(), rate, delay_ms, buffer, burst, size)
+    }
+
+    fn world_with_pool(
+        pool: EnginePool,
+        rate: f64,
+        // lint:allow(units): whole-ms test grid; converted via Time::from_millis below
+        delay_ms: u64,
+        buffer: u32,
+        burst: u32,
+        size: u32,
+    ) -> (Simulator, LinkId, Rc<RefCell<Vec<Time>>>) {
+        let mut sim = Simulator::with_pool(7, pool);
         // lint:allow(units): conversion is explicit at the use site
         let link = sim.add_link(LinkConfig::new(rate, Time::from_millis(delay_ms), buffer));
         let arrivals = Rc::new(RefCell::new(Vec::new()));
@@ -516,6 +788,21 @@ mod tests {
     }
 
     #[test]
+    fn run_until_backward_is_a_monotonic_no_op() {
+        // Regression (release/debug divergence): run_until(t < now) used
+        // to rewind the clock in release builds. It must be a no-op that
+        // neither rewinds time nor dispatches future events.
+        let (mut sim, _, arrivals) = world(12e6, 5, 50, 1, 1500);
+        sim.run_until(Time::from_millis(100));
+        assert_eq!(arrivals.borrow().len(), 1);
+        sim.run_until(Time::from_millis(3));
+        assert_eq!(sim.now(), Time::from_millis(100));
+        // The engine still works normally afterwards.
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(sim.now(), Time::from_secs(1));
+    }
+
+    #[test]
     fn equal_time_events_dispatch_in_scheduling_order() {
         struct Logger {
             tag: u64,
@@ -543,6 +830,109 @@ mod tests {
         sim.schedule_timer(b, 3, t);
         sim.run_until(Time::from_secs(1));
         assert_eq!(*log.borrow(), vec![201, 102, 203]);
+    }
+
+    #[test]
+    fn past_due_timer_clamps_to_now_in_all_builds() {
+        // Regression (release/debug divergence): arming a timer behind
+        // the clock used to pass a debug_assert-only guard and dispatch
+        // "in the past" in release builds. It must clamp to `now`, be
+        // counted, and keep FIFO order against same-time timers — with
+        // byte-identical behavior whether debug assertions are on.
+        struct Logger {
+            tag: u64,
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Endpoint for Logger {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.log.borrow_mut().push(self.tag * 100 + token);
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let a = sim.add_endpoint(Box::new(Logger {
+            tag: 1,
+            log: Rc::clone(&log),
+        }));
+        let b = sim.add_endpoint(Box::new(Logger {
+            tag: 2,
+            log: Rc::clone(&log),
+        }));
+        sim.schedule_timer(a, 1, Time::from_millis(5));
+        sim.run_until(Time::from_millis(10));
+        // Late by 7 ms: clamps to now = 10 ms.
+        sim.schedule_timer(a, 2, Time::from_millis(3));
+        // Same fire time, armed after: must dispatch after the clamped one.
+        sim.schedule_timer(b, 3, Time::from_millis(10));
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(*log.borrow(), vec![101, 102, 203]);
+        assert_eq!(sim.counters().timer_clamps, 1);
+    }
+
+    #[test]
+    fn late_ctx_timer_clamps_and_fires_at_now() {
+        // The same clamp via the endpoint-facing path (Ctx::set_timer
+        // from inside a callback).
+        struct LateArmer {
+            fired_at: Rc<RefCell<Vec<Time>>>,
+        }
+        impl Endpoint for LateArmer {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                self.fired_at.borrow_mut().push(ctx.now);
+                if token == 0 {
+                    // Asks for the past; the engine must clamp to now.
+                    ctx.set_timer(1, Time::ZERO);
+                }
+            }
+        }
+        let fired_at = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let ep = sim.add_endpoint(Box::new(LateArmer {
+            fired_at: Rc::clone(&fired_at),
+        }));
+        sim.schedule_timer(ep, 0, Time::from_millis(20));
+        sim.run_until(Time::from_secs(1));
+        let t20 = Time::from_millis(20);
+        assert_eq!(*fired_at.borrow(), vec![t20, t20]);
+        assert_eq!(sim.counters().timer_clamps, 1);
+    }
+
+    #[test]
+    fn far_future_timers_cross_the_wheel_horizon() {
+        // A 60 s RTO-style timer lies far past the ~1 s wheel horizon:
+        // it must spill to the overflow heap, migrate back in, and fire
+        // exactly on time and in order.
+        struct Logger {
+            log: Rc<RefCell<Vec<(u64, Time)>>>,
+        }
+        impl Endpoint for Logger {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                self.log.borrow_mut().push((token, ctx.now));
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let ep = sim.add_endpoint(Box::new(Logger {
+            log: Rc::clone(&log),
+        }));
+        sim.schedule_timer(ep, 0, Time::from_secs(60));
+        sim.schedule_timer(ep, 1, Time::from_millis(100));
+        sim.schedule_timer(ep, 2, Time::from_secs(2));
+        sim.run_to_quiescence();
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                (1, Time::from_millis(100)),
+                (2, Time::from_secs(2)),
+                (0, Time::from_secs(60)),
+            ]
+        );
+        let c = sim.counters();
+        assert!(c.overflow_scheduled >= 2, "{c:?}");
+        assert_eq!(c.overflow_migrated, c.overflow_scheduled);
     }
 
     #[test]
@@ -581,6 +971,32 @@ mod tests {
     }
 
     #[test]
+    fn pooled_simulators_replay_identically_with_stable_capacity() {
+        // Pooling is capacity-only: a pooled run must be bit-identical
+        // to a fresh one, and after a warm-up round-trip the pool's
+        // capacity profile must stop growing (the satellite-3 leak:
+        // buffers used to re-grow from zero in every trace).
+        let run = |pool: EnginePool| -> (Vec<Time>, EngineCounters, EnginePool) {
+            let (mut sim, _, arrivals) = world_with_pool(pool, 12e6, 5, 2, 5, 1500);
+            sim.run_to_quiescence();
+            let a = arrivals.borrow().clone();
+            let c = sim.counters();
+            (a, c, sim.into_pool())
+        };
+        let (fresh, fresh_counters, pool) = run(EnginePool::new());
+        let warm_capacity = pool.capacity();
+        assert!(warm_capacity.link_states > 0);
+        assert!(warm_capacity.arrival_entries > 0);
+        let (second, second_counters, pool) = run(pool);
+        assert_eq!(second, fresh);
+        assert_eq!(second_counters, fresh_counters);
+        let (third, _, pool) = run(pool);
+        assert_eq!(third, fresh);
+        // Steady state: identical workloads stop growing the pool.
+        assert_eq!(pool.capacity(), warm_capacity);
+    }
+
+    #[test]
     fn engine_counters_reconcile_with_link_stats() {
         // Burst of 5 into a 2-deep buffer: 1 starts tx, 2 queue, 2 drop.
         let (mut sim, link, arrivals) = world(12e6, 5, 2, 5, 1500);
@@ -598,6 +1014,8 @@ mod tests {
             c.timer_events + c.txdone_events + c.arrival_events
         );
         assert_eq!(c.events, sim.events_processed());
+        assert_eq!(c.wheel_scheduled, c.timer_events, "every timer bucketed");
+        assert_eq!(c.timer_clamps, 0);
         // Replay: counters are part of the deterministic output.
         let (mut sim2, _, _) = world(12e6, 5, 2, 5, 1500);
         sim2.run_to_quiescence();
@@ -610,6 +1028,6 @@ mod tests {
         sim.run_to_quiescence();
         assert_eq!(arrivals.borrow().len(), 4);
         assert_eq!(sim.link(link).stats().packets_out, 4);
-        assert!(!sim.step(), "heap is empty");
+        assert!(!sim.step(), "schedule is empty");
     }
 }

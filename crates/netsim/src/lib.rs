@@ -9,10 +9,11 @@
 //! (smoltcp-style simplicity; no async runtime — this is CPU-bound
 //! simulation, not I/O):
 //!
-//! * [`engine::Simulator`] — a binary-heap event scheduler over a
-//!   nanosecond clock ([`time::Time`]), with deterministic FIFO
-//!   tie-breaking and a seeded RNG, so every experiment is exactly
-//!   reproducible from its seed.
+//! * [`engine::Simulator`] — the event scheduler over a nanosecond
+//!   clock ([`time::Time`]): timers on a bucketed [`wheel::TimerWheel`],
+//!   link serialization/propagation on per-link FIFO streams, with
+//!   deterministic FIFO tie-breaking and a seeded RNG, so every
+//!   experiment is exactly reproducible from its seed (DESIGN.md §14).
 //! * [`link::Link`] — a unidirectional link: serialization at a configured
 //!   rate, propagation delay, and a finite droptail FIFO buffer, with
 //!   byte/drop/busy-time accounting (the ground truth behind avail-bw).
@@ -39,9 +40,11 @@ pub mod random;
 pub mod schedule;
 pub mod sources;
 pub mod time;
+pub mod wheel;
 
-pub use engine::{Command, Ctx, Endpoint, EndpointId, EngineCounters, Simulator};
+pub use engine::{Ctx, Endpoint, EndpointId, EngineCounters, EnginePool, PoolCapacity, Simulator};
 pub use link::{Link, LinkConfig, LinkId, LinkStats};
 pub use packet::{Packet, Payload, ProbeMeta, Route, TcpMeta, MAX_HOPS};
 pub use schedule::RateSchedule;
 pub use time::Time;
+pub use wheel::{TimerEntry, TimerWheel};

@@ -174,6 +174,16 @@ pub struct Link {
     /// pure function of its inputs — no RNG plumbed into links).
     red_avg: f64,
     red_count: u64,
+    /// Serialization time of the packet currently in the serializer —
+    /// saves `finish_tx` recomputing the value `begin_tx` produced.
+    cur_tx: Time,
+    /// Move-to-front memo of [`Time::tx_time`] by packet size: the rate
+    /// is fixed per link and traffic uses a handful of sizes (MSS data,
+    /// 40 B ACKs, 41 B probes), so this skips the float round-trip on
+    /// almost every packet. Pure memoization — hits return the exact
+    /// `Time` a fresh computation would. `u32::MAX` marks an empty
+    /// entry (no packet is 4 GiB).
+    tx_memo: [(u32, Time); 2],
     stats: LinkStats,
 }
 
@@ -199,8 +209,28 @@ impl Link {
             busy: false,
             red_avg: 0.0,
             red_count: 0,
+            cur_tx: Time::ZERO,
+            tx_memo: [(u32::MAX, Time::ZERO); 2],
             stats: LinkStats::default(),
         }
+    }
+
+    /// [`Time::tx_time`] at this link's rate, memoized by size.
+    // lint:hot-path
+    fn tx_time_cached(&mut self, bytes: u32) -> Time {
+        let (size0, tx0) = self.tx_memo[0];
+        if size0 == bytes {
+            return tx0;
+        }
+        let (size1, tx1) = self.tx_memo[1];
+        if size1 == bytes {
+            self.tx_memo.swap(0, 1);
+            return tx1;
+        }
+        let t = Time::tx_time(bytes, self.config.rate_bps);
+        self.tx_memo[1] = self.tx_memo[0];
+        self.tx_memo[0] = (bytes, t);
+        t
     }
 
     /// RED early-drop decision for the current (pre-enqueue) state.
@@ -292,7 +322,8 @@ impl Link {
         self.busy = true;
         // lint:allow(hot-path-alloc): Summary::push is constant-size streaming arithmetic, no heap
         self.stats.queue_delay.push(0.0);
-        now + Time::tx_time(packet.size, self.config.rate_bps)
+        self.cur_tx = self.tx_time_cached(packet.size);
+        now + self.cur_tx
     }
 
     /// Completes the current serialization at time `now`; accounts the
@@ -303,7 +334,8 @@ impl Link {
         debug_assert!(self.busy, "finish_tx on an idle link");
         self.stats.packets_out += 1;
         self.stats.bytes_out += sent.size as u64;
-        self.stats.busy += Time::tx_time(sent.size, self.config.rate_bps);
+        debug_assert!(self.cur_tx == Time::tx_time(sent.size, self.config.rate_bps));
+        self.stats.busy += self.cur_tx;
         self.busy = false;
         if let Some(next) = self.queue.pop_front() {
             self.queued_bytes -= next.packet.size;
@@ -311,7 +343,8 @@ impl Link {
             let delay_s = (now - next.enqueued_at).as_secs_f64();
             // lint:allow(hot-path-alloc): Summary::push is constant-size streaming arithmetic
             self.stats.queue_delay.push(delay_s);
-            let done = now + Time::tx_time(next.packet.size, self.config.rate_bps);
+            self.cur_tx = self.tx_time_cached(next.packet.size);
+            let done = now + self.cur_tx;
             Some((next.packet, done))
         } else {
             None

@@ -47,6 +47,26 @@ struct Burst {
 /// assert_eq!(s.multiplier_at(Time::from_secs(51)), 5.0);
 /// assert_eq!(s.multiplier_at(Time::from_secs(200)), 2.0);
 /// ```
+/// Single-entry memo for [`RateSchedule::multiplier_at_cached`]: the
+/// half-open nanosecond window `[from_ns, until_ns)` a previous lookup
+/// resolved, and the constant multiplier across it. Starts empty
+/// (`from_ns > until_ns`, so the first lookup always computes).
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleCursor {
+    from_ns: u64,
+    until_ns: u64,
+    level: f64,
+}
+
+impl ScheduleCursor {
+    /// The empty cursor (first lookup computes).
+    pub const EMPTY: ScheduleCursor = ScheduleCursor {
+        from_ns: 1,
+        until_ns: 0,
+        level: 0.0,
+    };
+}
+
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RateSchedule {
     segments: Vec<Segment>,
@@ -131,22 +151,66 @@ impl RateSchedule {
     /// The multiplier in effect at time `t`. Bursts take precedence over
     /// the base level; overlapping bursts resolve to the latest-added.
     pub fn multiplier_at(&self, t: Time) -> f64 {
+        self.window_at(t).0
+    }
+
+    /// Like [`RateSchedule::multiplier_at`], but memoized through a
+    /// caller-owned [`ScheduleCursor`]: a lookup inside the cursor's
+    /// cached constant window returns immediately, skipping both binary
+    /// searches. Pure memoization — every call returns exactly what
+    /// `multiplier_at` would (generators query once per emitted packet,
+    /// almost always inside the same window as the previous packet).
+    // lint:hot-path
+    pub fn multiplier_at_cached(&self, t: Time, cursor: &mut ScheduleCursor) -> f64 {
+        let t_ns = t.as_nanos();
+        if cursor.from_ns <= t_ns && t_ns < cursor.until_ns {
+            return cursor.level;
+        }
+        let (level, from_ns, until_ns) = self.window_at(t);
+        *cursor = ScheduleCursor {
+            from_ns,
+            until_ns,
+            level,
+        };
+        level
+    }
+
+    /// The multiplier at `t` plus the maximal half-open window
+    /// `[from, until)` of nanosecond instants around `t` over which it
+    /// is constant (`u64::MAX` when unbounded above).
+    fn window_at(&self, t: Time) -> (f64, u64, u64) {
         // Bursts are sorted and disjoint (`with_burst` carves overlaps),
         // so the only candidate is the last interval starting ≤ t.
-        let idx = self.bursts.partition_point(|b| b.start <= t);
-        if idx > 0 {
-            let b = self.bursts[idx - 1];
+        let bidx = self.bursts.partition_point(|b| b.start <= t);
+        if bidx > 0 {
+            let b = self.bursts[bidx - 1];
             if t < b.end {
-                return b.level;
+                // Disjointness means no other burst starts before b.end,
+                // so the whole burst span is one constant window.
+                return (b.level, b.start.as_nanos(), b.end.as_nanos());
             }
         }
         // Segments are sorted by construction; find the last whose start
-        // is ≤ t.
-        let idx = self
+        // is ≤ t. The base level holds from the later of the segment
+        // start and the end of the burst just passed, until the next
+        // segment shift or the next burst begins.
+        let sidx = self
             .segments
             .partition_point(|s| s.start <= t)
             .saturating_sub(1);
-        self.segments[idx].level
+        let seg = self.segments[sidx];
+        let mut from_ns = seg.start.as_nanos();
+        if bidx > 0 {
+            from_ns = from_ns.max(self.bursts[bidx - 1].end.as_nanos());
+        }
+        let mut until_ns = self
+            .segments
+            .get(sidx + 1)
+            .map_or(u64::MAX, |s| s.start.as_nanos());
+        if let Some(next) = self.bursts.get(bidx) {
+            until_ns = until_ns.min(next.start.as_nanos());
+        }
+        (seg.level, from_ns, until_ns)
     }
 
     /// Number of level shifts (segments beyond the base one).
@@ -318,6 +382,47 @@ mod tests {
         for ms in (0..1_000_000).step_by(997) {
             let t = Time::from_millis(ms);
             assert_eq!(s.multiplier_at(t), reference(t), "at {ms} ms");
+        }
+    }
+
+    #[test]
+    fn cached_lookup_matches_uncached_in_any_query_order() {
+        // The cursor memo must be invisible: same answers as
+        // multiplier_at at every instant, for monotonic sweeps,
+        // backward jumps, and repeated boundary queries, on schedules
+        // with carved bursts and shifts (and on a constant one).
+        let schedules = [
+            RateSchedule::constant(1.0),
+            RateSchedule::constant(1.0)
+                .with_shift(Time::from_secs(300), 2.5)
+                .with_burst(Time::from_secs(100), Time::from_secs(200), 2.0)
+                .with_burst(Time::from_secs(150), Time::from_secs(160), 5.0)
+                .with_burst(Time::from_secs(90), Time::from_secs(120), 3.0)
+                .with_burst(Time::from_secs(500), Time::from_secs(700), 0.5),
+        ];
+        for s in &schedules {
+            let mut cursor = ScheduleCursor::EMPTY;
+            // Forward sweep across every boundary.
+            for ms in (0..800_000).step_by(491) {
+                let t = Time::from_millis(ms);
+                assert_eq!(s.multiplier_at_cached(t, &mut cursor), s.multiplier_at(t));
+            }
+            // Backward and zig-zag queries through the same cursor.
+            for ms in [700_000u64, 95_000, 155_000, 155_001, 95_000, 0, 799_999] {
+                let t = Time::from_millis(ms);
+                assert_eq!(s.multiplier_at_cached(t, &mut cursor), s.multiplier_at(t));
+            }
+            // Exact boundary instants (start-inclusive, end-exclusive).
+            let ns = Time::from_nanos(1);
+            for secs in [90u64, 100, 120, 150, 160, 200, 300, 500, 700] {
+                for t in [
+                    Time::from_secs(secs) - ns,
+                    Time::from_secs(secs),
+                    Time::from_secs(secs) + ns,
+                ] {
+                    assert_eq!(s.multiplier_at_cached(t, &mut cursor), s.multiplier_at(t));
+                }
+            }
         }
     }
 

@@ -24,7 +24,7 @@
 use crate::engine::{Ctx, Endpoint, EndpointId};
 use crate::packet::{Packet, Payload, Route};
 use crate::random;
-use crate::schedule::RateSchedule;
+use crate::schedule::{RateSchedule, ScheduleCursor};
 use crate::time::Time;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -51,8 +51,11 @@ pub struct SourceConfig {
 }
 
 impl SourceConfig {
-    fn effective_rate(&self, now: Time) -> f64 {
-        self.base_rate_bps * self.schedule.multiplier_at(now)
+    /// The schedule-modulated rate at `now`, through the caller's
+    /// [`ScheduleCursor`] memo (bit-identical to an uncached lookup).
+    // lint:hot-path
+    fn effective_rate(&self, now: Time, cursor: &mut ScheduleCursor) -> f64 {
+        self.base_rate_bps * self.schedule.multiplier_at_cached(now, cursor)
     }
 }
 
@@ -69,6 +72,45 @@ pub struct TxCount {
 /// Handle to a generator's counters.
 pub type TxHandle = Rc<RefCell<TxCount>>;
 
+/// Single-entry memo of [`Time::tx_time`] keyed on the exact
+/// `(rate bits, size)` pair. Sources emit long runs of identically
+/// sized packets at a schedule-piecewise-constant rate, so the key
+/// almost always hits and the float round-trip in `tx_time` is skipped.
+/// Pure memoization — a hit returns exactly the `Time` a fresh
+/// computation would (`u32::MAX` marks the empty entry; no packet is
+/// 4 GiB).
+#[derive(Debug, Clone, Copy)]
+pub struct GapMemo {
+    rate_bits: u64,
+    size: u32,
+    gap: Time,
+}
+
+impl GapMemo {
+    /// The empty memo (first call computes).
+    pub const EMPTY: GapMemo = GapMemo {
+        rate_bits: 0,
+        size: u32::MAX,
+        gap: Time::ZERO,
+    };
+
+    /// [`Time::tx_time`], memoized.
+    // lint:hot-path
+    pub fn tx_time(&mut self, size: u32, rate: f64) -> Time {
+        let rate_bits = rate.to_bits();
+        if self.size == size && self.rate_bits == rate_bits {
+            return self.gap;
+        }
+        let gap = Time::tx_time(size, rate);
+        *self = GapMemo {
+            rate_bits,
+            size,
+            gap,
+        };
+        gap
+    }
+}
+
 fn emit(ctx: &mut Ctx<'_>, cfg: &SourceConfig, counter: &TxHandle) {
     ctx.send(cfg.route, cfg.dst, cfg.packet_size, Payload::Raw);
     let mut c = counter.borrow_mut();
@@ -80,6 +122,8 @@ fn emit(ctx: &mut Ctx<'_>, cfg: &SourceConfig, counter: &TxHandle) {
 pub struct CbrSource {
     cfg: SourceConfig,
     counter: TxHandle,
+    memo: GapMemo,
+    cursor: ScheduleCursor,
 }
 
 impl CbrSource {
@@ -90,6 +134,8 @@ impl CbrSource {
             CbrSource {
                 cfg,
                 counter: Rc::clone(&counter),
+                memo: GapMemo::EMPTY,
+                cursor: ScheduleCursor::EMPTY,
             },
             counter,
         )
@@ -103,13 +149,14 @@ impl Endpoint for CbrSource {
         if ctx.now >= self.cfg.stop {
             return;
         }
-        let rate = self.cfg.effective_rate(ctx.now);
+        let rate = self.cfg.effective_rate(ctx.now, &mut self.cursor);
         if rate < 1.0 {
             ctx.set_timer_after(0, IDLE_RECHECK);
             return;
         }
         emit(ctx, &self.cfg, &self.counter);
-        ctx.set_timer_after(0, Time::tx_time(self.cfg.packet_size, rate));
+        let gap = self.memo.tx_time(self.cfg.packet_size, rate);
+        ctx.set_timer_after(0, gap);
     }
 }
 
@@ -118,6 +165,7 @@ impl Endpoint for CbrSource {
 pub struct PoissonSource {
     cfg: SourceConfig,
     counter: TxHandle,
+    cursor: ScheduleCursor,
 }
 
 impl PoissonSource {
@@ -128,6 +176,7 @@ impl PoissonSource {
             PoissonSource {
                 cfg,
                 counter: Rc::clone(&counter),
+                cursor: ScheduleCursor::EMPTY,
             },
             counter,
         )
@@ -141,7 +190,7 @@ impl Endpoint for PoissonSource {
         if ctx.now >= self.cfg.stop {
             return;
         }
-        let rate = self.cfg.effective_rate(ctx.now);
+        let rate = self.cfg.effective_rate(ctx.now, &mut self.cursor);
         if rate < 1.0 {
             ctx.set_timer_after(0, IDLE_RECHECK);
             return;
@@ -161,6 +210,8 @@ impl Endpoint for PoissonSource {
 pub struct ParetoOnOffSource {
     cfg: SourceConfig,
     counter: TxHandle,
+    memo: GapMemo,
+    cursor: ScheduleCursor,
     /// Long-run fraction of time spent on, in (0, 1).
     duty_cycle: f64,
     /// Pareto shape for on-period lengths (1 < α < 2 gives the classic
@@ -195,6 +246,8 @@ impl ParetoOnOffSource {
             ParetoOnOffSource {
                 cfg,
                 counter: Rc::clone(&counter),
+                memo: GapMemo::EMPTY,
+                cursor: ScheduleCursor::EMPTY,
                 duty_cycle,
                 alpha,
                 mean_on,
@@ -204,8 +257,8 @@ impl ParetoOnOffSource {
         )
     }
 
-    fn peak_rate(&self, now: Time) -> f64 {
-        self.cfg.effective_rate(now) / self.duty_cycle
+    fn peak_rate(&mut self, now: Time) -> f64 {
+        self.cfg.effective_rate(now, &mut self.cursor) / self.duty_cycle
     }
 }
 
@@ -242,7 +295,8 @@ impl Endpoint for ParetoOnOffSource {
                     return;
                 }
                 emit(ctx, &self.cfg, &self.counter);
-                ctx.set_timer_after(0, Time::tx_time(self.cfg.packet_size, rate));
+                let gap = self.memo.tx_time(self.cfg.packet_size, rate);
+                ctx.set_timer_after(0, gap);
             }
         }
     }

@@ -26,6 +26,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use tputpred_netsim::sources::GapMemo;
 use tputpred_netsim::{
     Ctx, Endpoint, EndpointId, Packet, Payload, ProbeMeta, Route, Simulator, Time,
 };
@@ -205,6 +206,8 @@ pub struct Pathload {
     stream_pkts: u32,
     /// Verdicts of the streams sent at the current rate.
     verdicts: Vec<Trend>,
+    /// Memoized probe gap at the current trial rate.
+    gap_memo: GapMemo,
 }
 
 /// The receiving side: logs each probe's one-way delay per stream.
@@ -265,6 +268,7 @@ impl Pathload {
             pkt_idx: 0,
             stream_pkts: 0,
             verdicts: Vec::new(),
+            gap_memo: GapMemo::EMPTY,
         };
         prober.stream_pkts = prober.packets_for_rate();
         let prober_id = sim.add_endpoint(Box::new(prober));
@@ -293,8 +297,8 @@ impl Pathload {
         r.streams_used = self.stream_idx;
     }
 
-    fn send_gap(&self) -> Time {
-        Time::tx_time(self.config.packet_size, self.rate)
+    fn send_gap(&mut self) -> Time {
+        self.gap_memo.tx_time(self.config.packet_size, self.rate)
     }
 
     /// Stream length at the current rate: the configured `K`, shrunk so
@@ -403,7 +407,8 @@ impl Endpoint for Pathload {
                         Payload::Probe(meta),
                     );
                     self.pkt_idx += 1;
-                    ctx.set_timer_after(TOKEN_SEND, self.send_gap());
+                    let gap = self.send_gap();
+                    ctx.set_timer_after(TOKEN_SEND, gap);
                 } else {
                     ctx.set_timer_after(TOKEN_EVAL, self.config.eval_wait);
                 }

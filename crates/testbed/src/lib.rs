@@ -60,5 +60,6 @@ pub use faults::{
 pub use path::{catalog_2004, catalog_2006, CrossProfile, PathConfig};
 pub use preset::Preset;
 pub use runner::{
-    catalog_for, generate, generate_paths, load_or_generate_sharded, run_trace, trace_seed,
+    catalog_for, generate, generate_paths, load_or_generate_sharded, run_trace, run_trace_pooled,
+    trace_seed,
 };

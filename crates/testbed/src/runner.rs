@@ -22,7 +22,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use tputpred_netsim::link::LinkConfig;
 use tputpred_netsim::sources::{ParetoOnOffSource, PoissonSource, Reflector, Sink, SourceConfig};
-use tputpred_netsim::{LinkId, RateSchedule, Route, Simulator, Time};
+use tputpred_netsim::{EnginePool, LinkId, RateSchedule, Route, Simulator, Time};
 use tputpred_obs as obs;
 use tputpred_probes::ping::{PingProber, PingSummary, ProbeMask};
 use tputpred_probes::{BulkTransfer, Pathload, PathloadConfig};
@@ -53,12 +53,27 @@ pub fn trace_seed(path: &PathConfig, trace_idx: usize) -> u64 {
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+// Per-worker recycled engine buffers: a generation run builds one
+// simulator per trace (2800+ per quick dataset), and without pooling
+// each re-grows the timer wheel, scratch, and per-link buffers from
+// zero. Capacity-only — pooled runs are bit-identical to fresh ones
+// (`tests/pool_reuse.rs`).
+std::thread_local! {
+    static ENGINE_POOL: std::cell::RefCell<EnginePool> =
+        std::cell::RefCell::new(EnginePool::new());
+}
+
 /// Assembles the simulation of one trace: links, cross traffic with the
 /// trace's random load schedule, the probe reflector, and the continuous
-/// ping prober.
-fn build_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceWorld {
+/// ping prober. `pool` provides recycled engine buffers (capacity-only).
+fn build_trace(
+    path: &PathConfig,
+    trace_idx: usize,
+    preset: &Preset,
+    pool: EnginePool,
+) -> TraceWorld {
     let seed = trace_seed(path, trace_idx);
-    let mut sim = Simulator::new(seed);
+    let mut sim = Simulator::with_pool(seed, pool);
     let fwd = sim.add_link(LinkConfig::new(
         path.capacity_bps,
         path.one_way,
@@ -267,6 +282,10 @@ fn flush_trace_telemetry(world: &TraceWorld, trace_len: Time) {
     obs::add("netsim.packets_dropped", c.packets_dropped);
     obs::add("netsim.packets_delivered", c.packets_delivered);
     obs::add("netsim.commands_applied", c.commands_applied);
+    obs::add("netsim.timer_clamps", c.timer_clamps);
+    obs::add("netsim.wheel_scheduled", c.wheel_scheduled);
+    obs::add("netsim.overflow_scheduled", c.overflow_scheduled);
+    obs::add("netsim.overflow_migrated", c.overflow_migrated);
     let fwd = world.sim.link(world.fwd).stats();
     obs::add("netsim.fwd.packets_out", fwd.packets_out);
     obs::add("netsim.fwd.bytes_out", fwd.bytes_out);
@@ -304,13 +323,30 @@ fn epoch_faults(plan: &EpochFaultPlan) -> EpochFaults {
 /// probabilities zero this function is call-for-call identical to a
 /// build without the fault layer (the replay test pins this).
 pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceData {
+    ENGINE_POOL.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        run_trace_pooled(path, trace_idx, preset, &mut pool)
+    })
+}
+
+/// [`run_trace`] with an explicit engine-buffer pool: the trace's
+/// simulator is built from `pool` and its buffers are returned to it
+/// afterwards. Pooling is capacity-only, so results are bit-identical
+/// to a pool-free run; steady-state capacity is pinned by
+/// `tests/pool_reuse.rs`.
+pub fn run_trace_pooled(
+    path: &PathConfig,
+    trace_idx: usize,
+    preset: &Preset,
+    pool: &mut EnginePool,
+) -> TraceData {
     let _trace_scope = obs::time_scope("testbed.trace_wall");
     let _path_scope = if obs::enabled() {
         obs::time_scope(&format!("path_wall.{}", path.name))
     } else {
         obs::time_scope("path_wall.disabled")
     };
-    let mut world = build_trace(path, trace_idx, preset);
+    let mut world = build_trace(path, trace_idx, preset, std::mem::take(pool));
     let plan = FaultPlan::draw_with_regimes(
         &preset.faults,
         &preset.regimes,
@@ -505,6 +541,7 @@ pub fn run_trace(path: &PathConfig, trace_idx: usize, preset: &Preset) -> TraceD
         });
     }
     flush_trace_telemetry(&world, preset.trace_len());
+    *pool = world.sim.into_pool();
     TraceData { records }
 }
 
