@@ -4,9 +4,13 @@
 //! ```text
 //! cargo run --release -p tputpred-bench --bin export_csv -- --preset quick > epochs.csv
 //! ```
+//!
+//! Rows stream out one shard at a time (DESIGN.md §15), so exporting a
+//! `synth10k`-scale preset holds only one path's data in memory.
 
-use tputpred_bench::{fb_config, fb_error, load_dataset, Args, EPOCH_CSV_COLUMNS};
+use tputpred_bench::{fb_config, fb_error, Args, EPOCH_CSV_COLUMNS};
 use tputpred_core::fb::FbPredictor;
+use tputpred_testbed::for_each_path;
 
 /// Missing measurements (degraded/missing epochs) export as empty cells.
 fn opt(v: Option<f64>) -> String {
@@ -15,11 +19,10 @@ fn opt(v: Option<f64>) -> String {
 
 fn main() {
     let args = Args::parse();
-    let ds = load_dataset(&args);
-    let fb = FbPredictor::new(fb_config(&ds.preset));
+    let fb = FbPredictor::new(fb_config(&args.preset));
 
     println!("{}", EPOCH_CSV_COLUMNS.join(","));
-    for p in ds.paths.iter() {
+    for_each_path(&args.shard_dir(), &args.preset, |_, p| {
         for (ti, t) in p.traces.iter().enumerate() {
             for (ei, r) in t.records.iter().enumerate() {
                 let e = r
@@ -54,5 +57,7 @@ fn main() {
                 );
             }
         }
-    }
+        Ok(())
+    })
+    .unwrap_or_else(|e| panic!("dataset load: {e}"));
 }

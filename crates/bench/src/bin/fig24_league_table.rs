@@ -27,10 +27,11 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use tputpred_bench::LEAGUE_CSV_COLUMNS;
-use tputpred_bench::{epoch_observations, fb_config, load_dataset, path_class, Args};
+use tputpred_bench::{epoch_observations, fb_config, path_class, Args};
 use tputpred_core::catalog::predictor_catalog;
 use tputpred_core::metrics::evaluate_epochs;
 use tputpred_stats::{quantile, render};
+use tputpred_testbed::for_each_path;
 
 /// Per-(predictor, class) accumulation: one RMSRE per scored trace plus
 /// the number of epochs that produced an error sample.
@@ -42,14 +43,18 @@ struct Cell {
 
 fn main() {
     let args = Args::parse();
-    let ds = load_dataset(&args);
-    let cfg = fb_config(&ds.preset);
+    let cfg = fb_config(&args.preset);
 
     // BTreeMap keyed by (catalog position, class) keeps the output in
     // registry order with classes alphabetical inside each predictor.
+    // The cells accumulate while the shards stream past one path at a
+    // time (DESIGN.md §15), so a `synth10k`-scale league table never
+    // materializes the full dataset.
     let mut cells: BTreeMap<(usize, String), Cell> = BTreeMap::new();
+    let mut n_paths = 0usize;
     let catalog = predictor_catalog();
-    for path in &ds.paths {
+    for_each_path(&args.shard_dir(), &args.preset, |_, path| {
+        n_paths += 1;
         let class = path_class(&path.config.name);
         for trace in &path.traces {
             let epochs = epoch_observations(trace);
@@ -67,13 +72,15 @@ fn main() {
                 }
             }
         }
-    }
+        Ok(())
+    })
+    .unwrap_or_else(|e| panic!("dataset load: {e}"));
 
     println!(
         "# fig24: per-path-class RMSRE league table, {} predictors x {} paths ({} preset)",
         catalog.len(),
-        ds.paths.len(),
-        ds.preset.name
+        n_paths,
+        args.preset.name
     );
     println!("# protocol: evaluate_epochs (a-priori features in, one forecast per epoch,");
     println!("# per-trace RMSRE excluding LSO outliers); 'all' pools every class.");
@@ -130,7 +137,7 @@ fn main() {
         .collect();
     println!("# ranking by overall median RMSRE: {}", ranking.join(" "));
 
-    let out = std::path::Path::new("results").join(format!("league_{}.csv", ds.preset.name));
+    let out = std::path::Path::new("results").join(format!("league_{}.csv", args.preset.name));
     match std::fs::write(&out, &csv) {
         Ok(()) => eprintln!("# wrote {}", out.display()),
         Err(e) => eprintln!("# warning: could not write {}: {e}", out.display()),

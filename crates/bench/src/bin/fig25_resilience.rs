@@ -36,7 +36,7 @@ use tputpred_core::catalog::predictor_catalog;
 use tputpred_core::metrics::{evaluate_epochs, rmsre};
 use tputpred_stats::render;
 use tputpred_testbed::{
-    draw_regimes, generate, trace_seed, FaultConfig, OutageRegime, Preset, RegimeConfig,
+    draw_regimes, generate_each, trace_seed, FaultConfig, OutageRegime, Preset, RegimeConfig,
 };
 
 /// Regime columns of the table: the pooled "all" plus one per state.
@@ -75,13 +75,15 @@ fn main() {
         regimes: RegimeConfig::flaky(),
         ..args.preset.clone()
     };
-    let ds = generate(&preset);
     let cfg = fb_config(&preset);
     let catalog = predictor_catalog();
 
+    // The campaign streams (DESIGN.md §15): each path is simulated,
+    // evaluated, and dropped, so a synth-scale preset never holds more
+    // than one fan-out chunk of traces in memory.
     let mut cells: BTreeMap<(usize, usize), Cell> = BTreeMap::new();
     let ((), report) = tputpred_obs::with_profiling(|| {
-        for path in &ds.paths {
+        generate_each(&preset, |_, path| {
             for (t_idx, trace) in path.traces.iter().enumerate() {
                 let epochs = epoch_observations(trace);
                 let regimes = draw_regimes(
@@ -111,13 +113,13 @@ fn main() {
                     }
                 }
             }
-        }
+        });
     });
 
     println!(
         "# fig25: availability x RMSRE per outage regime, {} predictors x {} paths ({} preset)",
         catalog.len(),
-        ds.paths.len(),
+        preset.paths,
         args.preset.name
     );
     println!("# regimes: flaky chain over uniform(0.08) base faults (DESIGN.md 13);");

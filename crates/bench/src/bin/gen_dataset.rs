@@ -8,32 +8,66 @@
 //!
 //! The cache is per-path shards under `data/<preset>/` (DESIGN.md §9):
 //! only missing, corrupt, or out-of-date shards are regenerated, and the
-//! shard reuse counts are reported either way. With `--profile`, the
-//! load runs with telemetry enabled and writes a `BENCH_gen_<preset>.json`
-//! perf report to the working directory (stage timings, event rates,
-//! parallel speedup, shard counts; DESIGN.md §11). The dataset is
-//! bit-identical with or without profiling.
+//! shard reuse counts are reported either way. Paths are **streamed**
+//! (DESIGN.md §15): the summary accumulates while each shard is visited
+//! and dropped, so `synth10k`-scale presets cost O(one path) memory.
+//! With `--profile`, the load runs with telemetry enabled and writes a
+//! `BENCH_gen_<preset>.json` perf report to the working directory
+//! (stage timings, event rates, parallel speedup, shard counts;
+//! DESIGN.md §11). The dataset is bit-identical with or without
+//! profiling.
 
-use tputpred_bench::{
-    a_priori, fb_config, is_lossy, load_dataset_with_shards, profile, require_cdf, Args,
-};
+use tputpred_bench::{a_priori, fb_config, is_lossy, profile, require_cdf, Args};
 use tputpred_core::fb::FbPredictor;
 use tputpred_core::metrics::relative_error_floored;
 use tputpred_stats::render;
+use tputpred_testbed::{for_each_path, EpochStatus, PathData};
 
 fn main() {
     let args = Args::parse();
-    let ds = if args.profile {
-        let (ds, report) = profile::profile_generation(&args)
+    let fb = FbPredictor::new(fb_config(&args.preset));
+
+    // The per-epoch summary state: fed by the streaming visitor one
+    // path at a time, identical to what a full-Dataset pass computed.
+    let mut epoch_count = 0usize;
+    let mut degraded = 0usize;
+    let mut errors = Vec::new();
+    let mut lossy = 0usize;
+    let mut over = 0usize;
+    let mut r_all = Vec::new();
+    let visit = |_id: usize, path: &PathData| {
+        for trace in &path.traces {
+            for rec in &trace.records {
+                epoch_count += 1;
+                if rec.status != EpochStatus::Ok {
+                    degraded += 1;
+                }
+                let Some(rec) = rec.complete() else { continue };
+                let e = relative_error_floored(fb.predict(&a_priori(&rec)), rec.r_large);
+                if e > 0.0 {
+                    over += 1;
+                }
+                if is_lossy(&rec) {
+                    lossy += 1;
+                }
+                errors.push(e);
+                r_all.push(rec.r_large);
+            }
+        }
+        Ok(())
+    };
+
+    if args.profile {
+        let (_, report) = profile::profile_for_each_path(&args, visit)
             .unwrap_or_else(|e| panic!("profiled generation: {e}"));
         let out = profile::perf_report_path(&args.preset.name);
         profile::write_perf_report(&report, &out)
             .unwrap_or_else(|e| panic!("writing {}: {e}", out.display()));
         eprint!("{}", profile::render_perf_report(&report));
         eprintln!("# perf report -> {}", out.display());
-        ds
     } else {
-        let (ds, shards) = load_dataset_with_shards(&args);
+        let shards = for_each_path(&args.shard_dir(), &args.preset, visit)
+            .unwrap_or_else(|e| panic!("dataset load: {e}"));
         eprintln!(
             "# shards: hit={} missing={} stale={} regenerated={}",
             shards.hits,
@@ -41,36 +75,15 @@ fn main() {
             shards.stale,
             shards.regenerated()
         );
-        ds
-    };
-    println!(
-        "# dataset: {} ({} epochs)",
-        ds.preset.name,
-        ds.epoch_count()
-    );
-
-    let fb = FbPredictor::new(fb_config(&ds.preset));
-    let mut errors = Vec::new();
-    let mut lossy = 0usize;
-    let mut over = 0usize;
-    let mut r_all = Vec::new();
-    for (_, _, rec) in ds.complete_epochs() {
-        let e = relative_error_floored(fb.predict(&a_priori(&rec)), rec.r_large);
-        if e > 0.0 {
-            over += 1;
-        }
-        if is_lossy(&rec) {
-            lossy += 1;
-        }
-        errors.push(e);
-        r_all.push(rec.r_large);
     }
+    println!("# dataset: {} ({} epochs)", args.preset.name, epoch_count);
+
     let n = errors.len();
     let cdf = require_cdf("fb_error", errors.iter().copied());
     let tput = require_cdf("throughput_bps", r_all);
     let mut t = render::Table::new(["metric", "value"]);
     t.row(["epochs", &n.to_string()]);
-    t.row(["degraded/missing epochs", &ds.degraded_count().to_string()]);
+    t.row(["degraded/missing epochs", &degraded.to_string()]);
     t.row(["lossy fraction", &render::f(lossy as f64 / n as f64)]);
     t.row([
         "FB overestimation fraction",

@@ -19,17 +19,30 @@
 //! baseline's.
 
 use tputpred_bench::{profile, Args};
+use tputpred_testbed::EpochStatus;
 
 fn main() {
     let args = Args::parse();
-    let (ds, report) =
-        profile::profile_generation(&args).unwrap_or_else(|e| panic!("profiled generation: {e}"));
+    let mut epochs = 0usize;
+    let mut degraded = 0usize;
+    // Stream the shards (DESIGN.md §15): the epoch tallies accumulate
+    // per visited path, so a 10k-path profile never holds the dataset.
+    let (_, report) = profile::profile_for_each_path(&args, |_, path| {
+        for trace in &path.traces {
+            for rec in &trace.records {
+                epochs += 1;
+                if rec.status != EpochStatus::Ok {
+                    degraded += 1;
+                }
+            }
+        }
+        Ok(())
+    })
+    .unwrap_or_else(|e| panic!("profiled generation: {e}"));
     print!("{}", profile::render_perf_report(&report));
     println!(
         "# dataset: {} ({} epochs, {} degraded)",
-        ds.preset.name,
-        ds.epoch_count(),
-        ds.degraded_count()
+        args.preset.name, epochs, degraded
     );
     let out = profile::perf_report_path(&args.preset.name);
     profile::write_perf_report(&report, &out)

@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 use crate::cli::Args;
 use serde::{Deserialize, Serialize};
 use tputpred_obs::{self as obs, TelemetryReport};
-use tputpred_testbed::{load_or_generate_sharded, Dataset};
+use tputpred_testbed::{for_each_path, load_or_generate_sharded, Dataset, PathData, ShardStats};
 
 /// Wall-clock summary of one named timing scope.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,8 +66,12 @@ pub struct PerfReport {
     pub preset: String,
     /// Behavior hash of the simulation code that ran.
     pub behavior_hash: String,
-    /// Worker threads the generation pool used.
-    pub workers: u64,
+    /// Worker threads the generation pool used. `None` when the run
+    /// regenerated nothing (warm cache): the `testbed.workers` gauge is
+    /// only set around an actual parallel fan-out, and inventing a
+    /// count would make the utilization column silently wrong
+    /// (DESIGN.md §15).
+    pub workers: Option<u64>,
     /// Traces simulated.
     pub traces: u64,
     /// Epochs simulated (including degraded ones).
@@ -80,7 +84,10 @@ pub struct PerfReport {
     /// concurrently on average. 1.0 on a sequential run.
     pub parallel_speedup: f64,
     /// `parallel_speedup / workers`: fraction of the pool kept busy.
-    pub worker_utilization: f64,
+    /// `None` whenever `workers` is — a warm run has no pool to
+    /// utilize, and the old `unwrap_or(1.0)` fallback used to report
+    /// utilization = speedup in exactly that case.
+    pub worker_utilization: Option<f64>,
     /// Simulator events dispatched across all traces.
     pub events: u64,
     /// Events per wall-clock second of `generate()`.
@@ -118,6 +125,24 @@ pub fn profile_generation(args: &Args) -> io::Result<(Dataset, PerfReport)> {
     eprintln!("# profiled shard cache -> {}", dir.display());
     let report = distill(&args.preset.name, &telemetry);
     Ok((dataset, report))
+}
+
+/// Streaming counterpart of [`profile_generation`]: runs
+/// [`tputpred_testbed::for_each_path`] under profiling, so `visit` sees
+/// every path in catalog order while only one shard is resident — the
+/// profile entry point for `synth1k`/`synth10k`-scale presets
+/// (DESIGN.md §15). The distilled report is identical in shape; only
+/// the peak memory differs.
+pub fn profile_for_each_path<V>(args: &Args, visit: V) -> io::Result<(ShardStats, PerfReport)>
+where
+    V: FnMut(usize, &PathData) -> io::Result<()>,
+{
+    let dir = args.shard_dir();
+    let (result, telemetry) = obs::with_profiling(|| for_each_path(&dir, &args.preset, visit));
+    let stats = result?;
+    eprintln!("# profiled shard cache -> {}", dir.display());
+    let report = distill(&args.preset.name, &telemetry);
+    Ok((stats, report))
 }
 
 /// Where the perf report for `preset_name` is written: the current
@@ -196,7 +221,10 @@ pub fn distill(preset_name: &str, t: &TelemetryReport) -> PerfReport {
         .timer_total_s("testbed.generate_wall")
         .max(f64::MIN_POSITIVE);
     let trace_wall_total_s = t.timer_total_s("testbed.trace_wall");
-    let workers = t.gauge("testbed.workers").unwrap_or(1.0).max(1.0);
+    // No gauge means nothing was generated (warm cache): leave the
+    // worker fields absent rather than defaulting to 1 — the old
+    // fallback made a warm profile report utilization = speedup.
+    let workers = t.gauge("testbed.workers").map(|w| w.max(1.0));
     let parallel_speedup = trace_wall_total_s / generate_wall_s;
     let events = t.counter("netsim.events").unwrap_or(0);
 
@@ -241,13 +269,13 @@ pub fn distill(preset_name: &str, t: &TelemetryReport) -> PerfReport {
     PerfReport {
         preset: preset_name.to_string(),
         behavior_hash: tputpred_testbed::data::BEHAVIOR_HASH.to_string(),
-        workers: workers as u64,
+        workers: workers.map(|w| w as u64),
         traces: t.counter("testbed.traces").unwrap_or(0),
         epochs: t.counter("testbed.epochs").unwrap_or(0),
         generate_wall_s,
         trace_wall_total_s,
         parallel_speedup,
-        worker_utilization: parallel_speedup / workers,
+        worker_utilization: workers.map(|w| parallel_speedup / w),
         events,
         events_per_wall_s: events as f64 / generate_wall_s,
         shards_hit: t.counter("testbed.shards.hit").unwrap_or(0),
@@ -270,13 +298,25 @@ pub fn render_perf_report(r: &PerfReport) -> String {
         "# wall={:.2}s traces={} epochs={} events={} ({:.0} events/s)",
         r.generate_wall_s, r.traces, r.epochs, r.events, r.events_per_wall_s
     );
-    let _ = writeln!(
-        out,
-        "# workers={} speedup={:.2}x utilization={:.0}%",
-        r.workers,
-        r.parallel_speedup,
-        r.worker_utilization * 100.0
-    );
+    match (r.workers, r.worker_utilization) {
+        (Some(w), Some(u)) => {
+            let _ = writeln!(
+                out,
+                "# workers={} speedup={:.2}x utilization={:.0}%",
+                w,
+                r.parallel_speedup,
+                u * 100.0
+            );
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "# workers=n/a speedup={:.2}x utilization=n/a \
+                 (nothing regenerated — warm cache, no worker pool ran)",
+                r.parallel_speedup
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "# shards: hit={} missing={} stale={} regenerated={}",
@@ -374,12 +414,13 @@ mod tests {
     fn distill_computes_speedup_and_rates() {
         let r = distill("quick", &fake_telemetry());
         assert_eq!(r.preset, "quick");
-        assert_eq!(r.workers, 2);
+        assert_eq!(r.workers, Some(2));
         assert_eq!(r.traces, 4);
         assert_eq!(r.epochs, 12);
         assert_eq!(r.events, 5_000);
         assert!((r.parallel_speedup - 1.5).abs() < 1e-12);
-        assert!((r.worker_utilization - 0.75).abs() < 1e-12);
+        let utilization = r.worker_utilization.expect("gauge present");
+        assert!((utilization - 0.75).abs() < 1e-12);
         assert!((r.events_per_wall_s - 2_500.0).abs() < 1e-9);
         assert_eq!(r.shards_hit, 3);
         assert_eq!(r.shards_missing, 1);
@@ -390,6 +431,35 @@ mod tests {
         assert_eq!(r.paths.len(), 1);
         assert_eq!(r.paths[0].path, "lossy");
         assert_eq!(r.paths[0].traces, 2);
+    }
+
+    #[test]
+    fn missing_worker_gauge_is_explicit_not_defaulted() {
+        // The satellite bugfix: a warm run never sets `testbed.workers`
+        // (nothing fans out), and the old `unwrap_or(1.0)` fallback
+        // silently reported utilization = speedup. Absence must stay
+        // absent, in the JSON and in the rendered text.
+        let mut t = fake_telemetry();
+        t.gauges.clear();
+        let r = distill("quick", &t);
+        assert_eq!(r.workers, None, "no gauge -> no worker count");
+        assert_eq!(r.worker_utilization, None, "no gauge -> no utilization");
+        assert!(
+            (r.parallel_speedup - 1.5).abs() < 1e-12,
+            "speedup is still well-defined without the gauge"
+        );
+        let text = render_perf_report(&r);
+        assert!(text.contains("workers=n/a"), "render marks the gap: {text}");
+        assert!(text.contains("utilization=n/a"));
+        assert!(
+            !text.contains("utilization=150%"),
+            "must not fall back to utilization = speedup"
+        );
+        // And the explicit case still round-trips through JSON.
+        let json = serde_json::to_string(&r).expect("serializes");
+        let back: PerfReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.workers, None);
+        assert_eq!(back.worker_utilization, None);
     }
 
     #[test]

@@ -20,10 +20,12 @@
 
 use crate::path::PathConfig;
 use crate::preset::Preset;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::path::Path as FsPath;
+use tputpred_obs as obs;
 
 /// Digest of the simulation source trees this binary was compiled
 /// from, computed by `build.rs` (see `behavior_hash`).
@@ -401,10 +403,7 @@ impl Dataset {
             let shard_path = dir.join(shard_file_name(id));
             let expected = shard_fingerprint(preset, config);
             match load_shard(&shard_path) {
-                Ok(shard)
-                    if shard.behavior_hash == BEHAVIOR_HASH
-                        && shard.config_fingerprint == expected =>
-                {
+                Ok(shard) if shard_trusted(&shard, &expected) => {
                     stats.hits += 1;
                     slots.push(Some(shard.path));
                 }
@@ -464,18 +463,7 @@ impl Dataset {
             ));
         }
 
-        // Migration: a monolithic `<dir>.json` cache predates the shard
-        // format and is treated as fully stale — its contents were
-        // never consulted above; drop it now that shards cover it.
-        let legacy = dir.with_extension("json");
-        if legacy.is_file() {
-            eprintln!(
-                "# dataset '{}': removing legacy monolithic cache {}",
-                preset.name,
-                legacy.display()
-            );
-            let _ = fs::remove_file(&legacy);
-        }
+        remove_legacy_monolith(dir, preset);
 
         Ok((
             Dataset {
@@ -484,6 +472,102 @@ impl Dataset {
             },
             stats,
         ))
+    }
+
+    /// Streaming counterpart of [`Dataset::load_or_generate_sharded`]:
+    /// the same classify → regenerate → reuse cycle, but no merged
+    /// `Dataset` is ever materialized — `visit` sees each path's data
+    /// in catalog order and the payload is dropped before the next one
+    /// loads, so a 10 000-path preset costs O(one path) resident memory
+    /// (DESIGN.md §15).
+    ///
+    /// `regenerate_one` rebuilds a single untrusted path; the stale set
+    /// fans out across [`rayon::current_num_threads`] workers, each
+    /// worker writing its shard to disk the moment it finishes (shards
+    /// are independent files, so parallel atomic writes cannot
+    /// collide). Because every path is a pure function of (preset,
+    /// config), the shard bytes are identical no matter how many
+    /// workers ran — `shard_pin.rs` pins multi-worker against
+    /// single-worker output.
+    ///
+    /// Trusted shards are parsed twice (once to classify, once to
+    /// visit): the price of not holding n payloads, and far cheaper
+    /// than regenerating. Housekeeping matches the batch API: temp
+    /// sweep, orphan removal, manifest refresh, legacy-monolith
+    /// removal.
+    pub fn for_each_path_sharded<G, V>(
+        dir: &FsPath,
+        preset: &Preset,
+        catalog: &[PathConfig],
+        regenerate_one: G,
+        mut visit: V,
+    ) -> io::Result<ShardStats>
+    where
+        G: Fn(usize) -> PathData + Sync,
+        V: FnMut(usize, &PathData) -> io::Result<()>,
+    {
+        fs::create_dir_all(dir)?;
+        sweep_stale_temps(dir);
+        remove_orphan_shards(dir, catalog.len());
+
+        let mut stats = ShardStats::default();
+        let mut stale_ids: Vec<usize> = Vec::new();
+        for (id, config) in catalog.iter().enumerate() {
+            let expected = shard_fingerprint(preset, config);
+            match load_shard(&dir.join(shard_file_name(id))) {
+                Ok(shard) if shard_trusted(&shard, &expected) => stats.hits += 1,
+                Ok(_) => {
+                    stats.stale += 1;
+                    stale_ids.push(id);
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    stats.missing += 1;
+                    stale_ids.push(id);
+                }
+                Err(_) => {
+                    stats.stale += 1;
+                    stale_ids.push(id);
+                }
+            }
+        }
+
+        if !stale_ids.is_empty() {
+            eprintln!(
+                "# dataset '{}': {} shard(s) reused, regenerating {} \
+                 ({} missing, {} stale) -> {}",
+                preset.name,
+                stats.hits,
+                stale_ids.len(),
+                stats.missing,
+                stats.stale,
+                dir.display()
+            );
+            // The whole parallel phase sits inside one generate-wall
+            // scope with the worker count on a gauge, so a profiled run
+            // can report parallel speedup (DESIGN.md §11) — telemetry
+            // is observation-only, the regenerated bytes are identical
+            // with it on or off.
+            obs::gauge_set("testbed.workers", rayon::current_num_threads() as f64);
+            obs::add(
+                "testbed.traces",
+                (stale_ids.len() * preset.traces_per_path) as u64,
+            );
+            let mut gen_scope = obs::time_scope("testbed.generate_wall");
+            let outcomes: Vec<io::Result<()>> = stale_ids
+                .par_iter()
+                .map(|&id| save_shard(dir, id, preset, &regenerate_one(id)))
+                .collect();
+            gen_scope.stop();
+            outcomes.into_iter().collect::<io::Result<()>>()?;
+        }
+        write_manifest_if_changed(dir, preset, catalog)?;
+        remove_legacy_monolith(dir, preset);
+
+        for id in 0..catalog.len() {
+            let shard = load_shard(&dir.join(shard_file_name(id)))?;
+            visit(id, &shard.path)?;
+        }
+        Ok(stats)
     }
 }
 
@@ -585,10 +669,33 @@ pub fn shard_fingerprint(preset: &Preset, config: &PathConfig) -> String {
     format!("{h:016x}")
 }
 
+/// Whether a shard on disk can be reused by this binary: its embedded
+/// behavior hash must match the compiled-in [`BEHAVIOR_HASH`] and its
+/// config fingerprint must match the expected
+/// [`shard_fingerprint`] of the current (preset, path config).
+fn shard_trusted(shard: &ShardFile, expected_fingerprint: &str) -> bool {
+    shard.behavior_hash == BEHAVIOR_HASH && shard.config_fingerprint == expected_fingerprint
+}
+
 /// Loads one shard envelope.
 fn load_shard(path: &FsPath) -> io::Result<ShardFile> {
     let json = fs::read_to_string(path)?;
     serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+/// Removes a monolithic `<dir>.json` cache predating the shard format.
+/// It is treated as fully stale — its contents are never consulted —
+/// and dropped once the sharded cache is in place.
+fn remove_legacy_monolith(dir: &FsPath, preset: &Preset) {
+    let legacy = dir.with_extension("json");
+    if legacy.is_file() {
+        eprintln!(
+            "# dataset '{}': removing legacy monolithic cache {}",
+            preset.name,
+            legacy.display()
+        );
+        let _ = fs::remove_file(&legacy);
+    }
 }
 
 /// Saves one shard atomically, embedding the current behavior hash and
@@ -634,17 +741,29 @@ fn write_manifest_if_changed(
 
 /// Removes `path-<id>.json` shards beyond the catalog — left behind
 /// when a preset shrinks its path count. Best-effort.
+///
+/// A file is a shard if and only if its name is the *canonical*
+/// [`shard_file_name`] of its parsed id: `usize::from_str` alone also
+/// accepts zero-padded (`path-007.json`) and signed (`path-+5.json`)
+/// spellings that no load will ever consult — under a lenient parse
+/// those mis-classify as live ids and survive every sweep (or, worse, a
+/// padded spelling of an id beyond the catalog survives a shrink across
+/// a digit boundary, e.g. 10000 → 9999). Anything matching the
+/// `path-*.json` pattern without round-tripping is unreadable junk in a
+/// directory this module owns, and is removed with the orphans.
 fn remove_orphan_shards(dir: &FsPath, path_count: usize) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };
     for entry in entries.filter_map(Result::ok) {
         let name = entry.file_name().to_string_lossy().into_owned();
-        let id = name
+        let live = name
             .strip_prefix("path-")
             .and_then(|rest| rest.strip_suffix(".json"))
-            .and_then(|digits| digits.parse::<usize>().ok());
-        if id.is_some_and(|id| id >= path_count) {
+            .and_then(|digits| digits.parse::<usize>().ok())
+            .filter(|&id| shard_file_name(id) == name)
+            .is_some_and(|id| id < path_count);
+        if !live && name.starts_with("path-") && name.ends_with(".json") {
             let _ = fs::remove_file(entry.path());
         }
     }
@@ -1233,5 +1352,163 @@ mod tests {
         assert_eq!(fp, shard_fingerprint(&tiny, &catalog[0]), "deterministic");
         assert_ne!(fp, shard_fingerprint(&tiny, &catalog[1]));
         assert_ne!(fp, shard_fingerprint(&quick, &catalog[0]));
+    }
+
+    #[test]
+    fn orphan_sweep_is_exact_at_a_digit_boundary() {
+        // The 10000 → 9999 shrink: the last live id (9999) and the first
+        // orphan (10000) differ in digit count; a sweep keyed on parsed
+        // ids must keep one and remove the other, in both directions.
+        let dir = scratch("orphan-boundary");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(shard_file_name(9999)), "{}").unwrap();
+        std::fs::write(dir.join(shard_file_name(10000)), "{}").unwrap();
+        remove_orphan_shards(&dir, 10000);
+        assert!(
+            dir.join(shard_file_name(9999)).is_file(),
+            "id 9999 is live at path_count 10000"
+        );
+        assert!(
+            !dir.join(shard_file_name(10000)).exists(),
+            "id 10000 is an orphan at path_count 10000"
+        );
+        remove_orphan_shards(&dir, 9999);
+        assert!(
+            !dir.join(shard_file_name(9999)).exists(),
+            "id 9999 is an orphan once the catalog shrinks to 9999"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_sweep_removes_non_canonical_shard_names() {
+        // `parse::<usize>` alone accepts zero-padded and signed
+        // spellings that no load ever consults — under the old lenient
+        // sweep, `path-007.json` parsed to a live id and survived
+        // forever. Only the canonical `shard_file_name` round trip names
+        // a shard; everything else matching `path-*.json` is junk.
+        let dir = scratch("orphan-canonical");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for junk in ["path-007.json", "path-+5.json", "path-abc.json"] {
+            std::fs::write(dir.join(junk), "{}").unwrap();
+        }
+        std::fs::write(dir.join(shard_file_name(1)), "{}").unwrap();
+        std::fs::write(dir.join(SHARD_MANIFEST), "{}").unwrap();
+        let temp = dir.join(".path-1.json.tmp.99");
+        std::fs::write(&temp, "{").unwrap();
+        remove_orphan_shards(&dir, 3);
+        for junk in ["path-007.json", "path-+5.json", "path-abc.json"] {
+            assert!(!dir.join(junk).exists(), "{junk} must be swept");
+        }
+        assert!(dir.join(shard_file_name(1)).is_file(), "canonical stays");
+        assert!(dir.join(SHARD_MANIFEST).is_file(), "manifest untouched");
+        assert!(temp.is_file(), "atomic temps belong to the temp sweep");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_visit_matches_the_batch_load_bit_for_bit() {
+        let dir_stream = scratch("stream-cold");
+        let dir_batch = scratch("stream-batch");
+        let _ = std::fs::remove_dir_all(&dir_stream);
+        let _ = std::fs::remove_dir_all(&dir_batch);
+        let preset = Preset::tiny();
+        let catalog = shard_catalog();
+
+        let mut visited: Vec<(usize, PathData)> = Vec::new();
+        let stats = Dataset::for_each_path_sharded(
+            &dir_stream,
+            &preset,
+            &catalog,
+            |id| path_data(&catalog[id], (id as f64 + 1.0) * 1e6),
+            |id, p| {
+                visited.push((id, p.clone()));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            stats,
+            ShardStats {
+                hits: 0,
+                missing: 3,
+                stale: 0
+            }
+        );
+        assert_eq!(
+            visited.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "visits arrive in catalog order"
+        );
+
+        let (batch, _) =
+            Dataset::load_or_generate_sharded(&dir_batch, &preset, &catalog, regen(&catalog))
+                .unwrap();
+        for (id, p) in &visited {
+            assert_eq!(p, &batch.paths[*id], "streamed payload diverged");
+        }
+        for id in 0..catalog.len() {
+            assert_eq!(
+                std::fs::read(dir_stream.join(shard_file_name(id))).unwrap(),
+                std::fs::read(dir_batch.join(shard_file_name(id))).unwrap(),
+                "shard {id} bytes diverged between streaming and batch"
+            );
+        }
+        assert!(dir_stream.join(SHARD_MANIFEST).is_file());
+
+        // Warm pass: nothing regenerates, same visits.
+        let mut warm_ids = Vec::new();
+        let warm_stats = Dataset::for_each_path_sharded(
+            &dir_stream,
+            &preset,
+            &catalog,
+            |_| panic!("warm pass must not regenerate"),
+            |id, _| {
+                warm_ids.push(id);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            warm_stats,
+            ShardStats {
+                hits: 3,
+                missing: 0,
+                stale: 0
+            }
+        );
+        assert_eq!(warm_ids, vec![0, 1, 2]);
+
+        std::fs::remove_dir_all(&dir_stream).unwrap();
+        std::fs::remove_dir_all(&dir_batch).unwrap();
+    }
+
+    #[test]
+    fn streaming_visit_error_aborts_the_walk() {
+        let dir = scratch("stream-abort");
+        let _ = std::fs::remove_dir_all(&dir);
+        let preset = Preset::tiny();
+        let catalog = shard_catalog();
+        let mut seen = 0usize;
+        let err = Dataset::for_each_path_sharded(
+            &dir,
+            &preset,
+            &catalog,
+            |id| path_data(&catalog[id], 1e6),
+            |id, _| {
+                seen += 1;
+                if id == 1 {
+                    Err(io::Error::other("sink full"))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.to_string(), "sink full");
+        assert_eq!(seen, 2, "the walk stops at the failing visit");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

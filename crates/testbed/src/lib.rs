@@ -13,6 +13,10 @@
 //!   paper's diversity: utilization levels, elastic (persistent-TCP) vs
 //!   inelastic (Poisson / Pareto on-off) cross traffic, and stochastic
 //!   level shifts and outlier bursts.
+//! * [`synth`] — procedural path catalogs (DESIGN.md §15): seeded
+//!   class-mix sampling (DSL, ≥ 10 Mbps US, transatlantic,
+//!   cellular-like, lossy-wireless) at any scale, calibrated against
+//!   the hand-written 2004 catalog — the `synth1k`/`synth10k` presets.
 //! * [`preset`] — experiment scales: [`preset::Preset::paper`] keeps the
 //!   35×7×150 structure and full durations; [`preset::Preset::quick`]
 //!   shrinks traces for minutes-scale regeneration;
@@ -49,6 +53,7 @@ pub mod faults;
 pub mod path;
 pub mod preset;
 pub mod runner;
+pub mod synth;
 
 pub use data::{
     CompleteEpoch, Dataset, EpochFaults, EpochRecord, EpochStatus, PathData, ShardStats, TraceData,
@@ -60,6 +65,7 @@ pub use faults::{
 pub use path::{catalog_2004, catalog_2006, CrossProfile, PathConfig};
 pub use preset::Preset;
 pub use runner::{
-    catalog_for, generate, generate_paths, load_or_generate_sharded, run_trace, run_trace_pooled,
-    trace_seed,
+    catalog_for, for_each_path, generate, generate_each, generate_path, generate_paths,
+    load_or_generate_sharded, run_trace, run_trace_pooled, set_generation_workers, trace_seed,
 };
+pub use synth::{class_specs, synth_catalog, synth_catalog_with_mix, ClassMix, ClassSpec};

@@ -142,14 +142,68 @@ impl Preset {
         }
     }
 
-    /// Parses a preset by name (`paper`, `quick`, `tiny`, `quick-2006`) —
-    /// the `--preset` flag of the figure binaries.
+    /// The procedural-catalog scale (DESIGN.md §15): 1000 synth paths
+    /// across the five-class mix, one short trace each — comparable
+    /// total simulated traffic to [`Preset::quick`], but 1000-path wide
+    /// so the per-path rayon fan-out and the streaming shard API have
+    /// something real to chew on.
+    pub fn synth1k() -> Self {
+        Preset {
+            name: "synth1k".into(),
+            paths: 1000,
+            traces_per_path: 1,
+            epochs_per_trace: 6,
+            pathload_slot: Time::from_secs(8),
+            pre_ping: Time::from_secs(6),
+            transfer: Time::from_secs(6),
+            epoch_gap: Time::from_secs(2),
+            w_large: 1 << 20,
+            w_small: 20 * 1024,
+            with_small_window: false,
+            ping_interval: Time::from_millis(100),
+            seed: 2080,
+            faults: FaultConfig::none(),
+            regimes: RegimeConfig::none(),
+        }
+    }
+
+    /// [`Preset::synth1k`] at 10 000 paths (ROADMAP item 1's headline
+    /// scale), with shorter traces so a full cold generation stays in
+    /// minutes. Figure binaries must stream this one shard at a time —
+    /// the whole `Dataset` does not belong in RAM.
+    pub fn synth10k() -> Self {
+        Preset {
+            name: "synth10k".into(),
+            paths: 10_000,
+            epochs_per_trace: 4,
+            ..Self::synth1k()
+        }
+    }
+
+    /// Every registered preset name, in [`Preset::by_name`] order — the
+    /// single source of truth the CLI derives its usage and error
+    /// strings from.
+    pub fn names() -> &'static [&'static str] {
+        &[
+            "paper",
+            "quick",
+            "tiny",
+            "quick-2006",
+            "synth1k",
+            "synth10k",
+        ]
+    }
+
+    /// Parses a preset by name (one of [`Preset::names`]) — the
+    /// `--preset` flag of the figure binaries.
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "paper" => Some(Self::paper()),
             "quick" => Some(Self::quick()),
             "tiny" => Some(Self::tiny()),
             "quick-2006" => Some(Self::quick_2006()),
+            "synth1k" => Some(Self::synth1k()),
+            "synth10k" => Some(Self::synth10k()),
             _ => None,
         }
     }
@@ -222,11 +276,25 @@ mod tests {
     }
 
     #[test]
-    fn by_name_round_trips() {
-        for name in ["paper", "quick", "tiny", "quick-2006"] {
-            assert_eq!(Preset::by_name(name).unwrap().name, name);
+    fn by_name_round_trips_every_registered_name() {
+        for name in Preset::names() {
+            assert_eq!(
+                Preset::by_name(name).map(|p| p.name),
+                Some(name.to_string()),
+                "registered name {name} must parse back to itself"
+            );
         }
         assert!(Preset::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn synth_presets_scale_the_procedural_catalog() {
+        let k1 = Preset::synth1k();
+        let k10 = Preset::synth10k();
+        assert_eq!(k1.paths, 1000);
+        assert_eq!(k10.paths, 10_000);
+        assert_eq!(k1.seed, k10.seed, "same catalog family, different size");
+        assert!(k1.name.starts_with("synth") && k10.name.starts_with("synth"));
     }
 
     #[test]

@@ -545,10 +545,14 @@ pub fn run_trace_pooled(
     TraceData { records }
 }
 
-/// The catalog a preset draws its paths from: the 2006-style catalog for
-/// `*-2006` presets, the 2004-style one otherwise.
+/// The catalog a preset draws its paths from: the procedural
+/// five-class catalog (DESIGN.md §15) for `synth*` presets, the
+/// 2006-style catalog for `*-2006` presets, the 2004-style one
+/// otherwise.
 pub fn catalog_for(preset: &Preset) -> Vec<PathConfig> {
-    if preset.name.contains("2006") {
+    if preset.name.contains("synth") {
+        crate::synth::synth_catalog(preset.paths, preset.seed)
+    } else if preset.name.contains("2006") {
         catalog_2006(preset.paths, preset.seed)
     } else {
         catalog_2004(preset.paths, preset.seed)
@@ -633,12 +637,99 @@ pub fn load_or_generate_sharded(
     });
     scope.stop();
     if let Ok((_, stats)) = &result {
-        obs::add("testbed.shards.hit", stats.hits as u64);
-        obs::add("testbed.shards.missing", stats.missing as u64);
-        obs::add("testbed.shards.stale", stats.stale as u64);
-        obs::add("testbed.shards.regenerated", stats.regenerated() as u64);
+        record_shard_stats(stats);
     }
     result
+}
+
+fn record_shard_stats(stats: &crate::data::ShardStats) {
+    obs::add("testbed.shards.hit", stats.hits as u64);
+    obs::add("testbed.shards.missing", stats.missing as u64);
+    obs::add("testbed.shards.stale", stats.stale as u64);
+    obs::add("testbed.shards.regenerated", stats.regenerated() as u64);
+}
+
+/// Overrides how many workers the parallel generation fan-out uses on
+/// this thread (0 restores the `RAYON_NUM_THREADS`-or-core-count
+/// default). Generation is deterministic per (path, trace), so the
+/// worker count changes wall clock only, never output —
+/// `tests/shard_pin.rs` pins multi-worker against single-worker bytes.
+pub fn set_generation_workers(n: usize) {
+    rayon::set_num_threads(n);
+}
+
+/// Generates one path's complete [`PathData`] — every trace, in order,
+/// on the calling thread. The per-shard regeneration unit of the
+/// streaming API; bit-identical to the same path's slice of a full
+/// [`generate`] pass (trace seeds depend only on (path, trace index)).
+pub fn generate_path(preset: &Preset, config: &PathConfig) -> PathData {
+    PathData {
+        config: config.clone(),
+        traces: (0..preset.traces_per_path)
+            .map(|t| run_trace(config, t, preset))
+            .collect(),
+    }
+}
+
+/// Streams `preset`'s dataset through `visit` in catalog order without
+/// ever materializing the merged [`Dataset`] (DESIGN.md §15): untrusted
+/// shards regenerate first — one path per parallel job, written to disk
+/// as each finishes — then every shard is loaded, visited, and dropped.
+/// O(one path) resident memory; the 10k-path presets depend on it.
+///
+/// Telemetry mirrors [`load_or_generate_sharded`]: the same
+/// `testbed.shard_cache_wall` scope, `testbed.shards.*` counters, and
+/// (from inside the streaming core) `testbed.generate_wall` +
+/// `testbed.workers`, plus a `testbed.paths_streamed` counter.
+pub fn for_each_path<V>(
+    dir: &std::path::Path,
+    preset: &Preset,
+    mut visit: V,
+) -> std::io::Result<crate::data::ShardStats>
+where
+    V: FnMut(usize, &PathData) -> std::io::Result<()>,
+{
+    let mut scope = obs::time_scope("testbed.shard_cache_wall");
+    let catalog = catalog_for(preset);
+    let result = Dataset::for_each_path_sharded(
+        dir,
+        preset,
+        &catalog,
+        |id| generate_path(preset, &catalog[id]),
+        |id, path| {
+            obs::add("testbed.paths_streamed", 1);
+            visit(id, path)
+        },
+    );
+    scope.stop();
+    if let Ok(stats) = &result {
+        record_shard_stats(stats);
+    }
+    result
+}
+
+/// Uncached streaming generation: simulates `preset`'s catalog in
+/// worker-sized chunks and hands each [`PathData`] to `visit` in
+/// catalog order, dropping it afterwards — for campaign binaries
+/// (`fig25_resilience`) that never want a disk cache but must not hold
+/// a whole `Dataset` either. Chunking preserves the parallel fan-out;
+/// output is independent of the chunk size (every trace is a pure
+/// function of (path config, trace index, preset)).
+pub fn generate_each<V>(preset: &Preset, mut visit: V)
+where
+    V: FnMut(usize, PathData),
+{
+    let catalog = catalog_for(preset);
+    let chunk = (rayon::current_num_threads() * 2).max(1);
+    let mut next = 0usize;
+    while next < catalog.len() {
+        let indices: Vec<usize> = (next..(next + chunk).min(catalog.len())).collect();
+        let paths = generate_paths(preset, &catalog, &indices);
+        for (id, path) in indices.iter().zip(paths) {
+            visit(*id, path);
+        }
+        next += chunk;
+    }
 }
 
 #[cfg(test)]

@@ -15,8 +15,8 @@ use std::path::PathBuf;
 use tputpred_netsim::Time;
 use tputpred_testbed::data::{shard_file_name, SHARD_MANIFEST};
 use tputpred_testbed::{
-    catalog_for, generate, generate_paths, load_or_generate_sharded, FaultConfig, Preset,
-    RegimeConfig, ShardStats,
+    catalog_for, for_each_path, generate, generate_paths, load_or_generate_sharded, FaultConfig,
+    Preset, RegimeConfig, ShardStats,
 };
 
 fn pin_preset() -> Preset {
@@ -127,6 +127,70 @@ fn per_path_generation_matches_the_full_pass_slice_for_slice() {
         generate_paths(&preset, &catalog, &[]).is_empty(),
         "empty subset generates nothing"
     );
+}
+
+#[test]
+fn multi_worker_generation_is_bit_identical_to_single_worker() {
+    // The synth-preset acceptance bar (DESIGN.md §15): worker count
+    // changes only the wall clock, never the bytes. Generate the same
+    // preset cold through the streaming API under 1 worker and under 4,
+    // and byte-compare every shard file — then check both against the
+    // batch loader too.
+    let preset = pin_preset();
+    let dir_one = scratch("w1");
+    let dir_four = scratch("w4");
+    let _ = fs::remove_dir_all(&dir_one);
+    let _ = fs::remove_dir_all(&dir_four);
+
+    let mut visited_one = Vec::new();
+    rayon::with_num_threads(1, || {
+        for_each_path(&dir_one, &preset, |id, path| {
+            visited_one.push((id, path.config.name.clone()));
+            Ok(())
+        })
+        .expect("single-worker streaming generation")
+    });
+    rayon::with_num_threads(4, || {
+        for_each_path(&dir_four, &preset, |_, _| Ok(())).expect("four-worker streaming generation")
+    });
+
+    // The visitor runs in catalog order regardless of the fan-out.
+    let catalog = catalog_for(&preset);
+    assert_eq!(
+        visited_one,
+        catalog
+            .iter()
+            .enumerate()
+            .map(|(id, c)| (id, c.name.clone()))
+            .collect::<Vec<_>>(),
+        "streaming visit order diverged from the catalog"
+    );
+
+    for id in 0..preset.paths {
+        let one = fs::read(dir_one.join(shard_file_name(id))).expect("worker-1 shard");
+        let four = fs::read(dir_four.join(shard_file_name(id))).expect("worker-4 shard");
+        assert_eq!(one, four, "shard {id} differs across worker counts");
+    }
+
+    // And both agree with the batch API on a warm read.
+    let reference = generate(&preset);
+    let (warm, stats) = load_or_generate_sharded(&dir_four, &preset).expect("warm load");
+    assert_eq!(
+        stats,
+        ShardStats {
+            hits: preset.paths,
+            missing: 0,
+            stale: 0
+        },
+        "multi-worker shards were not trusted warm"
+    );
+    assert_eq!(
+        warm, reference,
+        "multi-worker shards diverged from generate()"
+    );
+
+    fs::remove_dir_all(&dir_one).expect("cleanup");
+    fs::remove_dir_all(&dir_four).expect("cleanup");
 }
 
 #[test]

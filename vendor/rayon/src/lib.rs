@@ -18,6 +18,7 @@
 //! [`std::panic::resume_unwind`], preserving the original payload (a
 //! panicking trace names its path and index instead of `Any { .. }`).
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -44,13 +45,53 @@ fn threads_from_env(raw: &str) -> Option<usize> {
         .filter(|&n| (1..=MAX_THREADS).contains(&n))
 }
 
+std::thread_local! {
+    /// Per-thread worker-count override (0 = unset). A thread-local
+    /// rather than `std::env::set_var` because mutating the environment
+    /// is unsafe and racy across test threads (see the env-parser test
+    /// below); the override only affects `collect`s issued from the
+    /// thread that set it, which is exactly the calling-thread semantics
+    /// the workspace needs.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Overrides the worker count for parallel operations issued from the
+/// *calling thread*: `n = 0` clears the override, any other value is
+/// clamped to `1..=MAX_THREADS`. Takes precedence over
+/// `RAYON_NUM_THREADS` and the detected core count. Unlike the real
+/// crate (where the global pool size is fixed at init), the stub builds
+/// its fan-out per `collect`, so this can be flipped at any time.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.with(|c| c.set(n.min(MAX_THREADS)));
+}
+
+/// Runs `f` with the calling thread's worker count pinned to `n`
+/// (clamped to `1..=MAX_THREADS`), restoring the previous override —
+/// even on panic — afterwards. The scoped form tests use to exercise
+/// specific worker counts without touching the process environment.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(n.clamp(1, MAX_THREADS))));
+    f()
+}
+
 /// Number of worker threads `collect` will use, mirroring the real
-/// crate's global-pool accessor of the same name: the
-/// `RAYON_NUM_THREADS` environment variable when set to a sane positive
-/// integer (a value in `1..=MAX_THREADS`; anything else — zero,
-/// garbage, absurdly large — is ignored), the detected core count
+/// crate's global-pool accessor of the same name: a calling-thread
+/// [`set_num_threads`]/[`with_num_threads`] override when active, else
+/// the `RAYON_NUM_THREADS` environment variable when set to a sane
+/// positive integer (a value in `1..=MAX_THREADS`; anything else —
+/// zero, garbage, absurdly large — is ignored), the detected core count
 /// otherwise.
 pub fn current_num_threads() -> usize {
+    let override_n = THREAD_OVERRIDE.with(Cell::get);
+    if override_n != 0 {
+        return override_n;
+    }
     std::env::var("RAYON_NUM_THREADS")
         .ok()
         .and_then(|s| threads_from_env(&s))
@@ -243,6 +284,51 @@ mod tests {
     #[test]
     fn current_num_threads_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_local_override_wins_and_restores() {
+        use super::{current_num_threads, with_num_threads, MAX_THREADS};
+        let ambient = current_num_threads();
+        let inside = with_num_threads(3, current_num_threads);
+        assert_eq!(inside, 3, "override wins over env and core count");
+        assert_eq!(current_num_threads(), ambient, "override restored");
+        // Nested scopes restore to the enclosing override, not ambient.
+        let (outer, inner) = with_num_threads(2, || {
+            let inner = with_num_threads(5, current_num_threads);
+            (current_num_threads(), inner)
+        });
+        assert_eq!((outer, inner), (2, 5));
+        // Absurd values clamp instead of exhausting OS threads.
+        assert_eq!(
+            with_num_threads(1_000_000, current_num_threads),
+            MAX_THREADS
+        );
+    }
+
+    #[test]
+    fn set_num_threads_zero_clears_the_override() {
+        use super::{current_num_threads, set_num_threads};
+        // Run on a dedicated thread: the override is thread-local, so
+        // this cannot race the other tests' ambient readings.
+        std::thread::spawn(|| {
+            let ambient = current_num_threads();
+            set_num_threads(4);
+            assert_eq!(current_num_threads(), 4);
+            set_num_threads(0);
+            assert_eq!(current_num_threads(), ambient);
+        })
+        .join()
+        .expect("override thread");
+    }
+
+    #[test]
+    fn override_drives_the_worker_count_of_collect() {
+        // 257 jobs with an 8-worker override: same shape as the
+        // env-driven test above, but via the thread-local override.
+        let xs: Vec<u64> = (0..257).collect();
+        let out: Vec<u64> = super::with_num_threads(8, || xs.par_iter().map(|&x| x * 3).collect());
+        assert_eq!(out, (0..257).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]
